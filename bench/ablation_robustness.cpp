@@ -1,0 +1,42 @@
+// Robustness ablation (§4.3): each ESSAT shaper under mid-run node
+// failures with maintenance (failure detection + tree repair) enabled, and
+// DTS's synchronization overhead with and without failures. The paper
+// argues DTS-SS needs no special topology-change mechanism beyond one
+// phase update on the first report to a new parent.
+#include "bench_common.h"
+
+int main() {
+  using namespace essat;
+  bench::print_header("Ablation §4.3",
+                      "ESSAT shapers under node failures (maintenance on)");
+
+  harness::Table table{{"protocol", "failures", "duty (%)", "latency (s)",
+                        "delivery (%)", "phase-update bits/report"}};
+  for (auto p : {harness::Protocol::kNtsSs, harness::Protocol::kStsSs,
+                 harness::Protocol::kDtsSs}) {
+    for (int kill : {0, 5}) {
+      harness::ScenarioConfig c = bench::paper_defaults();
+      c.protocol = p;
+      c.base_rate_hz = 1.0;
+      c.measure_duration = util::Time::seconds(120);
+      c.enable_maintenance = true;
+      for (int i = 0; i < kill; ++i) {
+        // Spread victims across ids and time; the root (near the centre) is
+        // chosen by position, so ids 10,20,... are unlikely to hit it.
+        c.failures.push_back({10 + i * 10, util::Time::seconds(30 + i * 10)});
+      }
+      const auto avg = harness::run_repeated(c, bench::kRunsPerPoint);
+      table.add_row({harness::protocol_name(p), std::to_string(kill),
+                     harness::fmt_pct(avg.duty_cycle.mean()),
+                     harness::fmt(avg.latency_s.mean(), 3),
+                     harness::fmt_pct(avg.delivery_ratio.mean()),
+                     harness::fmt(avg.phase_update_bits.mean(), 3)});
+    }
+  }
+  table.print(std::cout);
+  std::printf("\nExpectation (§4.3): all three shapers keep delivering after\n"
+              "repairs; NTS needs no schedule update, STS recomputes ranks, DTS\n"
+              "resynchronizes with a single advertised phase per new parent —\n"
+              "visible as a small bump in phase-update bits under failures.\n\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Shared configuration for the figure-reproduction benches: the paper's
+// experimental setup (§5) with the number of repetitions used per point.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/essat.h"
+
+#include <cstdlib>
+
+namespace essat::bench {
+
+// "Each data point is the average over five runs" (§5). Override with
+// ESSAT_BENCH_RUNS for quick looks.
+inline int runs_per_point() {
+  if (const char* env = std::getenv("ESSAT_BENCH_RUNS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 5;
+}
+inline const int kRunsPerPoint = runs_per_point();
+
+inline harness::ScenarioConfig paper_defaults() {
+  harness::ScenarioConfig c;
+  c.num_nodes = 80;
+  c.area_m = 500.0;
+  c.range_m = 125.0;
+  c.max_tree_dist_m = 300.0;
+  c.measure_duration = util::Time::seconds(200);  // "experiments last 200s"
+  c.seed = 1;
+  return c;
+}
+
+inline void print_header(const char* figure, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("Setup: 80 nodes, 500x500 m^2, range 125 m, 1 Mbps, 52 B reports,\n");
+  std::printf("       query classes Q1:Q2:Q3 = 6:3:2, %d runs per point.\n",
+              kRunsPerPoint);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace essat::bench

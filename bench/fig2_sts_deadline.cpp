@@ -1,0 +1,31 @@
+// Figure 2: impact of the query deadline D on STS-SS's duty cycle and query
+// latency. Three queries (one per class). The paper observes a knee where
+// the local deadline l = D/M crosses T_agg: below it latency is flat and
+// duty falls as D grows; above it latency grows ~ linearly with D while the
+// duty cycle stops improving.
+#include "bench_common.h"
+
+int main() {
+  using namespace essat;
+  bench::print_header("Figure 2", "STS-SS duty cycle & query latency vs deadline D");
+
+  harness::Table table{{"D (s)", "duty cycle (%)", "ci90", "latency (s)", "ci90"}};
+  for (double d_s : {0.05, 0.1, 0.15, 0.2, 0.3, 0.45, 0.6, 0.8}) {
+    harness::ScenarioConfig c = bench::paper_defaults();
+    c.protocol = harness::Protocol::kStsSs;
+    // Base rate chosen so the deadline sweep stays below the base period
+    // (the paper leaves Fig. 2's rate unstated; see EXPERIMENTS.md).
+    c.base_rate_hz = 1.0;
+    c.sts_deadline = util::Time::from_seconds(d_s);
+    const auto avg = harness::run_repeated(c, bench::kRunsPerPoint);
+    table.add_row({harness::fmt(d_s, 2),
+                   harness::fmt_pct(avg.duty_cycle.mean()),
+                   harness::fmt_pct(avg.duty_ci90()),
+                   harness::fmt(avg.latency_s.mean(), 3),
+                   harness::fmt(avg.latency_ci90(), 3)});
+  }
+  table.print(std::cout);
+  std::printf("\nPaper: knee at D ~ 0.12 s (l ~ T_agg); duty falls toward the knee,\n"
+              "latency grows roughly proportionally with D beyond it.\n\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Figure 4: average duty cycle at base rate 0.2 Hz as the number of queries
+// per class grows 1..10 (aggregate multi-query workloads, §5.1).
+#include "bench_common.h"
+
+int main() {
+  using namespace essat;
+  bench::print_header("Figure 4",
+                      "average duty cycle (%) vs queries per class @ 0.2 Hz");
+
+  const harness::Protocol protocols[] = {
+      harness::Protocol::kDtsSs, harness::Protocol::kStsSs,
+      harness::Protocol::kNtsSs, harness::Protocol::kPsm,
+      harness::Protocol::kSpan};
+
+  harness::Table table{{"queries/class", "DTS-SS", "STS-SS", "NTS-SS", "PSM", "SPAN"}};
+  for (int n : {1, 4, 7, 10}) {
+    std::vector<std::string> row{std::to_string(n)};
+    for (auto p : protocols) {
+      harness::ScenarioConfig c = bench::paper_defaults();
+      c.protocol = p;
+      c.base_rate_hz = 0.2;
+      c.queries_per_class = n;
+      const auto avg = harness::run_repeated(c, bench::kRunsPerPoint);
+      row.push_back(harness::fmt_pct(avg.duty_cycle.mean()));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::printf("\nPaper: all ESSAT protocols below the baselines; DTS adapts to the\n"
+              "aggregate workload without tuning. 90%% CIs within +/- 1.2%%.\n\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Microbenchmarks of the hot paths: event queue operations, Safe Sleep
+// bookkeeping, shaper updates, and a full small-scenario run.
+#include <benchmark/benchmark.h>
+
+#include "src/essat.h"
+
+namespace {
+
+using namespace essat;
+using util::Time;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng{1};
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < n; ++i) {
+      q.push(Time::nanoseconds(rng.uniform_int(0, 1'000'000)), [] {});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(256)->Arg(4096);
+
+void BM_SimulatorTimerChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::Timer t{sim};
+    int fired = 0;
+    std::function<void()> rearm = [&] {
+      if (++fired < 1000) t.arm_in(Time::microseconds(10), rearm);
+    };
+    t.arm_in(Time::microseconds(10), rearm);
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorTimerChurn);
+
+void BM_SafeSleepCheckState(benchmark::State& state) {
+  sim::Simulator sim;
+  net::Topology topo = net::Topology::line(2, 100.0, 125.0);
+  net::Channel channel{sim, topo};
+  energy::Radio radio{sim, energy::RadioParams{}};
+  mac::CsmaMac mac{sim, channel, radio, 0, mac::MacParams{}, util::Rng{1}};
+  core::SafeSleep ss{sim, radio, mac, core::SafeSleepParams{}};
+  // Ten queries with three children each: realistic bookkeeping size.
+  for (net::QueryId q = 0; q < 10; ++q) {
+    ss.update_next_send(q, Time::seconds(1000 + q));
+    for (net::NodeId c = 1; c <= 3; ++c) {
+      ss.update_next_receive(q, c, Time::seconds(1000 + q + c));
+    }
+  }
+  for (auto _ : state) {
+    ss.check_state();
+    benchmark::DoNotOptimize(ss.next_wakeup());
+  }
+}
+BENCHMARK(BM_SafeSleepCheckState);
+
+void BM_DtsShaperUpdate(benchmark::State& state) {
+  net::Topology topo = net::Topology::line(3, 100.0, 125.0);
+  routing::Tree tree = routing::build_bfs_tree(topo, 0, 10000.0);
+  core::DtsShaper shaper;
+  shaper.set_context(query::ShaperContext{&tree, 1, nullptr});
+  query::Query q;
+  q.id = 0;
+  q.period = Time::seconds(1);
+  q.phase = Time::zero();
+  shaper.register_query(q);
+  std::int64_t k = 0;
+  for (auto _ : state) {
+    shaper.on_report_received(q, k, 2, std::nullopt);
+    const auto plan = shaper.plan_send(q, k, q.epoch_start(k));
+    shaper.on_report_sent(q, k, plan.send_at);
+    ++k;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DtsShaperUpdate);
+
+void BM_SmallScenario(benchmark::State& state) {
+  for (auto _ : state) {
+    harness::ScenarioConfig c;
+    c.protocol = harness::Protocol::kDtsSs;
+    c.num_nodes = 30;
+    c.base_rate_hz = 1.0;
+    c.measure_duration = Time::seconds(10);
+    c.seed = 3;
+    benchmark::DoNotOptimize(harness::run_scenario(c));
+  }
+}
+BENCHMARK(BM_SmallScenario)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// Failure recovery (paper §4.3): nodes die mid-run; the maintenance layer
+// detects dead parents via consecutive MAC failures and dead children via
+// consecutive missed epochs, repairs the routing tree, and the shapers
+// resynchronize — NTS needs nothing, STS recomputes rank schedules, DTS
+// advertises one phase update to the new parent.
+#include <cstdio>
+
+#include "src/essat.h"
+
+int main() {
+  using namespace essat;
+  using util::Time;
+
+  std::printf("Failure recovery: 6 nodes die between t=40 s and t=90 s\n\n");
+  std::printf("%-8s %-10s %-12s %-14s %-14s\n", "proto", "failures",
+              "duty (%)", "latency (ms)", "delivery (%)");
+
+  for (auto p : {harness::Protocol::kNtsSs, harness::Protocol::kStsSs,
+                 harness::Protocol::kDtsSs}) {
+    for (bool inject : {false, true}) {
+      harness::ScenarioConfig c;
+      c.protocol = p;
+      c.base_rate_hz = 1.0;
+      c.measure_duration = Time::seconds(120);
+      c.enable_maintenance = true;
+      c.seed = 31;
+      if (inject) {
+        for (int i = 0; i < 6; ++i) {
+          c.failures.push_back(
+              {8 + i * 12, Time::seconds(40) + Time::seconds(i * 10)});
+        }
+      }
+      const auto m = harness::run_scenario(c);
+      std::printf("%-8s %-10s %-12.1f %-14.1f %-14.1f\n",
+                  harness::protocol_name(p), inject ? "6 nodes" : "none",
+                  m.avg_duty_cycle * 100.0, m.avg_latency_s * 1e3,
+                  m.delivery_ratio * 100.0);
+    }
+  }
+
+  std::printf(
+      "\nDelivery degrades only by the dead nodes' own readings (plus any\n"
+      "stranded subtrees); surviving nodes re-attach and keep reporting.\n");
+  return 0;
+}

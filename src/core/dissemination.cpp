@@ -1,0 +1,121 @@
+#include "src/core/dissemination.h"
+
+#include <algorithm>
+
+namespace essat::core {
+
+DisseminationAgent::DisseminationAgent(sim::Simulator& sim, mac::CsmaMac& mac,
+                                       const routing::Tree& tree, net::NodeId self,
+                                       DisseminationParams params,
+                                       query::ExpectedTimeSink* sink)
+    : sim_{sim}, mac_{mac}, tree_{tree}, self_{self}, params_{params}, sink_{sink} {}
+
+util::Time DisseminationAgent::expected_send(const DisseminationTask& task,
+                                             std::int64_t k) const {
+  const int level = std::max(tree_.level(self_), 0);
+  return task.epoch_start(k) + params_.level_slice * level;
+}
+
+util::Time DisseminationAgent::expected_receive(const DisseminationTask& task,
+                                                std::int64_t k) const {
+  const int level = std::max(tree_.level(self_), 0);
+  return task.epoch_start(k) + params_.level_slice * std::max(level - 1, 0);
+}
+
+void DisseminationAgent::push_expectations_(const TaskState& ts) {
+  if (!sink_) return;
+  if (self_ != tree_.root()) {
+    // Downstream flow: the "child" slot holds the upstream parent — the
+    // sleep scheduler only cares about the earliest expected time per peer.
+    sink_->update_next_receive(ts.task.id, tree_.parent(self_),
+                               expected_receive(ts.task, ts.next_epoch));
+  }
+  // The send expectation is owned by forward_(): while a buffered forward
+  // is pending, snext must be its submission time, not the next round's —
+  // otherwise Safe Sleep powers down across its own scheduled send.
+}
+
+void DisseminationAgent::register_task(const DisseminationTask& task) {
+  if (!tree_.is_member(self_)) return;
+  auto [it, inserted] = tasks_.try_emplace(task.id);
+  if (!inserted) return;
+  it->second.task = task;
+  push_expectations_(it->second);
+  open_round_(it->second);
+}
+
+void DisseminationAgent::open_round_(TaskState& ts) {
+  const std::int64_t k = ts.next_epoch;
+  ts.round_timer = std::make_unique<sim::Timer>(sim_);
+  if (self_ == tree_.root()) {
+    // Generate this round's message at the epoch start and pace it out.
+    ts.round_timer->arm_at(ts.task.epoch_start(k), [this, &ts, k] {
+      ++stats_.generated;
+      if (delivery_) delivery_(ts.task, k, sim_.now());
+      forward_(ts, k);
+      ts.next_epoch = k + 1;
+      push_expectations_(ts);
+      open_round_(ts);
+    });
+    return;
+  }
+  // Interior/leaf: listen from r(k); give the message up for lost after the
+  // timeout so the schedule (and the radio) can move on.
+  ts.round_timer->arm_at(expected_receive(ts.task, k) + params_.loss_timeout,
+                         [this, &ts, k] {
+                           ++stats_.missed_rounds;
+                           ts.next_epoch = k + 1;
+                           push_expectations_(ts);
+                           open_round_(ts);
+                         });
+}
+
+void DisseminationAgent::forward_(TaskState& ts, std::int64_t k) {
+  const auto& children = tree_.children(self_);
+  if (children.empty()) return;
+  const util::Time send_at = std::max(sim_.now(), expected_send(ts.task, k));
+  // Keep the radio's schedule pinned to the pending submission.
+  if (sink_) sink_->update_next_send(ts.task.id, send_at);
+  ts.send_timer = std::make_unique<sim::Timer>(sim_);
+  ts.send_timer->arm_at(send_at, [this, &ts, k] {
+    for (net::NodeId c : tree_.children(self_)) {
+      net::DisseminationHeader h;
+      h.task = ts.task.id;
+      h.epoch = k;
+      h.origin = tree_.root();
+      mac_.send(net::make_dissemination_packet(self_, c, h));
+      ++stats_.forwarded;
+    }
+    // Submission done: the next wake-for-send is the following round's
+    // (ts.next_epoch has already advanced past k by now).
+    if (sink_) {
+      sink_->update_next_send(ts.task.id, expected_send(ts.task, ts.next_epoch));
+    }
+  });
+}
+
+void DisseminationAgent::handle_packet(const net::Packet& p) {
+  if (p.type != net::PacketType::kDissemination) return;
+  const net::DisseminationHeader& h = p.dissemination();
+  auto it = tasks_.find(h.task);
+  if (it == tasks_.end()) return;
+  TaskState& ts = it->second;
+  ++stats_.received;
+  if (delivery_) delivery_(ts.task, h.epoch, sim_.now());
+
+  if (h.epoch < ts.next_epoch) {
+    // A round we already gave up on (or a duplicate): relay it immediately —
+    // data still spreads, just unshaped — without touching the schedule.
+    ++stats_.late_rounds;
+    forward_(ts, h.epoch);
+    return;
+  }
+  if (sim_.now() > expected_send(ts.task, h.epoch)) ++stats_.late_rounds;
+  ts.round_timer.reset();  // cancel the loss timeout
+  forward_(ts, h.epoch);
+  ts.next_epoch = h.epoch + 1;
+  push_expectations_(ts);
+  open_round_(ts);
+}
+
+}  // namespace essat::core

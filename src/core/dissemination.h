@@ -1,0 +1,106 @@
+// Data dissemination under ESSAT — the extension the paper sketches in §3
+// ("ESSAT can also be extended to support other communication patterns such
+// as peer-to-peer communication or data dissemination").
+//
+// A dissemination task is the mirror image of a query: the root generates a
+// message every period P starting at φ, and it travels *down* the routing
+// tree. Traffic shaping works level-wise like STS, top-down:
+//
+//   s(task, k) at a node of level v  =  φ + kP + l * v
+//   r(task, k)                       =  parent's s(task,k) = φ + kP + l*(v-1)
+//
+// with l the per-level pacing slice. A node wakes at r(k) to receive from
+// its parent, buffers the message until its own s(k), forwards one unicast
+// copy per child, and sleeps — the same Safe Sleep machinery as queries,
+// driven through the same ExpectedTimeSink interface. Late messages are
+// forwarded immediately; a missed round (loss) times out and the schedule
+// advances so the node never waits forever.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "src/mac/csma.h"
+#include "src/net/packet.h"
+#include "src/query/traffic_shaper.h"
+#include "src/routing/tree.h"
+#include "src/sim/timer.h"
+
+namespace essat::core {
+
+// A periodic root-to-leaves dissemination stream.
+struct DisseminationTask {
+  net::QueryId id = net::kNoQuery;  // shares the query id space
+  util::Time period;                // P
+  util::Time phase;                 // φ: epoch-0 generation time at the root
+
+  util::Time epoch_start(std::int64_t k) const { return phase + period * k; }
+};
+
+struct DisseminationParams {
+  // Per-level pacing slice l. Zero means forward immediately (NTS-like).
+  util::Time level_slice = util::Time::from_milliseconds(20.0);
+  // How long past r(k) to keep listening before declaring the round lost.
+  util::Time loss_timeout = util::Time::from_milliseconds(100.0);
+};
+
+struct DisseminationStats {
+  std::uint64_t generated = 0;  // root only
+  std::uint64_t received = 0;
+  std::uint64_t forwarded = 0;  // unicast copies to children
+  std::uint64_t missed_rounds = 0;
+  std::uint64_t late_rounds = 0;  // received after s(k)
+};
+
+class DisseminationAgent {
+ public:
+  // `sink` (Safe Sleep) may be null. The tree is shared, as for queries.
+  DisseminationAgent(sim::Simulator& sim, mac::CsmaMac& mac,
+                     const routing::Tree& tree, net::NodeId self,
+                     DisseminationParams params = {},
+                     query::ExpectedTimeSink* sink = nullptr);
+
+  void register_task(const DisseminationTask& task);
+
+  // Feed kDissemination packets addressed to this node.
+  void handle_packet(const net::Packet& p);
+
+  // Fired on every node when a round's message arrives (or is generated at
+  // the root): (task, epoch, arrival time).
+  using DeliveryHook =
+      std::function<void(const DisseminationTask&, std::int64_t, util::Time)>;
+  void set_delivery_hook(DeliveryHook hook) { delivery_ = std::move(hook); }
+
+  // Expected forward time s(task,k) at this node's level.
+  util::Time expected_send(const DisseminationTask& task, std::int64_t k) const;
+  // Expected reception time r(task,k) (= the parent's expected send).
+  util::Time expected_receive(const DisseminationTask& task, std::int64_t k) const;
+
+  const DisseminationStats& stats() const { return stats_; }
+
+ private:
+  struct TaskState {
+    DisseminationTask task;
+    std::int64_t next_epoch = 0;
+    std::unique_ptr<sim::Timer> round_timer;  // generation (root) / loss timeout
+    std::unique_ptr<sim::Timer> send_timer;   // buffered forward
+  };
+
+  void open_round_(TaskState& ts);
+  void forward_(TaskState& ts, std::int64_t k);
+  void push_expectations_(const TaskState& ts);
+
+  sim::Simulator& sim_;
+  mac::CsmaMac& mac_;
+  const routing::Tree& tree_;
+  net::NodeId self_;
+  DisseminationParams params_;
+  query::ExpectedTimeSink* sink_;
+  std::map<net::QueryId, TaskState> tasks_;
+  DeliveryHook delivery_;
+  DisseminationStats stats_;
+};
+
+}  // namespace essat::core

@@ -1,0 +1,130 @@
+#include "src/core/dts.h"
+
+#include <algorithm>
+
+namespace essat::core {
+
+void DtsShaper::register_query(const query::Query& q) {
+  // s(0) = r(0) = φ, "similarly to NTS" (§4.2.3).
+  send_[q.id] = Expectation{0, q.phase};
+  if (ctx_.sink) ctx_.sink->update_next_send(q.id, q.phase);
+  if (ctx_.tree) {
+    for (net::NodeId c : ctx_.tree->children(ctx_.self)) {
+      receive_[{q.id, c}] = Expectation{0, q.phase};
+      if (ctx_.sink) ctx_.sink->update_next_receive(q.id, c, q.phase);
+    }
+  }
+}
+
+query::TrafficShaper::SendPlan DtsShaper::plan_send(const query::Query& q,
+                                                    std::int64_t k,
+                                                    util::Time ready) {
+  const auto& e = send_.at(q.id);
+  const util::Time s_k = send_time_(q, e, k);
+  SendPlan plan;
+  plan.send_at = std::max(ready, s_k);
+  const bool shifted = plan.send_at > s_k;
+  if (shifted) ++phase_shifts_;
+  if (shifted || force_advertise_.count(q.id) != 0) {
+    // Advertise s(k+1) so the parent can follow the new phase.
+    plan.phase_update = plan.send_at + q.period;
+    ++phase_updates_;
+    force_advertise_.erase(q.id);
+  }
+  // Wake for the scheduled submission.
+  if (ctx_.sink) ctx_.sink->update_next_send(q.id, plan.send_at);
+  return plan;
+}
+
+void DtsShaper::on_report_sent(const query::Query& q, std::int64_t k, util::Time sent) {
+  // s(k+1) = s(k) + P when on time, t + P after a phase shift; both equal
+  // sent + P because an on-time report goes out exactly at s(k).
+  auto& e = send_[q.id];
+  if (k + 1 > e.epoch) {
+    e = Expectation{k + 1, sent + q.period};
+    if (ctx_.sink) ctx_.sink->update_next_send(q.id, e.at);
+  }
+}
+
+void DtsShaper::on_report_received(const query::Query& q, std::int64_t k,
+                                   net::NodeId child,
+                                   const std::optional<util::Time>& phase_update) {
+  auto it = receive_.find({q.id, child});
+  if (it == receive_.end()) return;  // not (or no longer) our child
+  auto& e = it->second;
+  const std::int64_t target = k + 1;
+  if (phase_update.has_value()) {
+    // The child's advertised s(k+1) is authoritative, even when a timeout
+    // already advanced the epoch (late report after a deadline).
+    e.at = *phase_update + q.period * (std::max(e.epoch, target) - target);
+    e.epoch = std::max(e.epoch, target);
+  } else if (target > e.epoch) {
+    e.at += q.period * (target - e.epoch);
+    e.epoch = target;
+  } else {
+    return;  // stale duplicate
+  }
+  if (ctx_.sink) ctx_.sink->update_next_receive(q.id, child, e.at);
+}
+
+void DtsShaper::on_child_timeout(const query::Query& q, std::int64_t k,
+                                 net::NodeId child) {
+  auto it = receive_.find({q.id, child});
+  if (it == receive_.end()) return;
+  auto& e = it->second;
+  const std::int64_t target = k + 1;
+  if (target > e.epoch) {
+    e.at += q.period * (target - e.epoch);
+    e.epoch = target;
+    if (ctx_.sink) ctx_.sink->update_next_receive(q.id, child, e.at);
+  }
+}
+
+util::Time DtsShaper::aggregation_deadline(const query::Query& q, std::int64_t k) const {
+  // max_c r(k,c) + t_TO (§4.3): collection time depends on the one-hop
+  // delay once phases have adapted.
+  util::Time latest = q.epoch_start(k);
+  for (const auto& [key, e] : receive_) {
+    if (key.first != q.id) continue;
+    latest = std::max(latest, send_time_(q, e, k));
+  }
+  return latest + params_.t_to;
+}
+
+util::Time DtsShaper::expected_send(const query::Query& q, std::int64_t k) const {
+  const auto it = send_.find(q.id);
+  if (it == send_.end()) return q.epoch_start(k);
+  return send_time_(q, it->second, k);
+}
+
+util::Time DtsShaper::expected_receive(const query::Query& q, std::int64_t k,
+                                       net::NodeId child) const {
+  const auto it = receive_.find({q.id, child});
+  if (it == receive_.end()) return q.epoch_start(k);
+  return send_time_(q, it->second, k);
+}
+
+void DtsShaper::on_parent_changed(const query::Query& q) {
+  // "The expected send and reception times are synchronized through one
+  // phase update when the node sends its first data report to the new
+  // parent" (§4.3).
+  force_advertise_.insert(q.id);
+}
+
+void DtsShaper::on_child_added(const query::Query& q, net::NodeId child) {
+  // Until the child's first (force-advertised) report arrives, expect it at
+  // our current send pace.
+  const auto s = send_.find(q.id);
+  const Expectation e = s != send_.end() ? s->second : Expectation{0, q.phase};
+  receive_[{q.id, child}] = e;
+  if (ctx_.sink) ctx_.sink->update_next_receive(q.id, child, e.at);
+}
+
+void DtsShaper::on_child_removed(const query::Query& q, net::NodeId child) {
+  receive_.erase({q.id, child});
+  query::TrafficShaper::on_child_removed(q, child);
+}
+
+void DtsShaper::on_phase_request(net::QueryId q) { force_advertise_.insert(q); }
+
+}  // namespace essat::core

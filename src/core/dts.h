@@ -1,0 +1,85 @@
+// DTS — Dynamic Traffic Shaper (§4.2.3).
+//
+// DTS adapts expected send/reception times to the observed multi-hop delay,
+// in the style of the Release Guard protocol:
+//
+//   s(0) = r(0) = φ
+//   report ready before s(k):  send at s(k),  s(k+1) = s(k) + P
+//                              (parent infers r(k+1) = r(k) + P, no traffic)
+//   report ready at t > s(k):  send now,      s(k+1) = t + P   — phase shift:
+//                              s(k+1) is piggybacked in the report and
+//                              becomes the parent's r(k+1,c)
+//
+// Phase updates ride existing data reports, so the overhead is a fraction
+// of a bit per report on average (§4.2.3 measures < 1 bit/report). On
+// transient loss the parent detects a sequence gap and requests a phase
+// update; on reparenting the child advertises its phase in the first report
+// to the new parent (§4.3) — DTS needs no other topology-repair mechanism.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "src/query/traffic_shaper.h"
+
+namespace essat::core {
+
+struct DtsParams {
+  // Loss-timeout margin t_TO added to max_c r(k,c) (§4.3, "the time it
+  // takes a node to collect data from its children usually depends on the
+  // one-hop delay" — t_TO is "a tunable parameter"). It must cover
+  // T_collect under epoch-synchronized contention; phase shifts only track
+  // *submission* lateness, so MAC collection delay is absorbed here.
+  util::Time t_to = util::Time::from_milliseconds(100.0);
+};
+
+class DtsShaper final : public query::TrafficShaper {
+ public:
+  explicit DtsShaper(DtsParams params = {}) : params_{params} {}
+
+  const char* name() const override { return "DTS"; }
+
+  void register_query(const query::Query& q) override;
+  SendPlan plan_send(const query::Query& q, std::int64_t k, util::Time ready) override;
+  void on_report_sent(const query::Query& q, std::int64_t k, util::Time sent) override;
+  void on_report_received(const query::Query& q, std::int64_t k, net::NodeId child,
+                          const std::optional<util::Time>& phase_update) override;
+  void on_child_timeout(const query::Query& q, std::int64_t k, net::NodeId child) override;
+  util::Time aggregation_deadline(const query::Query& q, std::int64_t k) const override;
+  util::Time expected_send(const query::Query& q, std::int64_t k) const override;
+  util::Time expected_receive(const query::Query& q, std::int64_t k,
+                              net::NodeId child) const override;
+
+  void on_parent_changed(const query::Query& q) override;
+  void on_child_added(const query::Query& q, net::NodeId child) override;
+  void on_child_removed(const query::Query& q, net::NodeId child) override;
+  void on_phase_request(net::QueryId q) override;
+  bool wants_phase_request_on_loss() const override { return true; }
+
+  std::uint64_t phase_updates_sent() const override { return phase_updates_; }
+  std::uint64_t phase_shifts() const { return phase_shifts_; }
+
+ private:
+  // Next expected epoch and its expected time; times for later epochs
+  // extrapolate by whole periods.
+  struct Expectation {
+    std::int64_t epoch = 0;
+    util::Time at;
+  };
+
+  util::Time send_time_(const query::Query& q, const Expectation& e,
+                        std::int64_t k) const {
+    return e.at + q.period * (k - e.epoch);
+  }
+
+  DtsParams params_;
+  std::map<net::QueryId, Expectation> send_;                              // s
+  std::map<std::pair<net::QueryId, net::NodeId>, Expectation> receive_;  // r per child
+  std::set<net::QueryId> force_advertise_;  // resync / new parent (§4.3)
+  std::uint64_t phase_updates_ = 0;
+  std::uint64_t phase_shifts_ = 0;
+};
+
+}  // namespace essat::core

@@ -1,0 +1,102 @@
+#include "src/core/formula_shaper.h"
+
+#include <algorithm>
+
+namespace essat::core {
+
+void FormulaShaper::register_query(const query::Query& q) {
+  next_send_epoch_[q.id] = 0;
+  push_send_(q);
+  if (ctx_.tree) {
+    for (net::NodeId c : ctx_.tree->children(ctx_.self)) {
+      next_recv_epoch_[{q.id, c}] = 0;
+      push_recv_(q, c);
+    }
+  }
+}
+
+query::TrafficShaper::SendPlan FormulaShaper::plan_send(const query::Query& q,
+                                                        std::int64_t k,
+                                                        util::Time ready) {
+  // "If a data report is generated before its expected send time s(k) it is
+  // buffered until that time. If the data report is late, then the node
+  // sends it immediately." (§4.2.2; NTS degenerates to send-immediately
+  // because s(k) = φ + kP <= ready always.)
+  return SendPlan{std::max(ready, send_formula(q, k)), std::nullopt};
+}
+
+void FormulaShaper::on_report_sent(const query::Query& q, std::int64_t k,
+                                   util::Time /*sent*/) {
+  auto& next = next_send_epoch_[q.id];
+  next = std::max(next, k + 1);
+  push_send_(q);
+}
+
+void FormulaShaper::advance_recv_(const query::Query& q, std::int64_t k,
+                                  net::NodeId child) {
+  auto& next = next_recv_epoch_[{q.id, child}];
+  next = std::max(next, k + 1);
+  push_recv_(q, child);
+}
+
+void FormulaShaper::on_report_received(const query::Query& q, std::int64_t k,
+                                       net::NodeId child,
+                                       const std::optional<util::Time>& /*phase_update*/) {
+  advance_recv_(q, k, child);
+}
+
+void FormulaShaper::on_child_timeout(const query::Query& q, std::int64_t k,
+                                     net::NodeId child) {
+  advance_recv_(q, k, child);
+}
+
+void FormulaShaper::on_rank_changed(const query::Query& q) {
+  // The formulas read the current rank from the tree; only the already
+  // pushed sink entries are stale. Re-push at the current epochs ("when the
+  // rank changes, the considered node and its descendants must recompute
+  // s(k) and r(k)", §4.3).
+  push_send_(q);
+  for (auto& [key, epoch] : next_recv_epoch_) {
+    if (key.first == q.id) push_recv_(q, key.second);
+  }
+}
+
+void FormulaShaper::on_child_added(const query::Query& q, net::NodeId child) {
+  auto [it, inserted] = next_recv_epoch_.try_emplace({q.id, child}, 0);
+  if (inserted) {
+    // Start the new child at our own send progress: its first report under
+    // us will be for roughly the current epoch.
+    it->second = next_send_epoch(q.id);
+  }
+  push_recv_(q, child);
+}
+
+void FormulaShaper::on_child_removed(const query::Query& q, net::NodeId child) {
+  next_recv_epoch_.erase({q.id, child});
+  query::TrafficShaper::on_child_removed(q, child);  // sink erase
+}
+
+std::int64_t FormulaShaper::next_send_epoch(net::QueryId q) const {
+  const auto it = next_send_epoch_.find(q);
+  return it == next_send_epoch_.end() ? 0 : it->second;
+}
+
+std::int64_t FormulaShaper::next_recv_epoch(net::QueryId q, net::NodeId child) const {
+  const auto it = next_recv_epoch_.find({q, child});
+  return it == next_recv_epoch_.end() ? 0 : it->second;
+}
+
+void FormulaShaper::push_send_(const query::Query& q) {
+  if (ctx_.sink) {
+    ctx_.sink->update_next_send(q.id, send_formula(q, next_send_epoch(q.id)));
+  }
+}
+
+void FormulaShaper::push_recv_(const query::Query& q, net::NodeId child) {
+  if (ctx_.sink) {
+    ctx_.sink->update_next_receive(q.id, child,
+                                   recv_formula(q, next_recv_epoch(q.id, child), child));
+  }
+}
+
+}  // namespace essat::core

@@ -1,0 +1,55 @@
+// Shared machinery for shapers whose expected send/reception times are
+// closed-form functions of the epoch (NTS and STS). Derived classes supply
+// the formulas; this base keeps per-query/per-child epoch counters, pushes
+// updates into the ExpectedTimeSink, and handles maintenance hooks.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "src/query/traffic_shaper.h"
+
+namespace essat::core {
+
+class FormulaShaper : public query::TrafficShaper {
+ public:
+  void register_query(const query::Query& q) override;
+  SendPlan plan_send(const query::Query& q, std::int64_t k, util::Time ready) override;
+  void on_report_sent(const query::Query& q, std::int64_t k, util::Time sent) override;
+  void on_report_received(const query::Query& q, std::int64_t k, net::NodeId child,
+                          const std::optional<util::Time>& phase_update) override;
+  void on_child_timeout(const query::Query& q, std::int64_t k, net::NodeId child) override;
+
+  util::Time expected_send(const query::Query& q, std::int64_t k) const override {
+    return send_formula(q, k);
+  }
+  util::Time expected_receive(const query::Query& q, std::int64_t k,
+                              net::NodeId child) const override {
+    return recv_formula(q, k, child);
+  }
+
+  // Rank changes alter the formulas (for STS); re-push current expectations.
+  void on_rank_changed(const query::Query& q) override;
+  void on_child_added(const query::Query& q, net::NodeId child) override;
+  void on_child_removed(const query::Query& q, net::NodeId child) override;
+
+ protected:
+  // s(q,k) and r(q,k,c).
+  virtual util::Time send_formula(const query::Query& q, std::int64_t k) const = 0;
+  virtual util::Time recv_formula(const query::Query& q, std::int64_t k,
+                                  net::NodeId child) const = 0;
+
+  std::int64_t next_send_epoch(net::QueryId q) const;
+  std::int64_t next_recv_epoch(net::QueryId q, net::NodeId child) const;
+
+ private:
+  void push_send_(const query::Query& q);
+  void push_recv_(const query::Query& q, net::NodeId child);
+  void advance_recv_(const query::Query& q, std::int64_t k, net::NodeId child);
+
+  std::map<net::QueryId, std::int64_t> next_send_epoch_;
+  std::map<std::pair<net::QueryId, net::NodeId>, std::int64_t> next_recv_epoch_;
+};
+
+}  // namespace essat::core

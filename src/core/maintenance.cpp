@@ -1,0 +1,80 @@
+#include "src/core/maintenance.h"
+
+namespace essat::core {
+
+MaintenanceService::MaintenanceService(routing::RepairService& repair,
+                                       MaintenanceParams params)
+    : repair_{repair}, params_{params} {}
+
+void MaintenanceService::attach_agent(net::NodeId node, query::QueryAgent* agent) {
+  agents_[node] = agent;
+  agent->set_send_result_hook([this, node](net::NodeId parent, bool ok) {
+    if (ok) {
+      note_send_success(node);
+    } else {
+      note_send_failure(node, parent);
+    }
+  });
+  agent->set_child_miss_hook(
+      [this, node](net::NodeId child, std::int64_t) { note_child_miss(node, child); });
+  agent->set_child_heard_hook(
+      [this, node](net::NodeId child) { note_child_heard(node, child); });
+}
+
+void MaintenanceService::set_alive_predicate(std::function<bool(net::NodeId)> alive) {
+  alive_ = std::move(alive);
+}
+
+routing::RepairService::Hooks MaintenanceService::make_repair_hooks() {
+  routing::RepairService::Hooks hooks;
+  hooks.on_rank_changed = [this](net::NodeId n) {
+    if (auto it = agents_.find(n); it != agents_.end()) it->second->rank_changed();
+  };
+  hooks.on_child_removed = [this](net::NodeId parent, net::NodeId child) {
+    if (auto it = agents_.find(parent); it != agents_.end()) {
+      it->second->child_removed(child);
+    }
+  };
+  hooks.on_parent_changed = [this](net::NodeId child, net::NodeId new_parent) {
+    if (auto it = agents_.find(child); it != agents_.end()) {
+      it->second->parent_changed();
+    }
+    if (auto it = agents_.find(new_parent); it != agents_.end()) {
+      it->second->child_added(child);
+    }
+  };
+  return hooks;
+}
+
+void MaintenanceService::note_send_failure(net::NodeId node, net::NodeId parent) {
+  const int count = ++consecutive_send_failures_[node];
+  if (count < params_.parent_failure_threshold) return;
+  consecutive_send_failures_[node] = 0;
+  // The parent is unreachable: re-attach under a live neighbor. The dead
+  // parent's own subtree entry is cleaned up by its parent's child-miss
+  // path (or by this node's reparent if it was the last child).
+  if (repair_.reparent(node, alive_ ? alive_ : [](net::NodeId) { return true; })) {
+    ++reparents_;
+    (void)parent;
+  }
+}
+
+void MaintenanceService::note_send_success(net::NodeId node) {
+  consecutive_send_failures_[node] = 0;
+}
+
+void MaintenanceService::note_child_miss(net::NodeId node, net::NodeId child) {
+  const int count = ++consecutive_child_misses_[{node, child}];
+  if (count < params_.child_miss_threshold) return;
+  consecutive_child_misses_.erase({node, child});
+  // Declare the child dead; the repair service orphans its subtree and
+  // re-attaches survivors, firing the agent hooks along the way.
+  repair_.remove_failed_node(child, alive_ ? alive_ : [](net::NodeId) { return true; });
+  ++child_removals_;
+}
+
+void MaintenanceService::note_child_heard(net::NodeId node, net::NodeId child) {
+  consecutive_child_misses_[{node, child}] = 0;
+}
+
+}  // namespace essat::core

@@ -1,0 +1,67 @@
+// Protocol maintenance (§4.3): failure detection and recovery glue between
+// the query agents, the traffic shapers and the routing repair service.
+//
+//  * "A node discovers that it is the parent of a failed node if one of its
+//    children repeatedly fails to deliver its data report" — counted via
+//    the agents' child-miss hook.
+//  * "A node discovers that it is the child of a failed node if it
+//    repeatedly fails to transmit its data report to its parent" — counted
+//    via the agents' send-failure hook.
+//
+// On detection, the routing layer repairs the tree; affected agents and
+// shapers are notified (STS recomputes rank-based schedules, DTS advertises
+// a phase update on its first report to the new parent, NTS needs nothing).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/query/query_agent.h"
+#include "src/routing/repair.h"
+#include "src/routing/tree.h"
+
+namespace essat::core {
+
+struct MaintenanceParams {
+  // Consecutive MAC send failures to the parent before declaring it dead.
+  int parent_failure_threshold = 3;
+  // Consecutive missed epochs before declaring a child dead.
+  int child_miss_threshold = 5;
+};
+
+class MaintenanceService {
+ public:
+  MaintenanceService(routing::RepairService& repair, MaintenanceParams params);
+
+  // Register a node's agent; installs the failure hooks. `alive` reports
+  // whether a node is still up (radio not failed).
+  void attach_agent(net::NodeId node, query::QueryAgent* agent);
+  void set_alive_predicate(std::function<bool(net::NodeId)> alive);
+
+  // Repair-service hooks, to be installed on the RepairService this object
+  // was constructed with (done by the owner to keep wiring explicit).
+  routing::RepairService::Hooks make_repair_hooks();
+
+  // Failure signals (also callable directly from tests).
+  void note_send_failure(net::NodeId node, net::NodeId parent);
+  void note_send_success(net::NodeId node);
+  void note_child_miss(net::NodeId node, net::NodeId child);
+  void note_child_heard(net::NodeId node, net::NodeId child);
+
+  std::uint64_t reparents() const { return reparents_; }
+  std::uint64_t child_removals() const { return child_removals_; }
+
+ private:
+  routing::RepairService& repair_;
+  MaintenanceParams params_;
+  std::map<net::NodeId, query::QueryAgent*> agents_;
+  std::function<bool(net::NodeId)> alive_;
+  std::map<net::NodeId, int> consecutive_send_failures_;
+  std::map<std::pair<net::NodeId, net::NodeId>, int> consecutive_child_misses_;
+  std::uint64_t reparents_ = 0;
+  std::uint64_t child_removals_ = 0;
+};
+
+}  // namespace essat::core

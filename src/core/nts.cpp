@@ -1,0 +1,17 @@
+#include "src/core/nts.h"
+
+#include <algorithm>
+
+namespace essat::core {
+
+util::Time NtsShaper::aggregation_deadline(const query::Query& q, std::int64_t k) const {
+  if (params_.full_period_deadline) {
+    return q.epoch_start(k) + q.period * params_.deadline_periods;
+  }
+  // t_TO(d) = (d+1) * D/M with D = P (§4.3).
+  const int m = std::max(ctx().tree ? ctx().tree->max_rank() : 1, 1);
+  const int d = ctx().tree ? std::max(ctx().tree->rank(ctx().self), 0) : 0;
+  return q.epoch_start(k) + (q.period * (d + 1)) / m;
+}
+
+}  // namespace essat::core

@@ -1,0 +1,45 @@
+// NTS — No Traffic Shaping (§4.2.1).
+//
+// Safe Sleep runs on the raw periodicity of the sources: every node shares
+// the same expected send and reception times s(k) = r(k) = φ + kP, and a
+// node forwards its aggregate immediately once its children's reports are
+// in. NTS-SS introduces no delay penalty, but Trecv grows linearly with a
+// node's rank (Eq. 1), so nodes near the root burn energy idling.
+#pragma once
+
+#include "src/core/formula_shaper.h"
+
+namespace essat::core {
+
+struct NtsParams {
+  // When true, the aggregation deadline is `deadline_periods` after the
+  // epoch start instead of the paper's rank-based timeout
+  // t_TO(d) = (d+1) * D/M with D = P. Baselines (SYNC/PSM) use the generous
+  // variant: their per-hop buffering delays far exceed rank-based budgets,
+  // and timing out too eagerly bypasses in-network aggregation (every late
+  // report then travels unaggregated, multiplying the offered load).
+  bool full_period_deadline = false;
+  double deadline_periods = 1.0;
+};
+
+class NtsShaper final : public FormulaShaper {
+ public:
+  explicit NtsShaper(NtsParams params = {}) : params_{params} {}
+
+  const char* name() const override { return "NTS"; }
+  util::Time aggregation_deadline(const query::Query& q, std::int64_t k) const override;
+
+ protected:
+  util::Time send_formula(const query::Query& q, std::int64_t k) const override {
+    return q.epoch_start(k);
+  }
+  util::Time recv_formula(const query::Query& q, std::int64_t k,
+                          net::NodeId /*child*/) const override {
+    return q.epoch_start(k);
+  }
+
+ private:
+  NtsParams params_;
+};
+
+}  // namespace essat::core

@@ -1,0 +1,34 @@
+#include "src/core/sts.h"
+
+#include <algorithm>
+
+namespace essat::core {
+
+util::Time StsShaper::local_deadline(const query::Query& q) const {
+  const util::Time d = params_.deadline.value_or(q.period);
+  const int m = std::max(ctx().tree ? ctx().tree->max_rank() : 1, 1);
+  return d / m;
+}
+
+util::Time StsShaper::send_formula(const query::Query& q, std::int64_t k) const {
+  const int d = ctx().tree ? std::max(ctx().tree->rank(ctx().self), 0) : 0;
+  return q.epoch_start(k) + local_deadline(q) * d;
+}
+
+util::Time StsShaper::recv_formula(const query::Query& q, std::int64_t k,
+                                   net::NodeId child) const {
+  // "The traffic shapers always set the expected reception time of a
+  // child's data report to be the same as the child's expected send time"
+  // (§4.1) — so r depends on the *child's* rank, not d-1.
+  const int dc = ctx().tree ? std::max(ctx().tree->rank(child), 0) : 0;
+  return q.epoch_start(k) + local_deadline(q) * dc;
+}
+
+util::Time StsShaper::aggregation_deadline(const query::Query& q, std::int64_t k) const {
+  const util::Time s_k = send_formula(q, k);
+  const util::Time paper_cutoff = s_k + local_deadline(q) - params_.t_to;
+  const util::Time loss_floor = s_k + q.period * params_.loss_floor_periods;
+  return std::max({s_k, paper_cutoff, loss_floor});
+}
+
+}  // namespace essat::core

@@ -1,0 +1,55 @@
+// STS — Static Traffic Shaper (§4.2.2).
+//
+// STS paces a report's multi-hop journey across a deadline D by allocating
+// the same slice l = D/M to every rank:
+//
+//   r(q,k,c) = φ + kP + l * d_c     (child c's expected send time)
+//   s(q,k)   = φ + kP + l * d       (this node's expected send time)
+//
+// where d is the node's rank and M the tree's maximum rank. Early reports
+// are buffered until s(k); late ones go out immediately. The choice of l
+// trades energy for latency (Eq. 2/3): the knee sits at l = T_agg, which is
+// hard to estimate — the motivation for DTS.
+#pragma once
+
+#include <optional>
+
+#include "src/core/formula_shaper.h"
+
+namespace essat::core {
+
+struct StsParams {
+  // Query deadline D; defaults to the query period (the paper's main
+  // experiments set "STS-SS's deadline equal to its period"; Fig. 2 sweeps
+  // an explicit D).
+  std::optional<util::Time> deadline;
+  // Loss-timeout constant t_TO in the paper's s(k) + l - t_TO (§4.3).
+  util::Time t_to = util::Time::from_milliseconds(10.0);
+  // Floor that keeps the aggregation cutoff from firing during normal
+  // (merely late) operation when l < T_agg: the timeout is for *lost*
+  // reports, late ones are sent immediately on arrival. The paper leaves
+  // this balance unspecified ("a detailed discussion is omitted"); we wait
+  // at least one period past s(k).
+  double loss_floor_periods = 1.0;
+};
+
+class StsShaper final : public FormulaShaper {
+ public:
+  explicit StsShaper(StsParams params = {}) : params_{params} {}
+
+  const char* name() const override { return "STS"; }
+  util::Time aggregation_deadline(const query::Query& q, std::int64_t k) const override;
+
+  // Local deadline l = D/M for the given query.
+  util::Time local_deadline(const query::Query& q) const;
+
+ protected:
+  util::Time send_formula(const query::Query& q, std::int64_t k) const override;
+  util::Time recv_formula(const query::Query& q, std::int64_t k,
+                          net::NodeId child) const override;
+
+ private:
+  StsParams params_;
+};
+
+}  // namespace essat::core

@@ -1,0 +1,156 @@
+#include "src/energy/radio.h"
+
+#include "src/util/logging.h"
+
+namespace essat::energy {
+
+Radio::Radio(sim::Simulator& sim, RadioParams params)
+    : sim_{sim},
+      params_{params},
+      transition_timer_{sim},
+      window_start_{sim.now()},
+      segment_start_{sim.now()} {}
+
+void Radio::add_state_observer(std::function<void(RadioState)> observer) {
+  observers_.push_back(std::move(observer));
+}
+
+double Radio::current_power_mw_() const {
+  switch (state_) {
+    case RadioState::kOff:
+      return params_.p_off_mw;
+    case RadioState::kTurningOn:
+    case RadioState::kTurningOff:
+      return params_.p_transition_mw;
+    case RadioState::kOn:
+      if (tx_active_) return params_.p_tx_mw;
+      if (rx_active_) return params_.p_rx_mw;
+      return params_.p_idle_mw;
+  }
+  return 0.0;
+}
+
+void Radio::account_to_now_() {
+  const util::Time now = sim_.now();
+  const util::Time dt = now - segment_start_;
+  if (dt > util::Time::zero()) {
+    if (state_ == RadioState::kOff) {
+      off_accum_ += dt;
+    } else {
+      on_accum_ += dt;
+    }
+    energy_mj_ += current_power_mw_() * dt.to_seconds();
+  }
+  segment_start_ = now;
+}
+
+void Radio::enter_(RadioState next) {
+  account_to_now_();
+  const RadioState prev = state_;
+  state_ = next;
+
+  // Sleep-interval bookkeeping: an OFF interval spans entering OFF to
+  // leaving OFF.
+  if (next == RadioState::kOff) {
+    off_enter_time_ = sim_.now();
+    in_off_interval_ = true;
+  } else if (prev == RadioState::kOff && in_off_interval_) {
+    if (off_enter_time_ >= window_start_) {
+      sleep_intervals_.push_back((sim_.now() - off_enter_time_).to_seconds());
+    }
+    in_off_interval_ = false;
+  }
+
+  for (const auto& obs : observers_) obs(next);
+}
+
+void Radio::turn_on() {
+  if (failed_) return;
+  switch (state_) {
+    case RadioState::kOn:
+    case RadioState::kTurningOn:
+      return;
+    case RadioState::kTurningOff:
+      pending_on_ = true;
+      return;
+    case RadioState::kOff:
+      enter_(RadioState::kTurningOn);
+      transition_timer_.arm_in(params_.t_off_on, [this] {
+        if (failed_) return;
+        enter_(RadioState::kOn);
+      });
+      return;
+  }
+}
+
+void Radio::turn_off() {
+  if (failed_) return;
+  if (state_ != RadioState::kOn) {
+    ESSAT_DEBUG("radio: turn_off ignored in state %d", static_cast<int>(state_));
+    return;
+  }
+  enter_(RadioState::kTurningOff);
+  transition_timer_.arm_in(params_.t_on_off, [this] {
+    if (failed_) return;
+    enter_(RadioState::kOff);
+    if (pending_on_) {
+      pending_on_ = false;
+      turn_on();
+    }
+  });
+}
+
+void Radio::fail() {
+  if (failed_) return;
+  transition_timer_.cancel();
+  pending_on_ = false;
+  enter_(RadioState::kOff);
+  failed_ = true;
+  in_off_interval_ = false;  // dead time is not a sleep interval
+}
+
+void Radio::note_tx(bool active) {
+  account_to_now_();
+  tx_active_ = active;
+}
+
+void Radio::note_rx(bool active) {
+  account_to_now_();
+  rx_active_ = active;
+}
+
+void Radio::begin_measurement() {
+  account_to_now_();
+  window_start_ = sim_.now();
+  off_accum_ = util::Time::zero();
+  on_accum_ = util::Time::zero();
+  energy_mj_ = 0.0;
+  sleep_intervals_.clear();
+  // A sleep interval straddling the window start is counted from the window
+  // start.
+  if (in_off_interval_) off_enter_time_ = sim_.now();
+}
+
+util::Time Radio::active_time() const {
+  const_cast<Radio*>(this)->account_to_now_();
+  return on_accum_;
+}
+
+util::Time Radio::off_time() const {
+  const_cast<Radio*>(this)->account_to_now_();
+  return off_accum_;
+}
+
+double Radio::duty_cycle() const {
+  const util::Time active = active_time();
+  const util::Time total = active + off_time();
+  if (total <= util::Time::zero()) return 0.0;
+  return active / total;
+}
+
+double Radio::energy_mj() const {
+  const_cast<Radio*>(this)->account_to_now_();
+  return energy_mj_;
+}
+
+}  // namespace essat::energy

@@ -1,0 +1,114 @@
+// Radio power-state machine with per-state time/energy accounting.
+//
+// States: OFF <-> (transitions) <-> ON. Transitions take t_OFF_ON / t_ON_OFF
+// (MICA2: ~1.25 ms each way, giving the paper's typical break-even time of
+// 2.5 ms). Duty cycle counts every non-OFF nanosecond as active, transitions
+// included, matching the paper's definition ("percentage of time a node
+// remains active").
+//
+// Safe Sleep's correctness argument (§4.1) rests on two properties exposed
+// here: turn_on() completes exactly t_OFF_ON after it is called, and
+// completed OFF intervals are recorded for the paper's Fig. 8 histogram.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/sim/timer.h"
+#include "src/util/time.h"
+
+namespace essat::energy {
+
+enum class RadioState : std::uint8_t { kOff, kTurningOn, kOn, kTurningOff };
+
+struct RadioParams {
+  util::Time t_off_on = util::Time::from_milliseconds(1.25);
+  util::Time t_on_off = util::Time::from_milliseconds(1.25);
+  // Power draw in milliwatts, loosely CC1000/MICA2-class. Used for the
+  // optional energy-in-millijoules metric; duty cycle does not depend on it.
+  double p_idle_mw = 24.0;
+  double p_rx_mw = 29.0;
+  double p_tx_mw = 42.0;
+  double p_off_mw = 0.003;
+  double p_transition_mw = 24.0;
+
+  // Break-even time: minimum free interval worth sleeping through (§4.1).
+  // When the transition power is no higher than the active power this equals
+  // t_on_off + t_off_on [Benini et al.]; callers may override (Fig. 9 sweeps
+  // T_BE independently of the transition latencies).
+  util::Time break_even() const { return t_off_on + t_on_off; }
+};
+
+class Radio {
+ public:
+  Radio(sim::Simulator& sim, RadioParams params);
+
+  RadioState state() const { return state_; }
+  bool is_on() const { return state_ == RadioState::kOn; }
+  bool is_off() const { return state_ == RadioState::kOff; }
+  bool failed() const { return failed_; }
+  const RadioParams& params() const { return params_; }
+
+  // Begins the OFF -> ON transition; completes after t_off_on. If called
+  // while turning off, the turn-on is queued to start when OFF is reached.
+  // No-op when already on/turning on, or failed.
+  void turn_on();
+  // Begins the ON -> OFF transition; completes after t_on_off. Only legal
+  // from the ON state; calls in other states are ignored.
+  void turn_off();
+  // Permanent node death (failure injection): radio drops to OFF and ignores
+  // all future turn_on() calls.
+  void fail();
+
+  // Observer invoked on every completed state change (new state passed).
+  // Multiple observers are supported (Safe Sleep, MAC, protocols).
+  void add_state_observer(std::function<void(RadioState)> observer);
+
+  // Energy-accounting hints from the MAC: while flagged, ON time is charged
+  // at TX/RX power instead of idle-listen power.
+  void note_tx(bool active);
+  void note_rx(bool active);
+
+  // --- Accounting -------------------------------------------------------
+  // Restarts the measurement window at the current simulation time.
+  void begin_measurement();
+  // Time in the window the radio was not OFF (transitions count as active).
+  util::Time active_time() const;
+  // Time in the window the radio was OFF.
+  util::Time off_time() const;
+  // active / (active + off); 0 if the window is empty.
+  double duty_cycle() const;
+  // Energy spent in the window, in millijoules.
+  double energy_mj() const;
+  // Completed OFF intervals (entering OFF to leaving OFF), seconds, recorded
+  // within the measurement window. Paper Fig. 8.
+  const std::vector<double>& sleep_intervals_s() const { return sleep_intervals_; }
+
+ private:
+  void enter_(RadioState next);
+  void account_to_now_();
+  double current_power_mw_() const;
+
+  sim::Simulator& sim_;
+  RadioParams params_;
+  RadioState state_ = RadioState::kOn;
+  bool failed_ = false;
+  bool pending_on_ = false;  // turn_on() arrived while turning off
+  bool tx_active_ = false;
+  bool rx_active_ = false;
+  sim::Timer transition_timer_;
+  std::vector<std::function<void(RadioState)>> observers_;
+
+  // Accounting state.
+  util::Time window_start_;
+  util::Time segment_start_;       // start of the current (state, tx/rx) segment
+  util::Time off_accum_;
+  util::Time on_accum_;            // everything non-OFF
+  double energy_mj_ = 0.0;
+  util::Time off_enter_time_;      // for sleep-interval recording
+  bool in_off_interval_ = false;
+  std::vector<double> sleep_intervals_;
+};
+
+}  // namespace essat::energy

@@ -1,0 +1,48 @@
+// Umbrella header: the full public API of the ESSAT library.
+//
+// Layering (bottom to top):
+//   util    — time, RNG, statistics
+//   sim     — discrete-event kernel
+//   net     — topology, packets, wireless channel
+//   energy  — radio power-state machine and accounting
+//   mac     — CSMA/CA medium access
+//   routing — routing tree, distributed setup, repair
+//   query   — periodic-query service with in-network aggregation
+//   core    — the paper's contribution: Safe Sleep + NTS/STS/DTS shapers
+//   baselines — SYNC, PSM, SPAN comparison protocols
+//   harness — scenario assembly, metrics, multi-run experiments
+#pragma once
+
+#include "src/baselines/psm.h"
+#include "src/baselines/span.h"
+#include "src/baselines/sync.h"
+#include "src/core/dissemination.h"
+#include "src/core/dts.h"
+#include "src/core/maintenance.h"
+#include "src/core/nts.h"
+#include "src/core/safe_sleep.h"
+#include "src/core/sts.h"
+#include "src/energy/duty_cycle.h"
+#include "src/energy/radio.h"
+#include "src/harness/metrics.h"
+#include "src/harness/runner.h"
+#include "src/harness/scenario.h"
+#include "src/harness/table.h"
+#include "src/mac/csma.h"
+#include "src/net/channel.h"
+#include "src/net/packet.h"
+#include "src/net/topology.h"
+#include "src/query/query.h"
+#include "src/query/query_agent.h"
+#include "src/query/traffic_shaper.h"
+#include "src/query/workload.h"
+#include "src/routing/repair.h"
+#include "src/routing/tree.h"
+#include "src/routing/tree_protocol.h"
+#include "src/sim/simulator.h"
+#include "src/sim/timer.h"
+#include "src/util/histogram.h"
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/time.h"

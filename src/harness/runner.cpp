@@ -1,0 +1,27 @@
+#include "src/harness/runner.h"
+
+namespace essat::harness {
+
+AveragedMetrics run_repeated(ScenarioConfig config, int runs) {
+  AveragedMetrics out;
+  for (int i = 0; i < runs; ++i) {
+    config.seed = config.seed + (i == 0 ? 0 : 1);
+    RunMetrics m = run_scenario(config);
+    out.duty_cycle.add(m.avg_duty_cycle);
+    out.latency_s.add(m.avg_latency_s);
+    out.p95_latency_s.add(m.p95_latency_s);
+    out.delivery_ratio.add(m.delivery_ratio);
+    out.phase_update_bits.add(m.phase_update_bits_per_report);
+    out.mac_send_failures.add(static_cast<double>(m.mac_send_failures));
+    if (m.duty_by_rank.size() > out.duty_by_rank.size()) {
+      out.duty_by_rank.resize(m.duty_by_rank.size());
+    }
+    for (std::size_t r = 0; r < m.duty_by_rank.size(); ++r) {
+      out.duty_by_rank[r].add(m.duty_by_rank[r]);
+    }
+    out.last_run = std::move(m);
+  }
+  return out;
+}
+
+}  // namespace essat::harness

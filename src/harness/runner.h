@@ -1,0 +1,32 @@
+// Multi-run experiment driver: the paper averages each data point over five
+// runs with varied node locations and query start times (§5), reporting 90%
+// confidence intervals.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "src/harness/scenario.h"
+#include "src/util/stats.h"
+
+namespace essat::harness {
+
+struct AveragedMetrics {
+  util::RunningStat duty_cycle;           // fraction, not percent
+  util::RunningStat latency_s;
+  util::RunningStat p95_latency_s;
+  util::RunningStat delivery_ratio;
+  util::RunningStat phase_update_bits;
+  util::RunningStat mac_send_failures;
+  std::vector<util::RunningStat> duty_by_rank;
+  RunMetrics last_run;                    // histograms etc. from the final run
+
+  double duty_ci90() const { return duty_cycle.ci_halfwidth(0.90); }
+  double latency_ci90() const { return latency_s.ci_halfwidth(0.90); }
+};
+
+// Runs `config` with seeds config.seed, config.seed+1, ..., +runs-1 (each
+// seed re-randomizes node placement and query phases, as in the paper).
+AveragedMetrics run_repeated(ScenarioConfig config, int runs);
+
+}  // namespace essat::harness

@@ -1,0 +1,358 @@
+#include "src/harness/scenario.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "src/baselines/psm.h"
+#include "src/baselines/span.h"
+#include "src/baselines/sync.h"
+#include "src/core/dts.h"
+#include "src/core/maintenance.h"
+#include "src/core/nts.h"
+#include "src/core/safe_sleep.h"
+#include "src/core/sts.h"
+#include "src/energy/duty_cycle.h"
+#include "src/mac/csma.h"
+#include "src/net/channel.h"
+#include "src/net/topology.h"
+#include "src/query/query_agent.h"
+#include "src/query/workload.h"
+#include "src/routing/repair.h"
+#include "src/routing/tree.h"
+#include "src/routing/tree_protocol.h"
+#include "src/sim/simulator.h"
+#include "src/util/rng.h"
+
+namespace essat::harness {
+
+const char* protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::kNtsSs: return "NTS-SS";
+    case Protocol::kStsSs: return "STS-SS";
+    case Protocol::kDtsSs: return "DTS-SS";
+    case Protocol::kSync: return "SYNC";
+    case Protocol::kPsm: return "PSM";
+    case Protocol::kSpan: return "SPAN";
+  }
+  return "?";
+}
+
+namespace {
+
+bool is_essat(Protocol p) {
+  return p == Protocol::kNtsSs || p == Protocol::kStsSs || p == Protocol::kDtsSs;
+}
+
+struct NodeStack {
+  std::unique_ptr<energy::Radio> radio;
+  std::unique_ptr<mac::CsmaMac> mac;
+  std::unique_ptr<query::TrafficShaper> shaper;
+  std::unique_ptr<core::SafeSleep> sleeper;
+  std::unique_ptr<query::QueryAgent> agent;
+  std::unique_ptr<baselines::SyncNode> sync;
+  std::unique_ptr<baselines::PsmNode> psm;
+};
+
+}  // namespace
+
+RunMetrics run_scenario(const ScenarioConfig& config) {
+  util::Rng master{config.seed};
+  util::Rng placement_rng = master.fork(1);
+  util::Rng workload_rng = master.fork(2);
+  util::Rng span_rng = master.fork(3);
+  util::Rng setup_rng = master.fork(4);
+
+  const net::Topology topo = net::Topology::uniform_random(
+      static_cast<std::size_t>(config.num_nodes), config.area_m, config.range_m,
+      placement_rng);
+  const net::NodeId root =
+      topo.nearest(net::Position{config.area_m / 2.0, config.area_m / 2.0});
+
+  sim::Simulator sim;
+  net::Channel channel{sim, topo};
+
+  // Radio: transitions t_be/2 each way so that break-even == t_be.
+  energy::RadioParams radio_params;
+  radio_params.t_off_on = config.t_be / 2;
+  radio_params.t_on_off = config.t_be / 2;
+
+  const std::size_t n = topo.num_nodes();
+  std::vector<NodeStack> nodes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto id = static_cast<net::NodeId>(i);
+    nodes[i].radio = std::make_unique<energy::Radio>(sim, radio_params);
+    nodes[i].mac = std::make_unique<mac::CsmaMac>(
+        sim, channel, *nodes[i].radio, id, config.mac_params, master.fork(100 + i));
+  }
+
+  // --- Routing tree -------------------------------------------------------
+  routing::Tree tree{n};
+  std::unique_ptr<routing::TreeSetupProtocol> setup_protocol;
+  if (config.use_distributed_setup) {
+    setup_protocol = std::make_unique<routing::TreeSetupProtocol>(
+        sim, topo, root,
+        routing::TreeSetupParams{.finalize_after = config.setup_duration * 4 / 5,
+                                 .max_dist_from_root = config.max_tree_dist_m},
+        setup_rng);
+    for (std::size_t i = 0; i < n; ++i) {
+      setup_protocol->attach_mac(static_cast<net::NodeId>(i), nodes[i].mac.get());
+    }
+  } else {
+    tree = routing::build_bfs_tree(topo, root, config.max_tree_dist_m);
+  }
+
+  // --- SPAN backbone ------------------------------------------------------
+  std::vector<bool> coordinator(n, false);
+  int backbone_size = 0;
+  auto elect_span = [&] {
+    const auto election = baselines::elect_coordinators(topo, tree, span_rng);
+    coordinator = election.coordinator;
+    backbone_size = election.coordinator_count;
+  };
+
+  // --- Per-node protocol stack -------------------------------------------
+  LatencyCollector latency;
+  const util::Time setup_end = config.setup_duration;
+
+  auto build_stacks = [&] {
+    for (net::NodeId id : tree.members()) {
+      auto& node = nodes[static_cast<std::size_t>(id)];
+
+      switch (config.protocol) {
+        case Protocol::kNtsSs:
+          node.shaper = std::make_unique<core::NtsShaper>();
+          break;
+        case Protocol::kStsSs:
+          node.shaper = std::make_unique<core::StsShaper>(
+              core::StsParams{.deadline = config.sts_deadline});
+          break;
+        case Protocol::kDtsSs:
+          node.shaper = std::make_unique<core::DtsShaper>(
+              core::DtsParams{.t_to = config.dts_t_to});
+          break;
+        case Protocol::kSpan:
+          // Leaves (and, harmlessly, backbone nodes) run NTS (§5).
+          node.shaper = std::make_unique<core::NtsShaper>();
+          break;
+        case Protocol::kSync:
+        case Protocol::kPsm:
+          // The query service runs greedily on top of the MAC-layer power
+          // management; generous loss timeout (per-hop buffering delays
+          // exceed rank-based budgets, ~1 beacon interval per hop).
+          node.shaper = std::make_unique<core::NtsShaper>(core::NtsParams{
+              .full_period_deadline = true, .deadline_periods = 3.0});
+          break;
+      }
+
+      const bool wants_safe_sleep =
+          is_essat(config.protocol) ||
+          (config.protocol == Protocol::kSpan &&
+           !coordinator[static_cast<std::size_t>(id)]);
+      if (is_essat(config.protocol) || config.protocol == Protocol::kSpan) {
+        node.sleeper = std::make_unique<core::SafeSleep>(
+            sim, *node.radio, *node.mac,
+            core::SafeSleepParams{.t_be = config.t_be, .enabled = wants_safe_sleep});
+        node.sleeper->set_setup_end(setup_end);
+      }
+
+      node.shaper->set_context(query::ShaperContext{
+          &tree, id, node.sleeper ? node.sleeper.get() : nullptr});
+      node.agent = std::make_unique<query::QueryAgent>(
+          sim, *node.mac, tree, id, *node.shaper,
+          query::QueryAgentParams{.t_comp = config.t_comp});
+      if (id == root) {
+        node.agent->set_root_arrival_hook(
+            [&latency](const query::Query& q, std::int64_t k, util::Time t, int c) {
+              latency.on_root_arrival(q, k, t, c);
+            });
+      }
+
+      if (config.protocol == Protocol::kSync) {
+        node.sync = std::make_unique<baselines::SyncNode>(sim, *node.radio,
+                                                          *node.mac, baselines::SyncParams{});
+        node.sync->start(setup_end);
+      } else if (config.protocol == Protocol::kPsm) {
+        node.psm = std::make_unique<baselines::PsmNode>(sim, *node.radio, *node.mac,
+                                                        baselines::PsmParams{});
+        node.psm->start(setup_end);
+      }
+    }
+  };
+
+  // Receive demultiplexing: every packet type goes to its protocol handler.
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto id = static_cast<net::NodeId>(i);
+    nodes[i].mac->set_rx_handler([&nodes, &setup_protocol, id](const net::Packet& p) {
+      auto& node = nodes[static_cast<std::size_t>(id)];
+      switch (p.type) {
+        case net::PacketType::kData:
+        case net::PacketType::kPhaseRequest:
+          if (node.agent) node.agent->handle_packet(p);
+          break;
+        case net::PacketType::kAtim:
+          if (node.psm) node.psm->handle_packet(p);
+          break;
+        case net::PacketType::kSetup:
+        case net::PacketType::kJoin:
+        case net::PacketType::kRankReport:
+          if (setup_protocol) setup_protocol->handle_packet(id, p);
+          break;
+        default:
+          break;
+      }
+    });
+  }
+
+  // --- Maintenance / repair ----------------------------------------------
+  routing::RepairService repair{topo, tree, {}};
+  std::unique_ptr<core::MaintenanceService> maintenance;
+  auto wire_maintenance = [&] {
+    if (!config.enable_maintenance) return;
+    maintenance = std::make_unique<core::MaintenanceService>(repair,
+                                                             core::MaintenanceParams{});
+    maintenance->set_alive_predicate([&nodes](net::NodeId m) {
+      return !nodes[static_cast<std::size_t>(m)].radio->failed();
+    });
+    for (net::NodeId id : tree.members()) {
+      maintenance->attach_agent(id, nodes[static_cast<std::size_t>(id)].agent.get());
+    }
+    repair.set_hooks(maintenance->make_repair_hooks());
+  };
+
+  // --- Workload ------------------------------------------------------------
+  query::WorkloadParams wl;
+  wl.base_rate_hz = config.base_rate_hz;
+  wl.queries_per_class = config.queries_per_class;
+  wl.start_window_begin = setup_end + util::Time::seconds(1);
+  wl.start_window_length = config.query_start_window;
+  std::vector<query::Query> queries = query::make_workload(wl, workload_rng);
+  for (query::Query q : config.extra_queries) {
+    q.id = static_cast<net::QueryId>(queries.size());
+    queries.push_back(q);
+  }
+
+  auto register_queries = [&] {
+    for (net::NodeId id : tree.members()) {
+      auto& node = nodes[static_cast<std::size_t>(id)];
+      for (const auto& q : queries) node.agent->register_query(q);
+    }
+  };
+
+  // --- Phase plan -----------------------------------------------------------
+  if (config.use_distributed_setup) {
+    setup_protocol->start([&](routing::Tree built) {
+      tree = std::move(built);
+      tree.recompute_ranks();
+    });
+    sim.schedule_at(setup_end, [&] {
+      if (config.protocol == Protocol::kSpan) elect_span();
+      build_stacks();
+      wire_maintenance();
+      register_queries();
+    });
+  } else {
+    if (config.protocol == Protocol::kSpan) elect_span();
+    build_stacks();
+    wire_maintenance();
+    sim.schedule_at(setup_end, [&] { register_queries(); });
+  }
+
+  // Measurement window: after all queries have started.
+  const util::Time measure_start =
+      setup_end + util::Time::seconds(1) + config.query_start_window +
+      util::Time::seconds(1);
+  const util::Time measure_end = measure_start + config.measure_duration;
+  sim.schedule_at(measure_start, [&] {
+    for (auto& node : nodes) node.radio->begin_measurement();
+  });
+
+  // Failure injection.
+  for (const auto& [victim, offset] : config.failures) {
+    sim.schedule_at(setup_end + offset, [&nodes, victim = victim] {
+      auto& node = nodes[static_cast<std::size_t>(victim)];
+      node.radio->fail();
+      if (node.agent) node.agent->halt();
+    });
+  }
+
+  sim.run_until(measure_end);
+
+  // --- Collect metrics -------------------------------------------------------
+  RunMetrics out;
+  const auto members = tree.members();
+  out.tree_members = static_cast<int>(members.size());
+  out.max_rank = tree.max_rank();
+  out.backbone_size = backbone_size;
+
+  std::vector<const energy::Radio*> radios;
+  std::vector<int> rank_of;
+  int live_members = 0;
+  for (net::NodeId id : members) {
+    const auto& node = nodes[static_cast<std::size_t>(id)];
+    if (node.radio->failed()) continue;
+    radios.push_back(node.radio.get());
+    rank_of.push_back(tree.rank(id));
+    ++live_members;
+  }
+  const auto duty = energy::summarize_duty_cycles(radios);
+  out.avg_duty_cycle = duty.average;
+  out.duty_by_rank =
+      energy::duty_cycle_by_group(radios, rank_of, tree.max_rank() + 1);
+
+  const auto lat = latency.summarize(measure_start, measure_end,
+                                     config.latency_grace, live_members - 1);
+  out.avg_latency_s = lat.avg_s;
+  out.p95_latency_s = lat.p95_s;
+  out.max_latency_s = lat.max_s;
+  out.delivery_ratio = lat.delivery_ratio;
+  out.epochs_measured = lat.epochs;
+
+  for (const energy::Radio* r : radios) {
+    for (double s : r->sleep_intervals_s()) {
+      out.sleep_hist.add(s);
+      ++out.sleep_intervals;
+    }
+  }
+  out.frac_sleep_below_2_5ms = out.sleep_hist.fraction_below(0.0025);
+
+  for (net::NodeId id : members) {
+    const auto& node = nodes[static_cast<std::size_t>(id)];
+    RunMetrics::NodeDiag diag;
+    diag.id = id;
+    diag.rank = tree.rank(id);
+    diag.level = tree.level(id);
+    diag.leaf = tree.is_leaf(id);
+    diag.duty_cycle = node.radio->duty_cycle();
+    if (node.agent) {
+      diag.reports_sent = node.agent->stats().reports_sent;
+      diag.send_failures = node.agent->stats().send_failures;
+      diag.pass_through = node.agent->stats().pass_through_forwarded;
+      diag.child_timeouts = node.agent->stats().child_timeouts;
+    }
+    out.per_node.push_back(diag);
+  }
+
+  std::uint64_t phase_updates = 0;
+  for (net::NodeId id : members) {
+    const auto& node = nodes[static_cast<std::size_t>(id)];
+    if (node.shaper) phase_updates += node.shaper->phase_updates_sent();
+    if (node.agent) {
+      out.reports_sent += node.agent->stats().reports_sent;
+      out.mac_send_failures += node.agent->stats().send_failures;
+      out.pass_through_forwarded += node.agent->stats().pass_through_forwarded;
+    }
+  }
+  out.phase_updates = phase_updates;
+  if (out.reports_sent > 0) {
+    // A phase update is a 16-bit time offset field.
+    out.phase_update_bits_per_report =
+        static_cast<double>(phase_updates) * 16.0 /
+        static_cast<double>(out.reports_sent);
+  }
+  out.mac_transmissions = channel.transmissions();
+  out.channel_collisions = channel.collisions();
+  return out;
+}
+
+}  // namespace essat::harness

@@ -1,0 +1,78 @@
+// Scenario: assembles the full per-node stack (radio, CSMA MAC, routing
+// tree, traffic shaper, Safe Sleep or baseline power management, query
+// agent) for one protocol, runs the paper's experimental setup (§5), and
+// returns the measured metrics.
+//
+// Defaults reproduce the paper: 80 nodes uniform in 500x500 m^2, 125 m
+// range, 1 Mbps 802.11-style MAC, 52-byte reports, root nearest the centre,
+// tree over nodes within 300 m of the root, three query classes with rate
+// ratio 6:3:2 starting at random times in a 10 s window, 200 s measured.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/harness/metrics.h"
+#include "src/mac/mac_params.h"
+#include "src/net/types.h"
+#include "src/query/query.h"
+#include "src/util/time.h"
+
+namespace essat::harness {
+
+enum class Protocol { kNtsSs, kStsSs, kDtsSs, kSync, kPsm, kSpan };
+const char* protocol_name(Protocol p);
+
+struct ScenarioConfig {
+  Protocol protocol = Protocol::kDtsSs;
+
+  // Deployment (§5).
+  int num_nodes = 80;
+  double area_m = 500.0;
+  double range_m = 125.0;
+  double max_tree_dist_m = 300.0;
+
+  // Workload (§5).
+  double base_rate_hz = 1.0;
+  int queries_per_class = 1;
+  // Additional hand-crafted queries (phases are absolute sim times); used
+  // by examples, e.g. a mid-run workload surge.
+  std::vector<query::Query> extra_queries;
+
+  // Phasing: setup slot, then query starts spread over the start window,
+  // then the measurement window.
+  util::Time setup_duration = util::Time::seconds(5);
+  util::Time query_start_window = util::Time::seconds(10);
+  util::Time measure_duration = util::Time::seconds(200);
+  util::Time latency_grace = util::Time::seconds(5);
+
+  // Radio / Safe Sleep. Transition latencies are t_be/2 each way, so the
+  // break-even time equals t_be [Benini et al.].
+  util::Time t_be = util::Time::from_milliseconds(2.5);
+
+  // Shaper knobs.
+  std::optional<util::Time> sts_deadline;  // Fig. 2 sweep; default: D = P
+  util::Time dts_t_to = util::Time::from_milliseconds(100.0);
+  util::Time t_comp = util::Time::from_milliseconds(5.0);
+
+  // MAC parameters (802.11b at 1 Mbps by default).
+  mac::MacParams mac_params;
+
+  // Tree construction: central BFS (default, the paper's pre-built tree) or
+  // the distributed flooding protocol during the setup slot.
+  bool use_distributed_setup = false;
+
+  // §4.3 failure handling: detection thresholds + repair. Off by default
+  // (the paper's main experiments inject no failures).
+  bool enable_maintenance = false;
+  // Nodes killed at the given offsets after the setup slot ends.
+  std::vector<std::pair<net::NodeId, util::Time>> failures;
+
+  std::uint64_t seed = 1;
+};
+
+RunMetrics run_scenario(const ScenarioConfig& config);
+
+}  // namespace essat::harness

@@ -1,0 +1,309 @@
+#include "src/mac/csma.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/util/logging.h"
+
+namespace essat::mac {
+
+CsmaMac::CsmaMac(sim::Simulator& sim, net::Channel& channel, energy::Radio& radio,
+                 net::NodeId self, MacParams params, util::Rng rng)
+    : sim_{sim},
+      channel_{channel},
+      radio_{radio},
+      self_{self},
+      params_{params},
+      rng_{rng},
+      backoff_timer_{sim},
+      ack_timer_{sim},
+      tx_end_timer_{sim},
+      nav_timer_{sim} {
+  channel_.attach(self_, net::Channel::Attachment{
+                             [this] { return is_listening_(); },
+                             [this](const net::Packet& p, bool ok) { on_rx_complete_(p, ok); },
+                             [this] { on_channel_activity_(); },
+                         });
+  radio_.add_state_observer([this](energy::RadioState s) {
+    if (s == energy::RadioState::kOn) {
+      if (in_flight_ && !in_backoff_ && !transmitting_ && !waiting_ack_) {
+        begin_contention_();
+      } else {
+        try_start_();
+      }
+    }
+  });
+}
+
+bool CsmaMac::is_listening_() const { return radio_.is_on() && !transmitting_; }
+
+void CsmaMac::send(net::Packet p, TxCallback cb) {
+  p.link_src = self_;
+  queue_.push_back(Outgoing{std::move(p), std::move(cb), 0, params_.cw_min, -1});
+  try_start_();
+}
+
+bool CsmaMac::idle() const {
+  return queue_.empty() && !in_flight_.has_value() && pending_acks_ == 0;
+}
+
+void CsmaMac::check_idle_() {
+  if (idle() && idle_cb_) idle_cb_();
+}
+
+std::vector<net::NodeId> CsmaMac::pending_destinations() const {
+  std::vector<net::NodeId> out;
+  auto add = [&out](net::NodeId d) {
+    if (d != net::kBroadcastAddr &&
+        std::find(out.begin(), out.end(), d) == out.end()) {
+      out.push_back(d);
+    }
+  };
+  if (in_flight_) add(in_flight_->packet.link_dst);
+  for (const auto& o : queue_) add(o.packet.link_dst);
+  return out;
+}
+
+bool CsmaMac::medium_free_() const {
+  return !channel_.busy(self_) && sim_.now() >= nav_until_;
+}
+
+void CsmaMac::try_start_() {
+  if (in_flight_ || queue_.empty()) {
+    check_idle_();
+    return;
+  }
+  if (!radio_.is_on()) return;
+  // Pick the first frame admitted by the tx filter (windowed baselines may
+  // block some destinations while admitting others).
+  auto it = queue_.begin();
+  if (tx_filter_) {
+    it = std::find_if(queue_.begin(), queue_.end(),
+                      [this](const Outgoing& o) { return tx_filter_(o.packet); });
+    if (it == queue_.end()) return;
+  }
+  in_flight_ = std::move(*it);
+  queue_.erase(it);
+  in_flight_->attempts = 0;
+  in_flight_->cw = in_flight_->packet.type == net::PacketType::kData
+                       ? params_.initial_data_cw
+                       : params_.cw_min;
+  in_flight_->backoff_slots = -1;
+  begin_contention_();
+}
+
+void CsmaMac::begin_contention_() {
+  assert(in_flight_);
+  if (!radio_.is_on() || transmitting_ || in_backoff_) return;
+  if (channel_.busy(self_)) return;  // resumes via on_channel_activity_
+  if (sim_.now() < nav_until_) {
+    // Virtual carrier sense: defer to the NAV, then retry.
+    nav_timer_.arm_at(nav_until_, [this] {
+      if (in_flight_ && !in_backoff_ && !transmitting_ && !waiting_ack_) {
+        begin_contention_();
+      }
+    });
+    return;
+  }
+  if (in_flight_->backoff_slots < 0) {
+    in_flight_->backoff_slots =
+        static_cast<int>(rng_.uniform_int(0, in_flight_->cw));
+  }
+  in_backoff_ = true;
+  countdown_start_ = sim_.now();
+  const util::Time countdown =
+      params_.difs + params_.slot * in_flight_->backoff_slots;
+  backoff_timer_.arm_in(countdown, [this] {
+    in_backoff_ = false;
+    if (!in_flight_) return;
+    if (!radio_.is_on() || transmitting_) return;
+    if (!medium_free_()) {
+      // Busy exactly at expiry (the freeze path normally catches this
+      // earlier): redraw to avoid a synchronized rush when the medium
+      // clears.
+      in_flight_->backoff_slots = -1;
+      begin_contention_();
+      return;
+    }
+    transmit_head_();
+  });
+}
+
+void CsmaMac::freeze_backoff_() {
+  if (!in_backoff_ || !in_flight_) return;
+  backoff_timer_.cancel();
+  in_backoff_ = false;
+  // 802.11 freeze/resume: slots consumed after DIFS are kept off the
+  // counter; the remainder resumes once the medium clears.
+  const util::Time elapsed = sim_.now() - countdown_start_;
+  if (elapsed > params_.difs) {
+    const auto consumed =
+        static_cast<int>((elapsed - params_.difs).ns() / params_.slot.ns());
+    in_flight_->backoff_slots =
+        std::max(0, in_flight_->backoff_slots - consumed);
+  }
+}
+
+void CsmaMac::transmit_head_() {
+  assert(in_flight_);
+  if (in_flight_->attempts == 0) {
+    in_flight_->packet.mac_seq = next_mac_seq_++;
+  }
+  ++in_flight_->attempts;
+  ++stats_.transmissions;
+
+  transmitting_ = true;
+  radio_.note_tx(true);
+  const util::Time dur = params_.tx_duration(in_flight_->packet.size_bytes);
+  channel_.start_tx(self_, in_flight_->packet, dur);
+  tx_end_timer_.arm_in(dur, [this] {
+    transmitting_ = false;
+    radio_.note_tx(false);
+    if (!in_flight_) return;
+    if (in_flight_->packet.is_broadcast()) {
+      finish_head_(true);
+    } else {
+      waiting_ack_ = true;
+      ack_timer_.arm_in(params_.ack_timeout(), [this] { on_ack_timeout_(); });
+    }
+  });
+}
+
+void CsmaMac::on_ack_timeout_() {
+  waiting_ack_ = false;
+  if (!in_flight_) return;
+  if (in_flight_->attempts >= params_.max_attempts) {
+    finish_head_(false);
+    return;
+  }
+  ++stats_.retries;
+  in_flight_->cw = std::min(in_flight_->cw * 2 + 1, params_.cw_max);
+  in_flight_->backoff_slots = -1;  // redraw from the doubled window
+  begin_contention_();
+}
+
+void CsmaMac::finish_head_(bool success) {
+  assert(in_flight_);
+  if (success) {
+    ++stats_.frames_sent;
+  } else {
+    ++stats_.frames_failed;
+  }
+  TxCallback cb = std::move(in_flight_->cb);
+  in_flight_.reset();
+  waiting_ack_ = false;
+  if (cb) cb(success);
+  try_start_();
+}
+
+void CsmaMac::on_rx_complete_(const net::Packet& p, bool ok) {
+  decoded_last_busy_ = ok;
+  if (!ok) {
+    // EIFS: after a garbled frame, defer long enough that a response we
+    // could not decode (e.g. an ACK) is not stomped.
+    nav_until_ = std::max(nav_until_, sim_.now() + params_.eifs());
+    if (in_backoff_) freeze_backoff_();
+    return;
+  }
+
+  if (p.type == net::PacketType::kAck) {
+    if (waiting_ack_ && in_flight_ && p.link_dst == self_ &&
+        p.link_src == in_flight_->packet.link_dst) {
+      ack_timer_.cancel();
+      waiting_ack_ = false;
+      finish_head_(true);
+    }
+    return;
+  }
+
+  if (p.link_dst == self_) {
+    // Unicast to us: always acknowledge (retransmissions too), deliver once.
+    send_ack_(p.link_src);
+    auto [it, inserted] = last_delivered_seq_.try_emplace(p.link_src, p.mac_seq);
+    if (!inserted) {
+      if (it->second == p.mac_seq) {
+        ++stats_.duplicates;
+        return;
+      }
+      it->second = p.mac_seq;
+    }
+    ++stats_.frames_received;
+    if (rx_handler_) rx_handler_(p);
+    return;
+  }
+
+  if (p.is_broadcast()) {
+    ++stats_.frames_received;
+    if (rx_handler_) rx_handler_(p);
+    return;
+  }
+
+  // Overheard unicast data for someone else: NAV covers its ACK.
+  nav_until_ = std::max(
+      nav_until_, sim_.now() + params_.sifs + params_.ack_duration());
+  if (in_backoff_) freeze_backoff_();
+}
+
+void CsmaMac::send_ack_(net::NodeId to) {
+  ++pending_acks_;
+  sim_.schedule_in(params_.sifs, [this, to] {
+    // ACKs go out without carrier sense (802.11 gives them SIFS priority),
+    // but we cannot emit while another of our transmissions is in progress
+    // or the radio is down; the data sender will simply retry.
+    if (!radio_.is_on() || transmitting_) {
+      --pending_acks_;
+      check_idle_();
+      return;
+    }
+    if (in_backoff_) freeze_backoff_();  // pause contention while we reply
+    net::Packet ack;
+    ack.type = net::PacketType::kAck;
+    ack.link_src = self_;
+    ack.link_dst = to;
+    ack.size_bytes = net::Packet::kAckBytes;
+    ack.mac_seq = next_mac_seq_++;
+    ++stats_.acks_sent;
+    transmitting_ = true;
+    radio_.note_tx(true);
+    const util::Time dur = params_.ack_duration();
+    channel_.start_tx(self_, ack, dur);
+    sim_.schedule_in(dur, [this] {
+      transmitting_ = false;
+      radio_.note_tx(false);
+      --pending_acks_;
+      // Resume a paused contention; channel notifications handle the
+      // busy->idle edge, but our own transmitting_ flag is local.
+      if (in_flight_ && !in_backoff_ && !waiting_ack_) begin_contention_();
+      check_idle_();
+    });
+  });
+}
+
+void CsmaMac::on_channel_activity_() {
+  const bool busy = channel_.busy(self_);
+  if (busy) {
+    saw_busy_ = true;
+    if (in_backoff_) freeze_backoff_();
+    return;
+  }
+  if (saw_busy_) {
+    saw_busy_ = false;
+    if (!decoded_last_busy_) {
+      // The busy period ended without a decodable frame (collision, or we
+      // were not synchronized to its preamble): defer long enough for a
+      // response we could not anticipate — 802.11's EIFS. Without this,
+      // hidden contenders stomp ACKs and senders burn their retry budget
+      // against receivers that already accepted the frame and went back to
+      // sleep.
+      nav_until_ = std::max(nav_until_,
+                            sim_.now() + params_.sifs + params_.ack_duration());
+    }
+    decoded_last_busy_ = false;
+  }
+  if (in_flight_ && !in_backoff_ && !transmitting_ && !waiting_ack_ &&
+      radio_.is_on()) {
+    begin_contention_();  // defers internally to the NAV if needed
+  }
+}
+
+}  // namespace essat::mac

@@ -1,0 +1,45 @@
+// CSMA/CA (802.11b-DCF-subset) timing parameters at 1 Mbps, the paper's MAC
+// configuration (§5: "IEEE 802.11b is used as the MAC protocol. The network
+// bandwidth is 1 Mbps").
+#pragma once
+
+#include "src/net/packet.h"
+#include "src/util/time.h"
+
+namespace essat::mac {
+
+struct MacParams {
+  util::Time slot = util::Time::microseconds(20);
+  util::Time difs = util::Time::microseconds(50);
+  util::Time sifs = util::Time::microseconds(10);
+  // PHY preamble + PLCP header airtime prepended to every frame.
+  util::Time phy_overhead = util::Time::microseconds(192);
+  double bandwidth_bps = 1e6;
+  int cw_min = 31;
+  int cw_max = 1023;
+  // Initial contention window for the first attempt of a DATA frame. The
+  // paper's substrate MACs (TinyOS CSMA [Woo & Culler], ns-2 802.11 with
+  // application jitter) spread epoch-synchronized sources over a window
+  // much larger than CWmin; without it, dozens of sources firing at the
+  // same epoch boundary collide persistently (a 52-byte frame occupies ~30
+  // slots of air time). Retries still follow 802.11 exponential backoff.
+  int initial_data_cw = 255;
+  // Maximum transmission attempts for a unicast frame (1 initial + retries).
+  int max_attempts = 10;
+  // Extra margin on top of SIFS + ACK airtime before declaring an ACK lost.
+  util::Time ack_timeout_slack = util::Time::microseconds(60);
+
+  util::Time tx_duration(int size_bytes) const {
+    return phy_overhead +
+           util::Time::from_seconds(static_cast<double>(size_bytes) * 8.0 / bandwidth_bps);
+  }
+  util::Time ack_duration() const { return tx_duration(net::Packet::kAckBytes); }
+  util::Time ack_timeout() const {
+    return sifs + ack_duration() + ack_timeout_slack;
+  }
+  // Extended inter-frame space after a garbled reception (802.11: protects
+  // the un-decodable frame's ACK).
+  util::Time eifs() const { return sifs + ack_duration() + difs; }
+};
+
+}  // namespace essat::mac

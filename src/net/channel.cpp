@@ -1,0 +1,90 @@
+#include "src/net/channel.h"
+
+#include <cassert>
+
+namespace essat::net {
+
+Channel::Channel(sim::Simulator& sim, const Topology& topo, ChannelParams params)
+    : sim_{sim}, topo_{topo}, params_{params}, nodes_(topo.num_nodes()) {}
+
+void Channel::attach(NodeId node, Attachment attachment) {
+  nodes_.at(static_cast<std::size_t>(node)).attachment = std::move(attachment);
+}
+
+void Channel::start_tx(NodeId sender, Packet p, util::Time duration) {
+  ++transmissions_;
+  p.channel_tx_id = ++next_tx_id_;
+  auto& s = nodes_.at(static_cast<std::size_t>(sender));
+  s.transmitting = true;
+  // A node cannot hear while it talks: abandon any in-progress reception.
+  if (s.rx.active) {
+    s.rx.corrupted = true;
+  }
+  notify_(sender);
+
+  const util::Time arrive = sim_.now() + params_.propagation_delay;
+  for (NodeId m : topo_.neighbors(sender)) {
+    sim_.schedule_at(arrive, [this, m, p] { begin_arrival_(m, p); });
+    sim_.schedule_at(arrive + duration, [this, m, p] { end_arrival_(m, p); });
+  }
+  sim_.schedule_at(sim_.now() + duration, [this, sender] {
+    nodes_.at(static_cast<std::size_t>(sender)).transmitting = false;
+    notify_(sender);
+  });
+}
+
+void Channel::begin_arrival_(NodeId receiver, const Packet& p) {
+  auto& node = nodes_.at(static_cast<std::size_t>(receiver));
+  ++node.arriving_count;
+
+  if (node.rx.active) {
+    // Overlap with an in-progress reception corrupts it — unless the new
+    // arrival is weak enough for the radio to capture the original frame.
+    const bool captured =
+        params_.capture_distance_ratio > 0.0 &&
+        distance(topo_.position(receiver), topo_.position(p.link_src)) >=
+            params_.capture_distance_ratio *
+                distance(topo_.position(receiver),
+                         topo_.position(node.rx.packet.link_src));
+    if (!captured) {
+      node.rx.corrupted = true;
+      ++collisions_;
+    }
+  } else if (node.arriving_count == 1 && !node.transmitting &&
+             node.attachment.is_listening && node.attachment.is_listening()) {
+    node.rx.active = true;
+    node.rx.corrupted = false;
+    node.rx.packet = p;
+  }
+  notify_(receiver);
+}
+
+void Channel::end_arrival_(NodeId receiver, const Packet& p) {
+  auto& node = nodes_.at(static_cast<std::size_t>(receiver));
+  --node.arriving_count;
+  assert(node.arriving_count >= 0);
+
+  if (node.rx.active && node.rx.packet.channel_tx_id == p.channel_tx_id) {
+    const bool listening = node.attachment.is_listening && node.attachment.is_listening();
+    const bool ok = !node.rx.corrupted && listening && !node.transmitting;
+    const Packet delivered_packet = node.rx.packet;
+    node.rx.active = false;
+    if (ok) ++delivered_;
+    if (node.attachment.on_rx_complete) {
+      node.attachment.on_rx_complete(delivered_packet, ok);
+    }
+  }
+  notify_(receiver);
+}
+
+bool Channel::busy(NodeId node) const {
+  const auto& n = nodes_.at(static_cast<std::size_t>(node));
+  return n.arriving_count > 0 || n.transmitting;
+}
+
+void Channel::notify_(NodeId node) {
+  const auto& cb = nodes_.at(static_cast<std::size_t>(node)).attachment.on_channel_activity;
+  if (cb) cb();
+}
+
+}  // namespace essat::net

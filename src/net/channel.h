@@ -1,0 +1,91 @@
+// Broadcast wireless medium with unit-disc propagation, per-receiver
+// collision tracking, and carrier sense.
+//
+// Model (matches what the paper's ns-2 setup exercises):
+//  * A transmission from node s occupies the air at every node within range
+//    for [t + prop, t + prop + duration).
+//  * A node receives a frame iff it is listening (radio fully ON and not
+//    transmitting) when the frame starts arriving, remains listening for the
+//    whole frame, and no other in-range transmission overlaps it (collision).
+//  * Carrier sense at node n reports busy while any in-range transmission is
+//    arriving at n, or while n itself transmits.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/net/packet.h"
+#include "src/net/topology.h"
+#include "src/net/types.h"
+#include "src/sim/simulator.h"
+
+namespace essat::net {
+
+struct ChannelParams {
+  // One-hop propagation delay (applied uniformly; 125 m of vacuum is ~0.4 us,
+  // rounded up to absorb PHY turnaround).
+  util::Time propagation_delay = util::Time::microseconds(1);
+  // Capture effect: an in-progress reception survives an overlapping
+  // arrival whose sender is at least this factor farther away (ns-2's 10 dB
+  // capture threshold under two-ray d^-4 is a 10^(1/4) ~= 1.78 distance
+  // ratio). Set <= 0 to disable capture (all overlaps collide).
+  double capture_distance_ratio = 1.78;
+};
+
+class Channel {
+ public:
+  struct Attachment {
+    // True while the node can receive (radio ON, not transmitting).
+    std::function<bool()> is_listening;
+    // Frame fully arrived. `ok` is false for collisions or receptions that
+    // the radio abandoned (turned off / started transmitting mid-frame).
+    std::function<void(const Packet&, bool ok)> on_rx_complete;
+    // Fired whenever the carrier-sense state at this node may have changed.
+    std::function<void()> on_channel_activity;
+  };
+
+  Channel(sim::Simulator& sim, const Topology& topo, ChannelParams params = {});
+
+  void attach(NodeId node, Attachment attachment);
+
+  // Puts `p` on the air from `sender` for `duration`. The sender's MAC is
+  // responsible for serializing its own transmissions.
+  void start_tx(NodeId sender, Packet p, util::Time duration);
+
+  // Carrier sense at `node`.
+  bool busy(NodeId node) const;
+
+  // Statistics.
+  std::uint64_t transmissions() const { return transmissions_; }
+  std::uint64_t collisions() const { return collisions_; }
+  std::uint64_t delivered() const { return delivered_; }
+
+ private:
+  struct Reception {
+    bool active = false;
+    bool corrupted = false;
+    Packet packet;
+  };
+  struct PerNode {
+    Attachment attachment;
+    int arriving_count = 0;  // in-range transmissions currently on the air
+    bool transmitting = false;
+    Reception rx;
+  };
+
+  void begin_arrival_(NodeId receiver, const Packet& p);
+  void end_arrival_(NodeId receiver, const Packet& p);
+  void notify_(NodeId node);
+
+  sim::Simulator& sim_;
+  const Topology& topo_;
+  ChannelParams params_;
+  std::vector<PerNode> nodes_;
+  std::uint64_t transmissions_ = 0;
+  std::uint64_t collisions_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t next_tx_id_ = 0;
+};
+
+}  // namespace essat::net

@@ -1,0 +1,116 @@
+// Packet formats for every protocol in the library.
+//
+// A Packet carries one typed header selected by `type`. Sizes are modelled
+// (not serialized): `size_bytes` is what the channel charges for airtime.
+// The paper encapsulates each data report in a single 52-byte packet.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/net/types.h"
+#include "src/util/time.h"
+
+namespace essat::net {
+
+enum class PacketType : std::uint8_t {
+  kData,          // aggregated data report (query service)
+  kAck,           // MAC-level acknowledgement
+  kSetup,         // routing-tree setup flood
+  kJoin,          // child -> parent tree join
+  kRankReport,    // child -> parent rank propagation (distributed setup)
+  kAtim,           // PSM traffic announcement
+  kPhaseRequest,   // DTS resynchronization request (§4.3)
+  kDissemination,  // periodic root->leaves dissemination (§3 extension)
+};
+
+// Data-report header. One per aggregated report; also used for late
+// pass-through forwards of a child's report.
+struct DataHeader {
+  QueryId query = kNoQuery;
+  std::int64_t epoch = -1;
+  NodeId origin = kNoNode;      // node whose aggregate this is
+  std::uint32_t app_seq = 0;    // per-(link, query) sequence, for loss detection
+  int contributions = 1;        // number of source readings folded in
+  bool pass_through = false;    // forwarded after the local aggregate was sent
+  // DTS piggyback: the sender's expected send time of its NEXT report
+  // (s(k+1)), advertised only on a phase shift or on request (§4.2.3).
+  std::optional<util::Time> phase_update;
+};
+
+struct SetupHeader {
+  NodeId root = kNoNode;
+  int level = 0;  // hops from root of the sender
+};
+
+struct JoinHeader {};
+
+struct RankHeader {
+  int rank = 0;  // sender's rank (max hop count to any of its descendants)
+};
+
+struct AtimHeader {
+  std::vector<NodeId> destinations;  // neighbors with buffered traffic
+};
+
+struct PhaseRequestHeader {
+  QueryId query = kNoQuery;
+};
+
+// Periodic dissemination message travelling down the routing tree (the §3
+// extension: "other communication patterns such as ... data dissemination").
+struct DisseminationHeader {
+  QueryId task = kNoQuery;
+  std::int64_t epoch = -1;
+  NodeId origin = kNoNode;  // the root that generated this round
+};
+
+struct Packet {
+  PacketType type = PacketType::kData;
+  // MAC (one-hop) addressing. kBroadcastAddr means no ACK is expected.
+  NodeId link_src = kNoNode;
+  NodeId link_dst = kBroadcastAddr;
+  int size_bytes = kDataReportBytes;
+  std::uint32_t mac_seq = 0;       // set by the MAC, for duplicate suppression
+  std::uint64_t channel_tx_id = 0; // set by the Channel, unique per transmission
+
+  std::variant<std::monostate, DataHeader, SetupHeader, JoinHeader, RankHeader,
+               AtimHeader, PhaseRequestHeader, DisseminationHeader>
+      payload;
+
+  // Paper §5: "each data report is encapsulated in a single packet of 52
+  // bytes".
+  static constexpr int kDataReportBytes = 52;
+  static constexpr int kAckBytes = 14;
+  static constexpr int kControlBytes = 20;
+
+  const DataHeader& data() const { return std::get<DataHeader>(payload); }
+  DataHeader& data() { return std::get<DataHeader>(payload); }
+  const SetupHeader& setup() const { return std::get<SetupHeader>(payload); }
+  const RankHeader& rank() const { return std::get<RankHeader>(payload); }
+  const AtimHeader& atim() const { return std::get<AtimHeader>(payload); }
+  const PhaseRequestHeader& phase_request() const {
+    return std::get<PhaseRequestHeader>(payload);
+  }
+  const DisseminationHeader& dissemination() const {
+    return std::get<DisseminationHeader>(payload);
+  }
+
+  bool is_broadcast() const { return link_dst == kBroadcastAddr; }
+};
+
+// Factory helpers keep call sites terse and sizes consistent.
+Packet make_data_packet(NodeId src, NodeId dst, DataHeader header);
+Packet make_setup_packet(NodeId src, NodeId root, int level);
+Packet make_join_packet(NodeId src, NodeId parent);
+Packet make_rank_packet(NodeId src, NodeId parent, int rank);
+Packet make_atim_packet(NodeId src, std::vector<NodeId> destinations);
+Packet make_phase_request_packet(NodeId src, NodeId dst, QueryId query);
+Packet make_dissemination_packet(NodeId src, NodeId dst, DisseminationHeader header);
+
+const char* packet_type_name(PacketType t);
+
+}  // namespace essat::net

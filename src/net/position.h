@@ -1,0 +1,23 @@
+// 2-D node positions (metres) for the unit-disc propagation model.
+#pragma once
+
+#include <cmath>
+
+namespace essat::net {
+
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Position& a, const Position& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+inline double distance(const Position& a, const Position& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace essat::net

@@ -1,0 +1,99 @@
+#include "src/net/topology.h"
+
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace essat::net {
+
+Topology::Topology(std::vector<Position> positions, double range_m)
+    : positions_{std::move(positions)}, range_m_{range_m} {
+  if (range_m_ <= 0.0) throw std::invalid_argument{"Topology: range must be positive"};
+  build_neighbor_lists_();
+}
+
+Topology Topology::uniform_random(std::size_t num_nodes, double area_m,
+                                  double range_m, util::Rng& rng) {
+  std::vector<Position> pos;
+  pos.reserve(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    pos.push_back(Position{rng.uniform(0.0, area_m), rng.uniform(0.0, area_m)});
+  }
+  return Topology{std::move(pos), range_m};
+}
+
+Topology Topology::line(std::size_t num_nodes, double spacing_m, double range_m) {
+  std::vector<Position> pos;
+  pos.reserve(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    pos.push_back(Position{static_cast<double>(i) * spacing_m, 0.0});
+  }
+  return Topology{std::move(pos), range_m};
+}
+
+Topology Topology::grid(std::size_t side, double spacing_m, double range_m) {
+  std::vector<Position> pos;
+  pos.reserve(side * side);
+  for (std::size_t r = 0; r < side; ++r) {
+    for (std::size_t c = 0; c < side; ++c) {
+      pos.push_back(Position{static_cast<double>(c) * spacing_m,
+                             static_cast<double>(r) * spacing_m});
+    }
+  }
+  return Topology{std::move(pos), range_m};
+}
+
+void Topology::build_neighbor_lists_() {
+  const auto n = positions_.size();
+  neighbors_.assign(n, {});
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (distance(positions_[i], positions_[j]) <= range_m_) {
+        neighbors_[i].push_back(static_cast<NodeId>(j));
+        neighbors_[j].push_back(static_cast<NodeId>(i));
+      }
+    }
+  }
+}
+
+bool Topology::in_range(NodeId a, NodeId b) const {
+  if (a == b) return false;
+  return distance(position(a), position(b)) <= range_m_;
+}
+
+NodeId Topology::nearest(const Position& p) const {
+  NodeId best = kNoNode;
+  double best_d = std::numeric_limits<double>::max();
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    const double d = distance(positions_[i], p);
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<NodeId>(i);
+    }
+  }
+  return best;
+}
+
+bool Topology::connected() const {
+  if (positions_.empty()) return true;
+  std::vector<bool> seen(positions_.size(), false);
+  std::queue<NodeId> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  std::size_t reached = 1;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : neighbors(u)) {
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = true;
+        ++reached;
+        frontier.push(v);
+      }
+    }
+  }
+  return reached == positions_.size();
+}
+
+}  // namespace essat::net

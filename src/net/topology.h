@@ -1,0 +1,54 @@
+// Static network topology: node positions and unit-disc connectivity.
+//
+// The paper's setup: 80 nodes uniformly random in a 500x500 m^2 area with a
+// 125 m communication range.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/net/position.h"
+#include "src/net/types.h"
+#include "src/util/rng.h"
+
+namespace essat::net {
+
+class Topology {
+ public:
+  // Explicit placement (tests and small examples).
+  Topology(std::vector<Position> positions, double range_m);
+
+  // Uniform random placement in [0, area_m)^2 (the paper's deployment).
+  static Topology uniform_random(std::size_t num_nodes, double area_m,
+                                 double range_m, util::Rng& rng);
+  // Regular chain: node i at (i * spacing_m, 0). Handy for rank-specific
+  // unit tests where the tree shape must be exact.
+  static Topology line(std::size_t num_nodes, double spacing_m, double range_m);
+  // Regular sqrt(n) x sqrt(n) grid with the given spacing.
+  static Topology grid(std::size_t side, double spacing_m, double range_m);
+
+  std::size_t num_nodes() const { return positions_.size(); }
+  const Position& position(NodeId n) const { return positions_.at(static_cast<std::size_t>(n)); }
+  double range() const { return range_m_; }
+
+  bool in_range(NodeId a, NodeId b) const;
+  const std::vector<NodeId>& neighbors(NodeId n) const {
+    return neighbors_.at(static_cast<std::size_t>(n));
+  }
+
+  // Node closest to the given point (the paper roots the tree at the node
+  // nearest the centre of the area).
+  NodeId nearest(const Position& p) const;
+
+  // True if every node can reach every other node over in-range hops.
+  bool connected() const;
+
+ private:
+  void build_neighbor_lists_();
+
+  std::vector<Position> positions_;
+  double range_m_;
+  std::vector<std::vector<NodeId>> neighbors_;
+};
+
+}  // namespace essat::net

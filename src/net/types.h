@@ -1,0 +1,16 @@
+// Fundamental identifiers shared across layers.
+#pragma once
+
+#include <cstdint>
+
+namespace essat::net {
+
+using NodeId = std::int32_t;
+inline constexpr NodeId kNoNode = -1;
+// MAC-layer broadcast address.
+inline constexpr NodeId kBroadcastAddr = -2;
+
+using QueryId = std::int32_t;
+inline constexpr QueryId kNoQuery = -1;
+
+}  // namespace essat::net

@@ -1,0 +1,25 @@
+// Query model (§3): each source produces a data report every period P,
+// starting at time φ; non-leaf nodes aggregate their children's reports with
+// their own reading and forward one aggregated report per epoch.
+#pragma once
+
+#include <cstdint>
+
+#include "src/net/types.h"
+#include "src/util/time.h"
+
+namespace essat::query {
+
+struct Query {
+  net::QueryId id = net::kNoQuery;
+  util::Time period;      // P
+  util::Time phase;       // φ: absolute time of epoch 0 at the sources
+  int query_class = 0;    // 0..2, paper's Q1/Q2/Q3 (rate ratio 6:3:2)
+
+  // Start of the k-th epoch: φ + k*P.
+  util::Time epoch_start(std::int64_t k) const {
+    return phase + period * k;
+  }
+};
+
+}  // namespace essat::query

@@ -1,0 +1,231 @@
+#include "src/query/query_agent.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace essat::query {
+
+QueryAgent::QueryAgent(sim::Simulator& sim, mac::CsmaMac& mac,
+                       const routing::Tree& tree, net::NodeId self,
+                       TrafficShaper& shaper, QueryAgentParams params)
+    : sim_{sim}, mac_{mac}, tree_{tree}, self_{self}, shaper_{shaper}, params_{params} {}
+
+void QueryAgent::register_query(const Query& q) {
+  if (halted_ || !tree_.is_member(self_)) return;
+  auto [it, inserted] = queries_.try_emplace(q.id);
+  if (!inserted) return;  // duplicate dissemination
+  it->second.q = q;
+  shaper_.register_query(q);
+  ensure_epoch_(it->second, 0);
+}
+
+void QueryAgent::ensure_epoch_(QueryState& qs, std::int64_t k) {
+  if (halted_) return;
+  if (k <= qs.watermark || qs.epochs.count(k) != 0) return;
+  auto& es = qs.epochs[k];
+  for (net::NodeId c : tree_.children(self_)) es.pending.insert(c);
+
+  if (es.pending.empty()) {
+    // Leaf (or childless interior node): its reading is available at the
+    // epoch start; the shaper decides when the report actually goes out.
+    schedule_send_(qs, k, es, /*contributions=*/1, qs.q.epoch_start(k));
+    return;
+  }
+  es.deadline = std::make_unique<sim::Timer>(sim_);
+  es.deadline->arm_at(shaper_.aggregation_deadline(qs.q, k),
+                      [this, &qs, k] { finalize_(qs, k); });
+}
+
+void QueryAgent::finalize_(QueryState& qs, std::int64_t k) {
+  auto it = qs.epochs.find(k);
+  if (it == qs.epochs.end() || halted_) return;
+  if (it->second.finalizing) return;  // hook re-entered us for the same epoch
+  it->second.finalizing = true;
+  if (it->second.deadline) it->second.deadline->cancel();
+
+  // Detach the missing-children set before firing hooks: the child-miss
+  // hook can trigger topology repair, which calls back into this agent
+  // (child_removed / rank_changed) while we are still on the stack.
+  const std::vector<net::NodeId> missing(it->second.pending.begin(),
+                                         it->second.pending.end());
+  it->second.pending.clear();
+  if (!missing.empty()) {
+    ++stats_.partial_finalizes;
+    for (net::NodeId c : missing) {
+      ++stats_.child_timeouts;
+      shaper_.on_child_timeout(qs.q, k, c);
+      if (child_miss_) child_miss_(c, k);
+    }
+  }
+
+  // The hooks may have halted us or restructured the epoch map; re-resolve.
+  if (halted_) return;
+  it = qs.epochs.find(k);
+  if (it == qs.epochs.end()) return;
+  auto& es = it->second;
+
+  const int contributions = es.contributions + 1;  // fold in our own reading
+  if (self_ == tree_.root()) {
+    // The root is the sink: close the epoch and keep the chain alive.
+    qs.watermark = std::max(qs.watermark, k);
+    qs.epochs.erase(it);
+    ensure_epoch_(qs, k + 1);
+    return;
+  }
+  schedule_send_(qs, k, es, contributions, sim_.now() + params_.t_comp);
+}
+
+void QueryAgent::schedule_send_(QueryState& qs, std::int64_t k, EpochState& es,
+                                int contributions, util::Time ready) {
+  const auto plan = shaper_.plan_send(qs.q, k, ready);
+  es.send = std::make_unique<sim::Timer>(sim_);
+  es.send->arm_at(plan.send_at, [this, &qs, k, contributions,
+                                 update = plan.phase_update] {
+    submit_report_(qs, k, contributions, update);
+  });
+}
+
+void QueryAgent::submit_report_(QueryState& qs, std::int64_t k, int contributions,
+                                std::optional<util::Time> phase_update) {
+  if (halted_) return;
+  shaper_.on_report_sent(qs.q, k, sim_.now());
+
+  const net::NodeId parent = tree_.parent(self_);
+  if (parent != net::kNoNode) {
+    net::DataHeader h;
+    h.query = qs.q.id;
+    h.epoch = k;
+    h.origin = self_;
+    h.app_seq = ++qs.my_app_seq;
+    h.contributions = contributions;
+    h.phase_update = phase_update;
+    mac_.send(net::make_data_packet(self_, parent, h), [this, parent](bool ok) {
+      if (!ok) ++stats_.send_failures;
+      if (send_result_) send_result_(parent, ok);
+    });
+    ++stats_.reports_sent;
+  }
+
+  qs.watermark = std::max(qs.watermark, k);
+  qs.epochs.erase(k);
+  ensure_epoch_(qs, k + 1);
+}
+
+void QueryAgent::handle_packet(const net::Packet& p) {
+  if (halted_) return;
+  switch (p.type) {
+    case net::PacketType::kData:
+      handle_data_(p);
+      break;
+    case net::PacketType::kPhaseRequest:
+      shaper_.on_phase_request(p.phase_request().query);
+      break;
+    default:
+      break;
+  }
+}
+
+void QueryAgent::handle_data_(const net::Packet& p) {
+  const net::DataHeader& h = p.data();
+  auto qit = queries_.find(h.query);
+  if (qit == queries_.end()) return;  // query unknown here (not registered)
+  QueryState& qs = qit->second;
+  ++stats_.reports_received;
+
+  const net::NodeId child = p.link_src;
+  const bool from_current_child =
+      std::find(tree_.children(self_).begin(), tree_.children(self_).end(), child) !=
+      tree_.children(self_).end();
+
+  if (!h.pass_through && from_current_child) {
+    // Sequence-gap detection for DTS resynchronization (§4.3): a lost report
+    // may have carried a phase update; if this one doesn't re-advertise,
+    // ask for the phase explicitly.
+    auto [sit, first] = qs.last_app_seq.try_emplace(child, h.app_seq);
+    if (!first) {
+      const bool gap = h.app_seq > sit->second + 1;
+      sit->second = std::max(sit->second, h.app_seq);
+      if (gap && !h.phase_update.has_value() &&
+          shaper_.wants_phase_request_on_loss()) {
+        ++stats_.phase_requests_sent;
+        mac_.send(net::make_phase_request_packet(self_, child, h.query));
+      }
+    }
+    shaper_.on_report_received(qs.q, h.epoch, child, h.phase_update);
+    if (child_heard_) child_heard_(child);
+  }
+
+  if (self_ == tree_.root() && root_arrival_) {
+    root_arrival_(qs.q, h.epoch, sim_.now(), h.contributions);
+  }
+
+  if (h.pass_through || closed_(qs, h.epoch)) {
+    // Too late for aggregation here; relay toward the root.
+    if (!h.pass_through) ++stats_.late_reports;
+    forward_pass_through_(p);
+    return;
+  }
+
+  ensure_epoch_(qs, h.epoch);
+  auto eit = qs.epochs.find(h.epoch);
+  if (eit == qs.epochs.end()) return;  // epoch closed by a racing finalize
+  auto& es = eit->second;
+  if (es.pending.erase(child) == 0) {
+    // Duplicate or non-child source for an open epoch: forward, don't merge.
+    forward_pass_through_(p);
+    return;
+  }
+  es.contributions += h.contributions;
+  if (es.pending.empty()) finalize_(qs, h.epoch);
+}
+
+void QueryAgent::forward_pass_through_(const net::Packet& p) {
+  if (!params_.enable_pass_through) return;
+  if (self_ == tree_.root()) return;  // already delivered via the hook
+  const net::NodeId parent = tree_.parent(self_);
+  if (parent == net::kNoNode) return;
+  net::DataHeader h = p.data();
+  h.pass_through = true;
+  h.phase_update.reset();  // phase updates are hop-local
+  ++stats_.pass_through_forwarded;
+  mac_.send(net::make_data_packet(self_, parent, h));
+}
+
+void QueryAgent::child_removed(net::NodeId child) {
+  for (auto& [qid, qs] : queries_) {
+    shaper_.on_child_removed(qs.q, child);
+    qs.last_app_seq.erase(child);
+    // Collect epochs that become complete once the child stops being
+    // awaited; finalize after the loop (finalize_ mutates qs.epochs).
+    std::vector<std::int64_t> ready;
+    for (auto& [k, es] : qs.epochs) {
+      if (es.pending.erase(child) != 0 && es.pending.empty() && es.deadline) {
+        ready.push_back(k);
+      }
+    }
+    for (std::int64_t k : ready) finalize_(qs, k);
+  }
+}
+
+void QueryAgent::child_added(net::NodeId child) {
+  for (auto& [qid, qs] : queries_) {
+    shaper_.on_child_added(qs.q, child);
+    // Open epochs keep their snapshot; the child joins from the next one.
+  }
+}
+
+void QueryAgent::parent_changed() {
+  for (auto& [qid, qs] : queries_) shaper_.on_parent_changed(qs.q);
+}
+
+void QueryAgent::rank_changed() {
+  for (auto& [qid, qs] : queries_) shaper_.on_rank_changed(qs.q);
+}
+
+void QueryAgent::halt() {
+  halted_ = true;
+  for (auto& [qid, qs] : queries_) qs.epochs.clear();  // cancels all timers
+}
+
+}  // namespace essat::query

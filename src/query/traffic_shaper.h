@@ -1,0 +1,108 @@
+// Traffic-shaper interface: the contract between the query service and an
+// ESSAT traffic shaper (§4).
+//
+// The shaper owns the expected send time s(q,k) and the per-child expected
+// reception times r(q,k,c) of data reports. It feeds them incrementally to
+// the sleep scheduler through an ExpectedTimeSink (implemented by Safe
+// Sleep): "Upon receiving a data report for query q from child c, the
+// traffic shaping protocol computes r(q,c,k+1) while upon completing the
+// sending of a data report the traffic shaper computes s(q,k+1)" (§4.1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/net/types.h"
+#include "src/query/query.h"
+#include "src/routing/tree.h"
+#include "src/util/time.h"
+
+namespace essat::query {
+
+// Consumer of expected-time updates (core::SafeSleep). May be absent
+// (baselines run the query service without sleep scheduling).
+class ExpectedTimeSink {
+ public:
+  virtual ~ExpectedTimeSink() = default;
+  // The node's next expected send time for query q (q.snext in the paper).
+  virtual void update_next_send(net::QueryId q, util::Time t) = 0;
+  // The next expected reception time of child c's report (q.rnext(c)).
+  virtual void update_next_receive(net::QueryId q, net::NodeId child, util::Time t) = 0;
+  // Drop stale state (failed child / deregistered query, §4.3).
+  virtual void erase_child(net::QueryId q, net::NodeId child) = 0;
+  virtual void erase_query(net::QueryId q) = 0;
+};
+
+struct ShaperContext {
+  const routing::Tree* tree = nullptr;
+  net::NodeId self = net::kNoNode;
+  ExpectedTimeSink* sink = nullptr;  // may be null
+};
+
+class TrafficShaper {
+ public:
+  virtual ~TrafficShaper() = default;
+
+  void set_context(const ShaperContext& ctx) { ctx_ = ctx; }
+  virtual const char* name() const = 0;
+
+  // A new query was disseminated to this node. The shaper initializes
+  // s(q,0) / r(q,0,c) and pushes them to the sink.
+  virtual void register_query(const Query& q) = 0;
+
+  // The epoch-k report will be ready at `ready` (aggregation complete).
+  // Returns when to submit it to the MAC and, for DTS, the phase update to
+  // piggyback (the sender's s(k+1)) when a phase shift occurred or an
+  // explicit advertisement was requested.
+  struct SendPlan {
+    util::Time send_at;
+    std::optional<util::Time> phase_update;
+  };
+  virtual SendPlan plan_send(const Query& q, std::int64_t k, util::Time ready) = 0;
+
+  // The epoch-k report was submitted to the MAC at `sent` (== plan.send_at).
+  // The shaper computes s(q,k+1) and pushes it to the sink.
+  virtual void on_report_sent(const Query& q, std::int64_t k, util::Time sent) = 0;
+
+  // Child c's epoch-k report arrived (phase_update piggybacked if any).
+  // The shaper computes r(q,k+1,c) and pushes it to the sink.
+  virtual void on_report_received(const Query& q, std::int64_t k, net::NodeId child,
+                                  const std::optional<util::Time>& phase_update) = 0;
+
+  // Child c's epoch-k report never arrived (aggregation deadline fired).
+  // The shaper advances r to epoch k+1 so the node does not wait forever.
+  virtual void on_child_timeout(const Query& q, std::int64_t k, net::NodeId child) = 0;
+
+  // Deadline by which the node stops waiting for children and sends the
+  // aggregate it has (§4.3 "Selecting timeout values").
+  virtual util::Time aggregation_deadline(const Query& q, std::int64_t k) const = 0;
+
+  // Introspection (used by Safe Sleep bootstrap, tests and analysis).
+  virtual util::Time expected_send(const Query& q, std::int64_t k) const = 0;
+  virtual util::Time expected_receive(const Query& q, std::int64_t k,
+                                      net::NodeId child) const = 0;
+
+  // --- Maintenance hooks (§4.3) ----------------------------------------
+  // Rank/parent changes (topology repair). Defaults: no-op; STS recomputes
+  // its schedule, DTS forces a phase advertisement on its next send.
+  virtual void on_rank_changed(const Query& /*q*/) {}
+  virtual void on_parent_changed(const Query& /*q*/) {}
+  virtual void on_child_added(const Query& /*q*/, net::NodeId /*child*/) {}
+  virtual void on_child_removed(const Query& q, net::NodeId child) {
+    if (ctx_.sink) ctx_.sink->erase_child(q.id, child);
+  }
+  // A neighbor asked us to re-advertise our phase (DTS resync after loss).
+  virtual void on_phase_request(net::QueryId /*q*/) {}
+  // Should the agent request a phase update from `child` after detecting a
+  // sequence gap with no piggybacked update? Only DTS says yes.
+  virtual bool wants_phase_request_on_loss() const { return false; }
+
+  // Number of phase updates piggybacked so far (DTS overhead metric).
+  virtual std::uint64_t phase_updates_sent() const { return 0; }
+
+ protected:
+  const ShaperContext& ctx() const { return ctx_; }
+  ShaperContext ctx_;
+};
+
+}  // namespace essat::query

@@ -1,0 +1,37 @@
+#include "src/query/workload.h"
+
+#include <stdexcept>
+
+namespace essat::query {
+
+util::Time class_period(const WorkloadParams& params, int cls) {
+  if (cls < 0 || cls > 2) throw std::invalid_argument{"class_period: cls out of range"};
+  if (params.base_rate_hz <= 0.0) {
+    throw std::invalid_argument{"class_period: base rate must be positive"};
+  }
+  const double rate = params.base_rate_hz *
+                      static_cast<double>(params.rate_ratio[static_cast<std::size_t>(cls)]) /
+                      static_cast<double>(params.rate_ratio[0]);
+  return util::Time::from_seconds(1.0 / rate);
+}
+
+std::vector<Query> make_workload(const WorkloadParams& params, util::Rng& rng) {
+  std::vector<Query> out;
+  out.reserve(static_cast<std::size_t>(params.queries_per_class) * 3);
+  net::QueryId next_id = 0;
+  for (int cls = 0; cls < 3; ++cls) {
+    const util::Time period = class_period(params, cls);
+    for (int i = 0; i < params.queries_per_class; ++i) {
+      Query q;
+      q.id = next_id++;
+      q.period = period;
+      q.query_class = cls;
+      q.phase = params.start_window_begin +
+                rng.uniform_time(util::Time::zero(), params.start_window_length);
+      out.push_back(q);
+    }
+  }
+  return out;
+}
+
+}  // namespace essat::query

@@ -1,0 +1,33 @@
+// Workload generation following the paper's setup (§5): three query classes
+// with rate ratio Q1:Q2:Q3 = 6:3:2; Q1's rate is the base rate. Each query
+// starts at a random time within a start window.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "src/query/query.h"
+#include "src/util/rng.h"
+#include "src/util/time.h"
+
+namespace essat::query {
+
+struct WorkloadParams {
+  double base_rate_hz = 1.0;           // Q1's report rate
+  int queries_per_class = 1;
+  std::array<int, 3> rate_ratio = {6, 3, 2};
+  // Query start times (φ) are drawn uniformly from
+  // [start_window_begin, start_window_begin + start_window_length).
+  util::Time start_window_begin = util::Time::zero();
+  util::Time start_window_length = util::Time::seconds(10);
+};
+
+// Builds `3 * queries_per_class` queries with deterministic ids (class-major
+// order) and randomized phases.
+std::vector<Query> make_workload(const WorkloadParams& params, util::Rng& rng);
+
+// Period of a query in class `cls` (0-based) at the given base rate:
+// rate_cls = base * ratio[cls] / ratio[0].
+util::Time class_period(const WorkloadParams& params, int cls);
+
+}  // namespace essat::query

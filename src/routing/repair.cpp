@@ -1,0 +1,100 @@
+#include "src/routing/repair.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace essat::routing {
+
+RepairService::RepairService(const net::Topology& topo, Tree& tree, Hooks hooks)
+    : topo_{topo}, tree_{tree}, hooks_{std::move(hooks)} {}
+
+std::vector<int> RepairService::snapshot_ranks_() const {
+  std::vector<int> out(tree_.num_nodes(), -1);
+  for (net::NodeId n : tree_.members()) {
+    out[static_cast<std::size_t>(n)] = tree_.rank(n);
+  }
+  return out;
+}
+
+void RepairService::fire_rank_changes_(const std::vector<int>& ranks_before) {
+  if (!hooks_.on_rank_changed) return;
+  for (net::NodeId n : tree_.members()) {
+    if (tree_.rank(n) != ranks_before[static_cast<std::size_t>(n)]) {
+      hooks_.on_rank_changed(n);
+    }
+  }
+}
+
+bool RepairService::reparent(net::NodeId n,
+                             const std::function<bool(net::NodeId)>& alive) {
+  if (!tree_.is_member(n)) return false;
+  net::NodeId best = net::kNoNode;
+  int best_level = std::numeric_limits<int>::max();
+  for (net::NodeId cand : topo_.neighbors(n)) {
+    if (!tree_.is_member(cand)) continue;
+    if (cand == tree_.parent(n)) continue;  // the unreachable parent
+    if (tree_.in_subtree(n, cand)) continue;
+    if (alive && !alive(cand)) continue;
+    if (tree_.level(cand) < best_level) {
+      best_level = tree_.level(cand);
+      best = cand;
+    }
+  }
+  if (best == net::kNoNode) return false;
+
+  const auto ranks_before = snapshot_ranks_();
+  const net::NodeId old_parent = tree_.parent(n);
+  tree_.change_parent(n, best);
+  tree_.recompute_ranks();
+  if (hooks_.on_child_removed && old_parent != net::kNoNode &&
+      tree_.is_member(old_parent)) {
+    hooks_.on_child_removed(old_parent, n);
+  }
+  if (hooks_.on_parent_changed) hooks_.on_parent_changed(n, best);
+  fire_rank_changes_(ranks_before);
+  return true;
+}
+
+std::vector<net::NodeId> RepairService::remove_failed_node(
+    net::NodeId failed, const std::function<bool(net::NodeId)>& alive) {
+  if (!tree_.is_member(failed)) return {};
+  const auto ranks_before = snapshot_ranks_();
+  const net::NodeId parent = tree_.parent(failed);
+  const std::vector<net::NodeId> orphans = tree_.remove_node(failed);
+  tree_.recompute_ranks();
+  if (hooks_.on_child_removed && parent != net::kNoNode && tree_.is_member(parent)) {
+    hooks_.on_child_removed(parent, failed);
+  }
+  fire_rank_changes_(ranks_before);
+
+  // Re-attach orphaned subtree roots bottom-up: each orphan rejoins through
+  // any alive member neighbor.
+  std::vector<net::NodeId> stranded;
+  for (net::NodeId orphan : orphans) {
+    if (!alive || alive(orphan)) {
+      // Orphans lost membership; re-add under the best member neighbor.
+      net::NodeId best = net::kNoNode;
+      int best_level = std::numeric_limits<int>::max();
+      for (net::NodeId cand : topo_.neighbors(orphan)) {
+        if (!tree_.is_member(cand)) continue;
+        if (alive && !alive(cand)) continue;
+        if (tree_.level(cand) < best_level) {
+          best_level = tree_.level(cand);
+          best = cand;
+        }
+      }
+      if (best != net::kNoNode) {
+        const auto before = snapshot_ranks_();
+        tree_.add_node(orphan, best);
+        tree_.recompute_ranks();
+        if (hooks_.on_parent_changed) hooks_.on_parent_changed(orphan, best);
+        fire_rank_changes_(before);
+        continue;
+      }
+    }
+    stranded.push_back(orphan);
+  }
+  return stranded;
+}
+
+}  // namespace essat::routing

@@ -1,0 +1,54 @@
+// Topology repair (§4.3, "Topology changes"): when persistent node or link
+// failures are detected, "the query service or routing protocol is
+// responsible for reconfiguring the routing tree". RepairService performs
+// the structural changes and reports exactly which nodes' ranks changed so
+// shapers can react per protocol (NTS: nothing; STS: recompute s/r; DTS:
+// one phase update on the first report to the new parent).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "src/net/topology.h"
+#include "src/routing/tree.h"
+
+namespace essat::routing {
+
+class RepairService {
+ public:
+  struct Hooks {
+    // Fired for each member whose rank changed after a repair.
+    std::function<void(net::NodeId node)> on_rank_changed;
+    // Fired on the (surviving) parent that lost `child`.
+    std::function<void(net::NodeId parent, net::NodeId child)> on_child_removed;
+    // Fired on the node that gained a new parent, and on that parent.
+    std::function<void(net::NodeId child, net::NodeId new_parent)> on_parent_changed;
+  };
+
+  RepairService(const net::Topology& topo, Tree& tree, Hooks hooks = {});
+
+  // Hooks may be installed after construction (the maintenance service that
+  // provides them needs a reference to this object first).
+  void set_hooks(Hooks hooks) { hooks_ = std::move(hooks); }
+
+  // Child-side recovery: `n` can no longer reach its parent. Re-attaches n
+  // (with its subtree) under the best alive neighbor: a tree member, not in
+  // n's own subtree, lowest level. Returns false when no candidate exists
+  // (n stays orphaned). `alive` filters candidates.
+  bool reparent(net::NodeId n, const std::function<bool(net::NodeId)>& alive);
+
+  // Parent-side recovery: `failed` is dead. Removes it; each orphaned child
+  // attempts reparent(). Returns the orphans that could not be re-attached.
+  std::vector<net::NodeId> remove_failed_node(
+      net::NodeId failed, const std::function<bool(net::NodeId)>& alive);
+
+ private:
+  void fire_rank_changes_(const std::vector<int>& ranks_before);
+  std::vector<int> snapshot_ranks_() const;
+
+  const net::Topology& topo_;
+  Tree& tree_;
+  Hooks hooks_;
+};
+
+}  // namespace essat::routing

@@ -1,0 +1,114 @@
+#include "src/routing/tree_protocol.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace essat::routing {
+
+TreeSetupProtocol::TreeSetupProtocol(sim::Simulator& sim, const net::Topology& topo,
+                                     net::NodeId root, TreeSetupParams params,
+                                     util::Rng rng)
+    : sim_{sim},
+      topo_{topo},
+      root_{root},
+      params_{params},
+      rng_{rng},
+      nodes_(topo.num_nodes()),
+      macs_(topo.num_nodes(), nullptr) {
+  const net::Position root_pos = topo_.position(root_);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i].participates =
+        net::distance(topo_.position(static_cast<net::NodeId>(i)), root_pos) <=
+        params_.max_dist_from_root;
+  }
+  nodes_.at(static_cast<std::size_t>(root_)).level = 0;
+}
+
+void TreeSetupProtocol::attach_mac(net::NodeId node, mac::CsmaMac* mac) {
+  macs_.at(static_cast<std::size_t>(node)) = mac;
+}
+
+void TreeSetupProtocol::start(std::function<void(Tree)> on_complete) {
+  auto* root_mac = macs_.at(static_cast<std::size_t>(root_));
+  if (root_mac == nullptr) throw std::logic_error{"TreeSetupProtocol: root MAC not attached"};
+  root_mac->send(net::make_setup_packet(root_, root_, 0));
+
+  // JOIN phase: every node that found a parent announces itself, jittered to
+  // avoid a synchronized burst.
+  sim_.schedule_in(params_.join_at, [this] {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      const auto n = static_cast<net::NodeId>(i);
+      auto& st = nodes_[i];
+      if (n == root_ || !st.participates || st.parent == net::kNoNode) continue;
+      const util::Time jitter =
+          rng_.uniform_time(util::Time::zero(), params_.rebroadcast_jitter * 4);
+      sim_.schedule_in(jitter, [this, n, parent = st.parent] {
+        macs_.at(static_cast<std::size_t>(n))->send(net::make_join_packet(n, parent));
+      });
+    }
+  });
+
+  sim_.schedule_in(params_.finalize_after,
+                   [this, cb = std::move(on_complete)] { cb(assemble_()); });
+}
+
+void TreeSetupProtocol::handle_packet(net::NodeId self, const net::Packet& p) {
+  auto& st = nodes_.at(static_cast<std::size_t>(self));
+  switch (p.type) {
+    case net::PacketType::kSetup: {
+      if (self == root_ || !st.participates) return;
+      const int offered = p.setup().level + 1;
+      if (st.level == -1 || offered < st.level) {
+        st.level = offered;
+        st.parent = p.link_src;
+        schedule_rebroadcast_(self);
+      }
+      return;
+    }
+    case net::PacketType::kJoin:
+      ++joins_received_;
+      return;
+    default:
+      return;
+  }
+}
+
+void TreeSetupProtocol::schedule_rebroadcast_(net::NodeId n) {
+  auto& st = nodes_.at(static_cast<std::size_t>(n));
+  if (st.rebroadcast_pending || st.rebroadcasts >= params_.max_rebroadcasts) return;
+  st.rebroadcast_pending = true;
+  const util::Time jitter =
+      rng_.uniform_time(util::Time::microseconds(100), params_.rebroadcast_jitter);
+  sim_.schedule_in(jitter, [this, n] {
+    auto& s = nodes_.at(static_cast<std::size_t>(n));
+    s.rebroadcast_pending = false;
+    ++s.rebroadcasts;
+    macs_.at(static_cast<std::size_t>(n))->send(net::make_setup_packet(n, root_, s.level));
+  });
+}
+
+Tree TreeSetupProtocol::assemble_() const {
+  Tree tree{topo_.num_nodes()};
+  tree.set_root(root_);
+  // Insert members in ascending level order so parents precede children.
+  std::vector<net::NodeId> order;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const auto n = static_cast<net::NodeId>(i);
+    if (n != root_ && nodes_[i].participates && nodes_[i].parent != net::kNoNode) {
+      order.push_back(n);
+    }
+  }
+  std::sort(order.begin(), order.end(), [this](net::NodeId a, net::NodeId b) {
+    const int la = nodes_[static_cast<std::size_t>(a)].level;
+    const int lb = nodes_[static_cast<std::size_t>(b)].level;
+    return la != lb ? la < lb : a < b;
+  });
+  for (net::NodeId n : order) {
+    const net::NodeId parent = nodes_[static_cast<std::size_t>(n)].parent;
+    if (tree.is_member(parent)) tree.add_node(n, parent);
+  }
+  tree.recompute_ranks();
+  return tree;
+}
+
+}  // namespace essat::routing

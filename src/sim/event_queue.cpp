@@ -1,0 +1,55 @@
+#include "src/sim/event_queue.h"
+
+#include <cassert>
+
+namespace essat::sim {
+
+EventId EventQueue::push(util::Time t, Callback cb) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, next_seq_++, id, std::move(cb)});
+  live_.insert(id);
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (id == kInvalidEventId) return;
+  // Only ids that are actually pending get a tombstone; cancelling an
+  // already-fired or unknown id is a no-op.
+  if (live_.erase(id) != 0) cancelled_.insert(id);
+}
+
+void EventQueue::drop_cancelled_() const {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const {
+  drop_cancelled_();
+  return heap_.empty();
+}
+
+util::Time EventQueue::next_time() const {
+  drop_cancelled_();
+  assert(!heap_.empty());
+  return heap_.top().time;
+}
+
+std::pair<util::Time, EventQueue::Callback> EventQueue::pop() {
+  drop_cancelled_();
+  assert(!heap_.empty());
+  // priority_queue::top() is const; the entry is moved out via const_cast,
+  // which is safe because pop() immediately removes it.
+  auto& top = const_cast<Entry&>(heap_.top());
+  std::pair<util::Time, Callback> out{top.time, std::move(top.cb)};
+  live_.erase(top.id);
+  heap_.pop();
+  return out;
+}
+
+std::size_t EventQueue::size() const { return live_.size(); }
+
+}  // namespace essat::sim

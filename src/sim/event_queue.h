@@ -1,0 +1,63 @@
+// Priority queue of timestamped events with O(log n) insertion and lazy
+// cancellation. Events at the same timestamp fire in insertion order, which
+// makes simulation runs fully deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/util/time.h"
+
+namespace essat::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Enqueues `cb` to fire at `t`. Returns a handle usable with `cancel`.
+  EventId push(util::Time t, Callback cb);
+  // Marks an event as cancelled; it is discarded when it reaches the head.
+  // Cancelling an unknown or already-fired id is a harmless no-op.
+  void cancel(EventId id);
+
+  bool empty() const;
+  // Timestamp of the next live event. Precondition: !empty().
+  util::Time next_time() const;
+  // Removes and returns the next live event. Precondition: !empty().
+  std::pair<util::Time, Callback> pop();
+
+  std::size_t size() const;  // live events only
+
+ private:
+  struct Entry {
+    util::Time time;
+    std::uint64_t seq = 0;
+    EventId id = kInvalidEventId;
+    Callback cb;
+    // Min-heap on (time, seq): std::priority_queue is a max-heap, so the
+    // comparison is reversed.
+    bool operator<(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  // Pops cancelled entries off the head; they are dead, so this is
+  // observably const.
+  void drop_cancelled_() const;
+
+  mutable std::priority_queue<Entry> heap_;
+  mutable std::unordered_set<EventId> cancelled_;
+  std::unordered_set<EventId> live_;  // pushed, not yet popped or cancelled
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+};
+
+}  // namespace essat::sim

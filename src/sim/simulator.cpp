@@ -1,0 +1,36 @@
+#include "src/sim/simulator.h"
+
+#include <algorithm>
+
+namespace essat::sim {
+
+EventId Simulator::schedule_at(util::Time t, Callback cb) {
+  return queue_.push(std::max(t, now_), std::move(cb));
+}
+
+EventId Simulator::schedule_in(util::Time delay, Callback cb) {
+  return schedule_at(now_ + std::max(delay, util::Time::zero()), std::move(cb));
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    auto [t, cb] = queue_.pop();
+    now_ = t;
+    ++executed_;
+    cb();
+  }
+}
+
+void Simulator::run_until(util::Time end) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.next_time() <= end) {
+    auto [t, cb] = queue_.pop();
+    now_ = t;
+    ++executed_;
+    cb();
+  }
+  if (!stopped_) now_ = std::max(now_, end);
+}
+
+}  // namespace essat::sim

@@ -1,0 +1,45 @@
+// Discrete-event simulator: a virtual clock plus an event queue.
+//
+// All substrates (channel, MAC, radio, query service, Safe Sleep) schedule
+// callbacks against one Simulator instance; there is no wall-clock anywhere
+// in the library.
+#pragma once
+
+#include <functional>
+
+#include "src/sim/event_queue.h"
+#include "src/util/time.h"
+
+namespace essat::sim {
+
+class Simulator {
+ public:
+  using Callback = EventQueue::Callback;
+
+  // Current virtual time. Starts at 0.
+  util::Time now() const { return now_; }
+
+  // Schedules `cb` at absolute time `t` (clamped to `now()` if in the past).
+  EventId schedule_at(util::Time t, Callback cb);
+  // Schedules `cb` after `delay` (clamped to 0 if negative).
+  EventId schedule_in(util::Time delay, Callback cb);
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  // Runs events until the queue empties or `stop()` is called.
+  void run();
+  // Runs events with timestamp <= `end`, then advances the clock to `end`.
+  void run_until(util::Time end);
+  // Stops the current run() / run_until() after the in-flight event returns.
+  void stop() { stopped_ = true; }
+
+  std::size_t pending_events() const { return queue_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  util::Time now_ = util::Time::zero();
+  EventQueue queue_;
+  bool stopped_ = false;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace essat::sim

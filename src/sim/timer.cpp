@@ -1,0 +1,40 @@
+#include "src/sim/timer.h"
+
+namespace essat::sim {
+
+// Moving an armed Timer cancels the pending callback: the scheduled closure
+// captures the Timer's address, which a move invalidates. Arms are cheap, so
+// owners re-arm after container reallocation if needed. In practice Timers
+// are armed only after their owner reaches its final address.
+Timer::Timer(Timer&& other) noexcept : sim_{other.sim_} { other.cancel(); }
+
+Timer& Timer::operator=(Timer&& other) noexcept {
+  if (this != &other) {
+    cancel();
+    sim_ = other.sim_;
+    other.cancel();
+  }
+  return *this;
+}
+
+void Timer::arm_at(util::Time t, std::function<void()> cb) {
+  cancel();
+  fire_time_ = t;
+  id_ = sim_->schedule_at(t, [this, cb = std::move(cb)] {
+    id_ = kInvalidEventId;
+    cb();
+  });
+}
+
+void Timer::arm_in(util::Time delay, std::function<void()> cb) {
+  arm_at(sim_->now() + delay, std::move(cb));
+}
+
+void Timer::cancel() {
+  if (id_ != kInvalidEventId) {
+    sim_->cancel(id_);
+    id_ = kInvalidEventId;
+  }
+}
+
+}  // namespace essat::sim

@@ -1,0 +1,38 @@
+// Cancellable one-shot timer with RAII semantics: destroying (or re-arming)
+// a Timer cancels any pending callback, so dangling fires are impossible as
+// long as the Timer outlives its owner’s interest in the event.
+#pragma once
+
+#include <functional>
+
+#include "src/sim/simulator.h"
+
+namespace essat::sim {
+
+class Timer {
+ public:
+  explicit Timer(Simulator& sim) : sim_{&sim} {}
+  ~Timer() { cancel(); }
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+  Timer(Timer&& other) noexcept;
+  Timer& operator=(Timer&& other) noexcept;
+
+  // (Re)arms the timer to fire at absolute time `t`. A pending arm is
+  // cancelled first.
+  void arm_at(util::Time t, std::function<void()> cb);
+  void arm_in(util::Time delay, std::function<void()> cb);
+  void cancel();
+
+  bool armed() const { return id_ != kInvalidEventId; }
+  // Absolute fire time of the pending arm; meaningful only when armed().
+  util::Time fire_time() const { return fire_time_; }
+
+ private:
+  Simulator* sim_;
+  EventId id_ = kInvalidEventId;
+  util::Time fire_time_ = util::Time::zero();
+};
+
+}  // namespace essat::sim

@@ -1,0 +1,58 @@
+#include "src/util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace essat::util {
+
+Histogram::Histogram(double lo, double bin_width, std::size_t num_bins)
+    : lo_{lo}, bin_width_{bin_width}, counts_(num_bins, 0) {
+  if (bin_width <= 0.0 || num_bins == 0) {
+    throw std::invalid_argument{"Histogram: bin_width and num_bins must be positive"};
+  }
+}
+
+void Histogram::add(double value) {
+  raw_.push_back(value);
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  const auto bin = static_cast<std::size_t>((value - lo_) / bin_width_);
+  if (bin >= counts_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[bin];
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.counts_.size() != counts_.size() || other.lo_ != lo_ ||
+      other.bin_width_ != bin_width_) {
+    throw std::invalid_argument{"Histogram::merge: incompatible layout"};
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  raw_.insert(raw_.end(), other.raw_.begin(), other.raw_.end());
+}
+
+std::uint64_t Histogram::total() const {
+  std::uint64_t t = underflow_ + overflow_;
+  for (auto c : counts_) t += c;
+  return t;
+}
+
+double Histogram::bin_upper_edge(std::size_t bin) const {
+  return lo_ + bin_width_ * static_cast<double>(bin + 1);
+}
+
+double Histogram::frac_below_(double threshold) const {
+  if (raw_.empty()) return 0.0;
+  const auto below = std::count_if(raw_.begin(), raw_.end(),
+                                   [&](double v) { return v < threshold; });
+  return static_cast<double>(below) / static_cast<double>(raw_.size());
+}
+
+}  // namespace essat::util

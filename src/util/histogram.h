@@ -1,0 +1,43 @@
+// Fixed-bin-width histogram, used for the paper's Figure 8
+// (distribution of sleep-interval lengths in 25 ms bins).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace essat::util {
+
+class Histogram {
+ public:
+  // Bins cover [lo, lo + bin_width), [lo + bin_width, lo + 2*bin_width), ...
+  // with `num_bins` bins. Values below `lo` land in the underflow counter;
+  // values at or above the last bin edge land in the overflow counter.
+  Histogram(double lo, double bin_width, std::size_t num_bins);
+
+  void add(double value);
+  void merge(const Histogram& other);
+
+  std::size_t num_bins() const { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const;
+  // Inclusive upper edge label as used by the paper's Fig. 8 ("the number of
+  // sleep intervals whose length falls in the range [x-25, x] ms").
+  double bin_upper_edge(std::size_t bin) const;
+  // Fraction of all recorded values strictly below `threshold`.
+  double fraction_below(double threshold) const { return frac_below_(threshold); }
+
+ private:
+  double frac_below_(double threshold) const;
+
+  double lo_;
+  double bin_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::vector<double> raw_;  // retained for exact threshold queries
+};
+
+}  // namespace essat::util

@@ -1,0 +1,32 @@
+// Minimal leveled logging. Disabled (kWarn) by default so simulation hot
+// paths stay quiet; tests and examples can raise verbosity.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace essat::util {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+// Global threshold: messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// Emits `msg` to stderr if `level` >= the global threshold.
+void log(LogLevel level, const std::string& msg);
+
+#define ESSAT_LOG(level, ...)                                           \
+  do {                                                                  \
+    if ((level) >= ::essat::util::log_level()) {                        \
+      char _essat_buf[512];                                             \
+      std::snprintf(_essat_buf, sizeof _essat_buf, __VA_ARGS__);        \
+      ::essat::util::log((level), _essat_buf);                          \
+    }                                                                   \
+  } while (0)
+
+#define ESSAT_DEBUG(...) ESSAT_LOG(::essat::util::LogLevel::kDebug, __VA_ARGS__)
+#define ESSAT_INFO(...) ESSAT_LOG(::essat::util::LogLevel::kInfo, __VA_ARGS__)
+#define ESSAT_WARN(...) ESSAT_LOG(::essat::util::LogLevel::kWarn, __VA_ARGS__)
+
+}  // namespace essat::util

@@ -1,0 +1,47 @@
+#include "src/util/rng.h"
+
+namespace essat::util {
+namespace {
+
+// SplitMix64: well-distributed seeding and stream derivation.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_{seed}, gen_{splitmix64(seed)} {}
+
+Rng Rng::fork(std::uint64_t stream) const {
+  return Rng{splitmix64(seed_ ^ splitmix64(stream + 0x517cc1b727220a95ULL))};
+}
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> d{lo, hi};
+  return d(gen_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  std::uniform_int_distribution<std::int64_t> d{lo, hi};
+  return d(gen_);
+}
+
+Time Rng::uniform_time(Time lo, Time hi) {
+  if (hi <= lo) return lo;
+  return Time::nanoseconds(uniform_int(lo.ns(), hi.ns() - 1));
+}
+
+double Rng::exponential(double mean) {
+  std::exponential_distribution<double> d{1.0 / mean};
+  return d(gen_);
+}
+
+bool Rng::bernoulli(double p) {
+  std::bernoulli_distribution d{p};
+  return d(gen_);
+}
+
+}  // namespace essat::util

@@ -1,0 +1,39 @@
+// Deterministic random number generation for reproducible simulation runs.
+//
+// Every simulation run is parameterized by a single 64-bit seed; independent
+// streams (node placement, query phases, MAC backoff per node, ...) are
+// derived with `fork`, so adding a consumer never perturbs other streams.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "src/util/time.h"
+
+namespace essat::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Derives an independent generator; deterministic in (seed, stream).
+  Rng fork(std::uint64_t stream) const;
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  // Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  // Uniform Time in [lo, hi).
+  Time uniform_time(Time lo, Time hi);
+  // Exponential with the given mean (> 0).
+  double exponential(double mean);
+  bool bernoulli(double p);
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+  std::mt19937_64 gen_;
+};
+
+}  // namespace essat::util

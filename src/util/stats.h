@@ -1,0 +1,45 @@
+// Streaming statistics and confidence intervals for experiment metrics.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace essat::util {
+
+// Welford's online mean/variance. Numerically stable; O(1) space.
+class RunningStat {
+ public:
+  void add(double x);
+  // Merges another accumulator (parallel-runs aggregation).
+  void merge(const RunningStat& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+  // Half-width of the two-sided confidence interval at the given level
+  // using the Student t distribution (level in {0.90, 0.95, 0.99}).
+  double ci_halfwidth(double level = 0.90) const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Critical value of the Student t distribution, two-sided, for n-1 degrees
+// of freedom. Tabulated for small n, normal approximation above 30.
+double t_critical(std::size_t n, double level);
+
+// p-th percentile (0..100) by linear interpolation; `values` is copied and
+// sorted internally. Returns 0 for an empty input.
+double percentile(std::vector<double> values, double p);
+
+}  // namespace essat::util

@@ -1,0 +1,95 @@
+// Simulation time: a strong integer-nanosecond type.
+//
+// All protocol timing in this library (query periods, MAC backoff slots,
+// radio transition delays, break-even times) is expressed in `Time`.
+// Integer nanoseconds give exact arithmetic — essential for a discrete-event
+// simulator where equality of timestamps is meaningful (e.g. Safe Sleep's
+// "wake exactly at t_wakeup - t_OFF_ON").
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <string>
+
+namespace essat::util {
+
+class Time {
+ public:
+  constexpr Time() = default;
+
+  // Named constructors. Fractional inputs are rounded to the nearest ns.
+  static constexpr Time nanoseconds(std::int64_t ns) { return Time{ns}; }
+  static constexpr Time microseconds(std::int64_t us) { return Time{us * 1000}; }
+  static constexpr Time milliseconds(std::int64_t ms) { return Time{ms * 1'000'000}; }
+  static constexpr Time seconds(std::int64_t s) { return Time{s * 1'000'000'000}; }
+  static constexpr Time from_seconds(double s) {
+    return Time{static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5))};
+  }
+  static constexpr Time from_milliseconds(double ms) { return from_seconds(ms * 1e-3); }
+  static constexpr Time zero() { return Time{0}; }
+  static constexpr Time max() { return Time{std::numeric_limits<std::int64_t>::max()}; }
+  static constexpr Time min() { return Time{std::numeric_limits<std::int64_t>::min()}; }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double to_milliseconds() const { return static_cast<double>(ns_) * 1e-6; }
+
+  constexpr bool is_zero() const { return ns_ == 0; }
+  constexpr bool is_negative() const { return ns_ < 0; }
+
+  friend constexpr Time operator+(Time a, Time b) { return Time{a.ns_ + b.ns_}; }
+  friend constexpr Time operator-(Time a, Time b) { return Time{a.ns_ - b.ns_}; }
+  constexpr Time operator-() const { return Time{-ns_}; }
+  friend constexpr Time operator*(Time a, std::int64_t k) { return Time{a.ns_ * k}; }
+  friend constexpr Time operator*(std::int64_t k, Time a) { return Time{a.ns_ * k}; }
+  friend constexpr Time operator*(Time a, int k) { return Time{a.ns_ * k}; }
+  friend constexpr Time operator*(int k, Time a) { return Time{a.ns_ * k}; }
+  friend constexpr Time operator*(Time a, double k) {
+    return from_seconds(a.to_seconds() * k);
+  }
+  friend constexpr Time operator/(Time a, std::int64_t k) { return Time{a.ns_ / k}; }
+  // Ratio of two durations (e.g. duty cycle = active / window).
+  friend constexpr double operator/(Time a, Time b) {
+    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
+  }
+  Time& operator+=(Time b) { ns_ += b.ns_; return *this; }
+  Time& operator-=(Time b) { ns_ -= b.ns_; return *this; }
+
+  friend constexpr bool operator==(Time a, Time b) { return a.ns_ == b.ns_; }
+  friend constexpr bool operator!=(Time a, Time b) { return a.ns_ != b.ns_; }
+  friend constexpr bool operator<(Time a, Time b) { return a.ns_ < b.ns_; }
+  friend constexpr bool operator<=(Time a, Time b) { return a.ns_ <= b.ns_; }
+  friend constexpr bool operator>(Time a, Time b) { return a.ns_ > b.ns_; }
+  friend constexpr bool operator>=(Time a, Time b) { return a.ns_ >= b.ns_; }
+
+  std::string to_string() const {
+    // Human-readable with the most natural unit.
+    const double s = to_seconds();
+    char buf[64];
+    if (ns_ == 0) return "0s";
+    if (s >= 1.0 || s <= -1.0) {
+      std::snprintf(buf, sizeof buf, "%.6gs", s);
+    } else if (s >= 1e-3 || s <= -1e-3) {
+      std::snprintf(buf, sizeof buf, "%.6gms", s * 1e3);
+    } else {
+      std::snprintf(buf, sizeof buf, "%.6gus", s * 1e6);
+    }
+    return buf;
+  }
+
+ private:
+  constexpr explicit Time(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_ = 0;
+};
+
+namespace time_literals {
+constexpr Time operator""_sec(unsigned long long v) { return Time::seconds(static_cast<std::int64_t>(v)); }
+constexpr Time operator""_sec(long double v) { return Time::from_seconds(static_cast<double>(v)); }
+constexpr Time operator""_ms(unsigned long long v) { return Time::milliseconds(static_cast<std::int64_t>(v)); }
+constexpr Time operator""_ms(long double v) { return Time::from_seconds(static_cast<double>(v) * 1e-3); }
+constexpr Time operator""_us(unsigned long long v) { return Time::microseconds(static_cast<std::int64_t>(v)); }
+constexpr Time operator""_ns(unsigned long long v) { return Time::nanoseconds(static_cast<std::int64_t>(v)); }
+}  // namespace time_literals
+
+}  // namespace essat::util

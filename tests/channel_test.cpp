@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/net/channel.h"
+#include "src/sim/simulator.h"
+
+namespace essat::net {
+namespace {
+
+using util::Time;
+
+// Three nodes on a line: 0 -- 1 -- 2, with 0 and 2 hidden from each other.
+Topology line_topo() { return Topology::line(3, 100.0, 125.0); }
+
+struct Listener {
+  bool listening = true;
+  std::vector<std::pair<Packet, bool>> received;
+
+  Channel::Attachment attachment() {
+    return Channel::Attachment{
+        [this] { return listening; },
+        [this](const Packet& p, bool ok) { received.emplace_back(p, ok); },
+        nullptr,
+    };
+  }
+};
+
+Packet test_packet(NodeId src, NodeId dst) {
+  DataHeader h;
+  h.query = 1;
+  return make_data_packet(src, dst, h);
+}
+
+TEST(Channel, DeliversToInRangeListener) {
+  sim::Simulator sim;
+  Topology topo = line_topo();
+  Channel ch{sim, topo};
+  Listener l1, l2;
+  ch.attach(1, l1.attachment());
+  ch.attach(2, l2.attachment());
+
+  ch.start_tx(0, test_packet(0, 1), Time::microseconds(500));
+  sim.run();
+
+  ASSERT_EQ(l1.received.size(), 1u);
+  EXPECT_TRUE(l1.received[0].second);
+  EXPECT_EQ(l1.received[0].first.link_src, 0);
+  // Node 2 is out of range of node 0: hears nothing.
+  EXPECT_TRUE(l2.received.empty());
+  EXPECT_EQ(ch.delivered(), 1u);
+}
+
+TEST(Channel, NoDeliveryWhenNotListeningAtStart) {
+  sim::Simulator sim;
+  Topology topo = line_topo();
+  Channel ch{sim, topo};
+  Listener l1;
+  l1.listening = false;
+  ch.attach(1, l1.attachment());
+
+  ch.start_tx(0, test_packet(0, 1), Time::microseconds(500));
+  sim.run();
+  EXPECT_TRUE(l1.received.empty());
+}
+
+TEST(Channel, ListenerMustStayOnForWholeFrame) {
+  sim::Simulator sim;
+  Topology topo = line_topo();
+  Channel ch{sim, topo};
+  Listener l1;
+  ch.attach(1, l1.attachment());
+
+  ch.start_tx(0, test_packet(0, 1), Time::microseconds(500));
+  // Radio drops mid-frame.
+  sim.schedule_at(Time::microseconds(200), [&] { l1.listening = false; });
+  sim.run();
+  ASSERT_EQ(l1.received.size(), 1u);
+  EXPECT_FALSE(l1.received[0].second);  // reception abandoned
+  EXPECT_EQ(ch.delivered(), 0u);
+}
+
+TEST(Channel, HiddenTerminalCollisionCorruptsBoth) {
+  sim::Simulator sim;
+  Topology topo = line_topo();  // 0 and 2 both reach 1, not each other
+  Channel ch{sim, topo};
+  Listener l1;
+  ch.attach(1, l1.attachment());
+
+  ch.start_tx(0, test_packet(0, 1), Time::microseconds(500));
+  sim.schedule_at(Time::microseconds(100), [&] {
+    ch.start_tx(2, test_packet(2, 1), Time::microseconds(500));
+  });
+  sim.run();
+
+  // Equidistant senders: no capture; the first reception is corrupted.
+  ASSERT_EQ(l1.received.size(), 1u);
+  EXPECT_FALSE(l1.received[0].second);
+  EXPECT_GE(ch.collisions(), 1u);
+}
+
+TEST(Channel, CaptureKeepsMuchStrongerFrame) {
+  sim::Simulator sim;
+  // Node 1 at 10 m from sender 0 and 120 m from sender 2: distance ratio 12
+  // >> 1.78, so node 1 captures 0's frame.
+  Topology topo{{{0, 0}, {10, 0}, {130, 0}}, 125.0};
+  Channel ch{sim, topo};
+  Listener l1;
+  ch.attach(1, l1.attachment());
+
+  ch.start_tx(0, test_packet(0, 1), Time::microseconds(500));
+  sim.schedule_at(Time::microseconds(100), [&] {
+    ch.start_tx(2, test_packet(2, 1), Time::microseconds(500));
+  });
+  sim.run();
+
+  ASSERT_GE(l1.received.size(), 1u);
+  EXPECT_TRUE(l1.received[0].second);
+  EXPECT_EQ(l1.received[0].first.link_src, 0);
+}
+
+TEST(Channel, CaptureDisabledMeansAllOverlapsCollide) {
+  sim::Simulator sim;
+  Topology topo{{{0, 0}, {10, 0}, {130, 0}}, 125.0};
+  ChannelParams params;
+  params.capture_distance_ratio = 0.0;
+  Channel ch{sim, topo, params};
+  Listener l1;
+  ch.attach(1, l1.attachment());
+
+  ch.start_tx(0, test_packet(0, 1), Time::microseconds(500));
+  sim.schedule_at(Time::microseconds(100), [&] {
+    ch.start_tx(2, test_packet(2, 1), Time::microseconds(500));
+  });
+  sim.run();
+  ASSERT_EQ(l1.received.size(), 1u);
+  EXPECT_FALSE(l1.received[0].second);
+}
+
+TEST(Channel, SenderCannotHearWhileTransmitting) {
+  sim::Simulator sim;
+  Topology topo = line_topo();
+  Channel ch{sim, topo};
+  Listener l0, l1;
+  ch.attach(0, l0.attachment());
+  ch.attach(1, l1.attachment());
+
+  ch.start_tx(0, test_packet(0, 1), Time::microseconds(500));
+  sim.schedule_at(Time::microseconds(50), [&] {
+    ch.start_tx(1, test_packet(1, 0), Time::microseconds(500));
+  });
+  sim.run();
+  // Node 0 was transmitting when 1's frame started arriving: no delivery.
+  for (const auto& [p, ok] : l0.received) EXPECT_FALSE(ok);
+  // Node 1 started transmitting mid-reception: its reception is corrupted.
+  for (const auto& [p, ok] : l1.received) EXPECT_FALSE(ok);
+}
+
+TEST(Channel, CarrierSenseTracksArrivals) {
+  sim::Simulator sim;
+  Topology topo = line_topo();
+  Channel ch{sim, topo};
+  Listener l1;
+  ch.attach(1, l1.attachment());
+
+  EXPECT_FALSE(ch.busy(1));
+  ch.start_tx(0, test_packet(0, 1), Time::microseconds(500));
+  // Busy at the sender immediately; at the receiver after propagation.
+  EXPECT_TRUE(ch.busy(0));
+  sim.run_until(Time::microseconds(10));
+  EXPECT_TRUE(ch.busy(1));
+  EXPECT_FALSE(ch.busy(2));  // node 2 neighbors 1, not the sender 0
+  sim.run_until(Time::milliseconds(2));
+  EXPECT_FALSE(ch.busy(0));
+  EXPECT_FALSE(ch.busy(1));
+}
+
+TEST(Channel, ActivityNotificationsFire) {
+  sim::Simulator sim;
+  Topology topo = line_topo();
+  Channel ch{sim, topo};
+  int notifications = 0;
+  ch.attach(1, Channel::Attachment{[] { return true; },
+                                   nullptr,
+                                   [&] { ++notifications; }});
+  ch.start_tx(0, test_packet(0, 1), Time::microseconds(500));
+  sim.run();
+  EXPECT_GE(notifications, 2);  // at least arrival start + end
+}
+
+TEST(Channel, BackToBackFramesBothDeliver) {
+  sim::Simulator sim;
+  Topology topo = line_topo();
+  Channel ch{sim, topo};
+  Listener l1;
+  ch.attach(1, l1.attachment());
+
+  ch.start_tx(0, test_packet(0, 1), Time::microseconds(200));
+  sim.schedule_at(Time::microseconds(300), [&] {
+    ch.start_tx(0, test_packet(0, 1), Time::microseconds(200));
+  });
+  sim.run();
+  ASSERT_EQ(l1.received.size(), 2u);
+  EXPECT_TRUE(l1.received[0].second);
+  EXPECT_TRUE(l1.received[1].second);
+}
+
+}  // namespace
+}  // namespace essat::net

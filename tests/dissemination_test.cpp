@@ -1,0 +1,163 @@
+// Tests for the §3 extension: periodic data dissemination down the routing
+// tree with STS-style level pacing and Safe Sleep integration.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "src/core/dissemination.h"
+#include "src/core/safe_sleep.h"
+#include "src/net/channel.h"
+
+namespace essat::core {
+namespace {
+
+using util::Time;
+
+// Chain 0(root) - 1 - 2 - 3 with dissemination agents, optional Safe Sleep.
+struct DissemRig {
+  explicit DissemRig(bool with_safe_sleep = false,
+                     DisseminationParams params = {})
+      : topo{net::Topology::line(4, 100.0, 125.0)},
+        tree{routing::build_bfs_tree(topo, 0, 10000.0)},
+        channel{sim, topo} {
+    for (std::size_t i = 0; i < 4; ++i) {
+      radios.push_back(std::make_unique<energy::Radio>(sim, energy::RadioParams{}));
+      macs.push_back(std::make_unique<mac::CsmaMac>(sim, channel, *radios.back(),
+                                                    static_cast<net::NodeId>(i),
+                                                    mac::MacParams{}, util::Rng{81 + i}));
+      if (with_safe_sleep) {
+        sleepers.push_back(std::make_unique<SafeSleep>(
+            sim, *radios.back(), *macs.back(), SafeSleepParams{}));
+        sleepers.back()->set_setup_end(Time::milliseconds(500));
+      } else {
+        sleepers.push_back(nullptr);
+      }
+      agents.push_back(std::make_unique<DisseminationAgent>(
+          sim, *macs.back(), tree, static_cast<net::NodeId>(i), params,
+          sleepers.back() ? sleepers.back().get() : nullptr));
+      macs.back()->set_rx_handler(
+          [this, i](const net::Packet& p) { agents[i]->handle_packet(p); });
+    }
+  }
+
+  void register_everywhere(const DisseminationTask& t) {
+    for (auto& a : agents) a->register_task(t);
+  }
+
+  sim::Simulator sim;
+  net::Topology topo;
+  routing::Tree tree;
+  net::Channel channel;
+  std::vector<std::unique_ptr<energy::Radio>> radios;
+  std::vector<std::unique_ptr<mac::CsmaMac>> macs;
+  std::vector<std::unique_ptr<SafeSleep>> sleepers;
+  std::vector<std::unique_ptr<DisseminationAgent>> agents;
+};
+
+DisseminationTask task_1hz() {
+  DisseminationTask t;
+  t.id = 0;
+  t.period = Time::seconds(1);
+  t.phase = Time::seconds(1);
+  return t;
+}
+
+TEST(Dissemination, ReachesEveryNodeEveryRound) {
+  DissemRig rig;
+  rig.register_everywhere(task_1hz());
+  rig.sim.run_until(Time::from_seconds(6.5));
+  EXPECT_EQ(rig.agents[0]->stats().generated, 6u);
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(rig.agents[i]->stats().received, 6u) << "node " << i;
+    EXPECT_EQ(rig.agents[i]->stats().missed_rounds, 0u) << "node " << i;
+  }
+  // Interior nodes forwarded one copy per child; the leaf forwards nothing.
+  EXPECT_EQ(rig.agents[1]->stats().forwarded, 6u);
+  EXPECT_EQ(rig.agents[3]->stats().forwarded, 0u);
+}
+
+TEST(Dissemination, LevelPacingBuffersForwards) {
+  DisseminationParams params;
+  params.level_slice = Time::milliseconds(50);
+  DissemRig rig{false, params};
+  std::map<net::NodeId, Time> arrival;
+  for (std::size_t i = 1; i < 4; ++i) {
+    rig.agents[i]->set_delivery_hook(
+        [&arrival, i](const DisseminationTask&, std::int64_t k, Time t) {
+          if (k == 0) arrival[static_cast<net::NodeId>(i)] = t;
+        });
+  }
+  rig.register_everywhere(task_1hz());
+  rig.sim.run_until(Time::seconds(2));
+  // Node at level v receives just after φ + l*(v-1).
+  EXPECT_GE(arrival[1], Time::seconds(1));
+  EXPECT_LT(arrival[1], Time::from_seconds(1.010));
+  EXPECT_GE(arrival[2], Time::from_seconds(1.050));
+  EXPECT_LT(arrival[2], Time::from_seconds(1.060));
+  EXPECT_GE(arrival[3], Time::from_seconds(1.100));
+  EXPECT_LT(arrival[3], Time::from_seconds(1.110));
+}
+
+TEST(Dissemination, ExpectedTimesFollowLevelFormula) {
+  DisseminationParams params;
+  params.level_slice = Time::milliseconds(20);
+  DissemRig rig{false, params};
+  const auto t = task_1hz();
+  // Node 2 is at level 2: r(k) = φ + kP + l, s(k) = φ + kP + 2l.
+  EXPECT_EQ(rig.agents[2]->expected_receive(t, 0),
+            Time::seconds(1) + Time::milliseconds(20));
+  EXPECT_EQ(rig.agents[2]->expected_send(t, 3),
+            Time::seconds(4) + Time::milliseconds(40));
+}
+
+TEST(Dissemination, MissedRoundTimesOutAndRecovers) {
+  DissemRig rig;
+  rig.register_everywhere(task_1hz());
+  // Kill the root after two rounds; downstream nodes must not hang.
+  rig.sim.schedule_at(Time::from_seconds(2.5), [&] { rig.radios[0]->fail(); });
+  rig.sim.run_until(Time::from_seconds(6.5));
+  EXPECT_EQ(rig.agents[1]->stats().received, 2u);
+  EXPECT_GE(rig.agents[1]->stats().missed_rounds, 3u);
+  // The schedule kept advancing: next_epoch tracked the wall clock.
+  EXPECT_EQ(rig.agents[1]->stats().received + rig.agents[1]->stats().missed_rounds,
+            6u);
+}
+
+TEST(Dissemination, WithSafeSleepStillDeliversAndSleeps) {
+  DisseminationParams params;
+  params.level_slice = Time::milliseconds(20);
+  DissemRig rig{true, params};
+  rig.register_everywhere(task_1hz());
+  rig.radios[3]->begin_measurement();
+  rig.sim.run_until(Time::from_seconds(10.5));
+  // Rounds at t = 1..10 s: ten of them.
+  EXPECT_EQ(rig.agents[3]->stats().received, 10u);
+  EXPECT_EQ(rig.agents[3]->stats().missed_rounds, 0u);
+  // The leaf wakes ~once a second for a few ms.
+  EXPECT_LT(rig.radios[3]->duty_cycle(), 0.1);
+}
+
+TEST(Dissemination, UnknownTaskIgnored) {
+  DissemRig rig;
+  net::DisseminationHeader h;
+  h.task = 99;
+  h.epoch = 0;
+  rig.agents[1]->handle_packet(net::make_dissemination_packet(0, 1, h));
+  EXPECT_EQ(rig.agents[1]->stats().received, 0u);
+}
+
+TEST(Dissemination, NonMemberDoesNotParticipate) {
+  DissemRig rig;
+  // A fresh agent on a node outside the tree (simulate via empty tree).
+  routing::Tree empty{4};
+  empty.set_root(0);
+  DisseminationAgent outsider{rig.sim, *rig.macs[2], empty, 2};
+  outsider.register_task(task_1hz());
+  rig.sim.run_until(Time::seconds(3));
+  EXPECT_EQ(outsider.stats().missed_rounds, 0u);
+  EXPECT_EQ(outsider.stats().forwarded, 0u);
+}
+
+}  // namespace
+}  // namespace essat::core

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/core/dts.h"
+#include "src/routing/tree.h"
+
+namespace essat::core {
+namespace {
+
+using util::Time;
+
+struct RecordingSink final : query::ExpectedTimeSink {
+  std::map<net::QueryId, Time> next_send;
+  std::map<std::pair<net::QueryId, net::NodeId>, Time> next_recv;
+  void update_next_send(net::QueryId q, Time t) override { next_send[q] = t; }
+  void update_next_receive(net::QueryId q, net::NodeId c, Time t) override {
+    next_recv[{q, c}] = t;
+  }
+  void erase_child(net::QueryId q, net::NodeId c) override { next_recv.erase({q, c}); }
+  void erase_query(net::QueryId q) override { next_send.erase(q); }
+};
+
+// Chain 0-1-2-3-4; node 2 (child 3) is the unit under test.
+struct DtsFixture : ::testing::Test {
+  DtsFixture()
+      : topo{net::Topology::line(5, 100.0, 125.0)},
+        tree{routing::build_bfs_tree(topo, 0, 1000.0)},
+        shaper{DtsParams{.t_to = Time::milliseconds(50)}} {
+    shaper.set_context(query::ShaperContext{&tree, 2, &sink});
+    q.id = 0;
+    q.period = Time::seconds(1);
+    q.phase = Time::seconds(10);
+    shaper.register_query(q);
+  }
+
+  net::Topology topo;
+  routing::Tree tree;
+  RecordingSink sink;
+  DtsShaper shaper;
+  query::Query q;
+};
+
+TEST_F(DtsFixture, InitialTimesEqualPhase) {
+  // s(0) = r(0) = φ (§4.2.3).
+  EXPECT_EQ(sink.next_send[0], Time::seconds(10));
+  EXPECT_EQ((sink.next_recv[std::make_pair<net::QueryId, net::NodeId>(0, 3)]), Time::seconds(10));
+  EXPECT_EQ(shaper.expected_send(q, 0), Time::seconds(10));
+  EXPECT_EQ(shaper.expected_send(q, 2), Time::seconds(12));
+}
+
+TEST_F(DtsFixture, OnTimeSendKeepsPhaseAndStaysSilent) {
+  const auto plan = shaper.plan_send(q, 0, Time::seconds(9));
+  EXPECT_EQ(plan.send_at, Time::seconds(10));  // buffered to s(0)
+  EXPECT_FALSE(plan.phase_update.has_value()); // no shift, no traffic
+  shaper.on_report_sent(q, 0, plan.send_at);
+  EXPECT_EQ(sink.next_send[0], Time::seconds(11));  // s(1) = s(0) + P
+  EXPECT_EQ(shaper.phase_shifts(), 0u);
+}
+
+TEST_F(DtsFixture, LateSendShiftsPhaseAndAdvertises) {
+  const Time late = Time::seconds(10) + Time::milliseconds(80);
+  const auto plan = shaper.plan_send(q, 0, late);
+  EXPECT_EQ(plan.send_at, late);  // sent immediately
+  ASSERT_TRUE(plan.phase_update.has_value());
+  EXPECT_EQ(*plan.phase_update, late + q.period);  // s(k+1) = t + P
+  shaper.on_report_sent(q, 0, plan.send_at);
+  EXPECT_EQ(shaper.expected_send(q, 1), late + q.period);
+  EXPECT_EQ(shaper.phase_shifts(), 1u);
+  EXPECT_EQ(shaper.phase_updates_sent(), 1u);
+}
+
+TEST_F(DtsFixture, PhaseShiftsOnlyDelayNeverAdvance) {
+  // Shift at epoch 0; epoch 1 ready early: still sent at the shifted s(1).
+  const Time late = Time::seconds(10) + Time::milliseconds(200);
+  shaper.on_report_sent(q, 0, late);
+  const auto plan = shaper.plan_send(q, 1, Time::seconds(11));
+  EXPECT_EQ(plan.send_at, late + q.period);
+  EXPECT_FALSE(plan.phase_update.has_value());
+}
+
+TEST_F(DtsFixture, ReceiveWithoutUpdateAdvancesByPeriod) {
+  shaper.on_report_received(q, 0, 3, std::nullopt);
+  EXPECT_EQ((sink.next_recv[std::make_pair<net::QueryId, net::NodeId>(0, 3)]), Time::seconds(11));  // r(1) = r(0) + P
+}
+
+TEST_F(DtsFixture, ReceiveWithUpdateAdoptsChildPhase) {
+  const Time advertised = Time::seconds(11) + Time::milliseconds(150);
+  shaper.on_report_received(q, 0, 3, advertised);
+  EXPECT_EQ((sink.next_recv[std::make_pair<net::QueryId, net::NodeId>(0, 3)]), advertised);
+  EXPECT_EQ(shaper.expected_receive(q, 1, 3), advertised);
+  EXPECT_EQ(shaper.expected_receive(q, 2, 3), advertised + q.period);
+}
+
+TEST_F(DtsFixture, TimeoutAdvancesReceiveExpectation) {
+  shaper.on_child_timeout(q, 0, 3);
+  EXPECT_EQ((sink.next_recv[std::make_pair<net::QueryId, net::NodeId>(0, 3)]), Time::seconds(11));
+  // Duplicate timeout for the same epoch is a no-op.
+  shaper.on_child_timeout(q, 0, 3);
+  EXPECT_EQ((sink.next_recv[std::make_pair<net::QueryId, net::NodeId>(0, 3)]), Time::seconds(11));
+}
+
+TEST_F(DtsFixture, LateReportAfterTimeoutStillAppliesUpdate) {
+  // Deadline fired for epoch 0 (r advanced to epoch 1), then the late
+  // epoch-0 report arrives carrying the child's s(1): adopt it.
+  shaper.on_child_timeout(q, 0, 3);
+  const Time advertised = Time::seconds(11) + Time::milliseconds(300);
+  shaper.on_report_received(q, 0, 3, advertised);
+  EXPECT_EQ((sink.next_recv[std::make_pair<net::QueryId, net::NodeId>(0, 3)]), advertised);
+}
+
+TEST_F(DtsFixture, StaleDuplicateIgnored) {
+  shaper.on_report_received(q, 1, 3, std::nullopt);  // jump to epoch 2
+  const Time r2 = (sink.next_recv[std::make_pair<net::QueryId, net::NodeId>(0, 3)]);
+  shaper.on_report_received(q, 0, 3, std::nullopt);  // stale epoch 0
+  EXPECT_EQ((sink.next_recv[std::make_pair<net::QueryId, net::NodeId>(0, 3)]), r2);
+}
+
+TEST_F(DtsFixture, EpochGapExtrapolatesByWholePeriods) {
+  // Child silent through epochs 0-2 (timeouts), then delivers epoch 3.
+  shaper.on_child_timeout(q, 0, 3);
+  shaper.on_child_timeout(q, 1, 3);
+  shaper.on_child_timeout(q, 2, 3);
+  EXPECT_EQ((sink.next_recv[std::make_pair<net::QueryId, net::NodeId>(0, 3)]), Time::seconds(13));
+  shaper.on_report_received(q, 3, 3, std::nullopt);
+  EXPECT_EQ((sink.next_recv[std::make_pair<net::QueryId, net::NodeId>(0, 3)]), Time::seconds(14));
+}
+
+TEST_F(DtsFixture, DeadlineIsMaxChildExpectationPlusTto) {
+  // Single child: deadline = r(k,c) + t_TO.
+  EXPECT_EQ(shaper.aggregation_deadline(q, 0),
+            Time::seconds(10) + Time::milliseconds(50));
+  const Time advertised = Time::seconds(11) + Time::milliseconds(400);
+  shaper.on_report_received(q, 0, 3, advertised);
+  EXPECT_EQ(shaper.aggregation_deadline(q, 1), advertised + Time::milliseconds(50));
+}
+
+TEST_F(DtsFixture, PhaseRequestForcesAdvertisement) {
+  // §4.3: "the receiver requests a phase update from the sender. The sender
+  // then piggybacks the expected send time in the next data report."
+  shaper.on_phase_request(q.id);
+  const auto plan = shaper.plan_send(q, 0, Time::seconds(9));  // on time!
+  ASSERT_TRUE(plan.phase_update.has_value());
+  EXPECT_EQ(*plan.phase_update, Time::seconds(10) + q.period);
+}
+
+TEST_F(DtsFixture, ParentChangeForcesAdvertisement) {
+  // §4.3: one phase update on the first report to the new parent.
+  shaper.on_parent_changed(q);
+  const auto plan = shaper.plan_send(q, 0, Time::seconds(9));
+  EXPECT_TRUE(plan.phase_update.has_value());
+  shaper.on_report_sent(q, 0, plan.send_at);
+  // Subsequent on-time sends are silent again.
+  const auto plan2 = shaper.plan_send(q, 1, Time::seconds(10));
+  EXPECT_FALSE(plan2.phase_update.has_value());
+}
+
+TEST_F(DtsFixture, WantsPhaseRequestOnLoss) {
+  EXPECT_TRUE(shaper.wants_phase_request_on_loss());
+}
+
+TEST_F(DtsFixture, ChildAddedExpectsAtOwnPace) {
+  // After our own phase drifted, a newly attached child is expected at our
+  // send pace until its first advertised report.
+  shaper.on_report_sent(q, 0, Time::seconds(10) + Time::milliseconds(500));
+  shaper.on_child_added(q, 1);
+  EXPECT_EQ((sink.next_recv[std::make_pair<net::QueryId, net::NodeId>(0, 1)]), Time::seconds(11) + Time::milliseconds(500));
+}
+
+TEST_F(DtsFixture, ChildRemovedDropsState) {
+  shaper.on_child_removed(q, 3);
+  EXPECT_EQ((sink.next_recv.count(std::make_pair<net::QueryId, net::NodeId>(0, 3))), 0u);
+  // Further events about the removed child are ignored.
+  shaper.on_report_received(q, 5, 3, Time::seconds(20));
+  EXPECT_EQ((sink.next_recv.count(std::make_pair<net::QueryId, net::NodeId>(0, 3))), 0u);
+}
+
+TEST_F(DtsFixture, UnknownChildReceptionIgnored) {
+  shaper.on_report_received(q, 0, 99, Time::seconds(42));
+  EXPECT_EQ((sink.next_recv.count(std::make_pair<net::QueryId, net::NodeId>(0, 99))), 0u);
+}
+
+}  // namespace
+}  // namespace essat::core

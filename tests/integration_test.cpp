@@ -1,0 +1,133 @@
+// End-to-end behavioral checks on the paper-scale scenario: every protocol
+// must deliver, and the paper's qualitative orderings must hold.
+#include <gtest/gtest.h>
+
+#include "src/harness/scenario.h"
+
+namespace essat::harness {
+namespace {
+
+using util::Time;
+
+ScenarioConfig paper_config(Protocol p, double rate_hz = 2.0,
+                            std::uint64_t seed = 42) {
+  ScenarioConfig c;
+  c.protocol = p;
+  c.base_rate_hz = rate_hz;
+  c.measure_duration = Time::seconds(40);
+  c.seed = seed;
+  return c;
+}
+
+TEST(Integration, AllProtocolsDeliver) {
+  for (Protocol p : {Protocol::kNtsSs, Protocol::kStsSs, Protocol::kDtsSs,
+                     Protocol::kPsm, Protocol::kSpan}) {
+    const RunMetrics m = run_scenario(paper_config(p));
+    EXPECT_GT(m.delivery_ratio, 0.80) << protocol_name(p);
+    EXPECT_GT(m.epochs_measured, 50u) << protocol_name(p);
+  }
+  // SYNC is heavily backlogged at this rate (the paper's own observation);
+  // it must still deliver a majority of readings.
+  const RunMetrics sync = run_scenario(paper_config(Protocol::kSync));
+  EXPECT_GT(sync.delivery_ratio, 0.5);
+}
+
+TEST(Integration, EssatLosesAlmostNothing) {
+  // With Safe Sleep's no-penalty guarantee and the shapers' matched
+  // schedules, MAC-level send failures must be a negligible fraction.
+  for (Protocol p : {Protocol::kNtsSs, Protocol::kStsSs, Protocol::kDtsSs}) {
+    const RunMetrics m = run_scenario(paper_config(p));
+    EXPECT_LT(static_cast<double>(m.mac_send_failures) /
+                  static_cast<double>(m.reports_sent),
+              0.01)
+        << protocol_name(p);
+  }
+}
+
+TEST(Integration, ShapersSaveEnergyOverNts) {
+  // §5.1: "NTS-SS performs the worst among the ESSAT protocols."
+  const RunMetrics nts = run_scenario(paper_config(Protocol::kNtsSs));
+  const RunMetrics sts = run_scenario(paper_config(Protocol::kStsSs));
+  const RunMetrics dts = run_scenario(paper_config(Protocol::kDtsSs));
+  EXPECT_LT(sts.avg_duty_cycle, nts.avg_duty_cycle);
+  EXPECT_LT(dts.avg_duty_cycle, nts.avg_duty_cycle);
+}
+
+TEST(Integration, EssatBeatsBaselinesOnDutyCycle) {
+  // §5.1: "All ESSAT protocols have lower duty cycles than PSM" and "SPAN
+  // has the highest duty cycle".
+  const RunMetrics dts = run_scenario(paper_config(Protocol::kDtsSs));
+  const RunMetrics psm = run_scenario(paper_config(Protocol::kPsm));
+  const RunMetrics span = run_scenario(paper_config(Protocol::kSpan));
+  EXPECT_LT(dts.avg_duty_cycle, psm.avg_duty_cycle);
+  EXPECT_LT(dts.avg_duty_cycle, span.avg_duty_cycle);
+  EXPECT_LT(psm.avg_duty_cycle, span.avg_duty_cycle);
+}
+
+TEST(Integration, EssatBeatsPsmAndSyncOnLatency) {
+  // Abstract: "query latencies 36-98% lower than PSM and SYNC".
+  const RunMetrics dts = run_scenario(paper_config(Protocol::kDtsSs));
+  const RunMetrics psm = run_scenario(paper_config(Protocol::kPsm));
+  const RunMetrics sync = run_scenario(paper_config(Protocol::kSync));
+  EXPECT_LT(dts.avg_latency_s, psm.avg_latency_s);
+  EXPECT_LT(dts.avg_latency_s, sync.avg_latency_s);
+}
+
+TEST(Integration, NtsDutyGrowsWithRankOthersFlat) {
+  // Fig. 5: NTS duty cycle increases linearly with rank; STS/DTS stay flat.
+  const RunMetrics nts = run_scenario(paper_config(Protocol::kNtsSs, 2.0));
+  ASSERT_GE(nts.duty_by_rank.size(), 3u);
+  const auto& d = nts.duty_by_rank;
+  // Monotone growth from leaves toward the root (excluding the always-on
+  // root itself which has rank == max_rank).
+  EXPECT_GT(d[d.size() - 2], d[0] * 1.5);
+  const RunMetrics dts = run_scenario(paper_config(Protocol::kDtsSs, 2.0));
+  const auto& e = dts.duty_by_rank;
+  // DTS: mid-rank duty within a factor ~2.5 of leaf duty, not linear blowup.
+  EXPECT_LT(e[e.size() - 2], e[0] * 4.0);
+}
+
+TEST(Integration, DtsOverheadBelowOneBitPerReport) {
+  // §4.2.3: "the overhead due to piggybacked phase updates is less than one
+  // bit per data report for all tested query rates".
+  for (double rate : {1.0, 2.0}) {
+    const RunMetrics m = run_scenario(paper_config(Protocol::kDtsSs, rate));
+    EXPECT_LT(m.phase_update_bits_per_report, 1.0) << rate << " Hz";
+  }
+}
+
+TEST(Integration, OnlyDtsSendsPhaseUpdates) {
+  const RunMetrics nts = run_scenario(paper_config(Protocol::kNtsSs));
+  const RunMetrics sts = run_scenario(paper_config(Protocol::kStsSs));
+  const RunMetrics dts = run_scenario(paper_config(Protocol::kDtsSs));
+  EXPECT_EQ(nts.phase_updates, 0u);
+  EXPECT_EQ(sts.phase_updates, 0u);
+  EXPECT_GT(dts.phase_updates, 0u);
+}
+
+TEST(Integration, SleepIntervalsRecordedForEssat) {
+  auto c = paper_config(Protocol::kDtsSs);
+  c.t_be = Time::zero();  // Fig. 8 setting
+  const RunMetrics m = run_scenario(c);
+  EXPECT_GT(m.sleep_intervals, 1000u);
+  EXPECT_GT(m.sleep_hist.total(), 0u);
+}
+
+TEST(Integration, SyncDutyIsConfiguredTwentyPercent) {
+  const RunMetrics m = run_scenario(paper_config(Protocol::kSync));
+  EXPECT_NEAR(m.avg_duty_cycle, 0.20, 0.05);
+}
+
+TEST(Integration, MaintenanceRecoversFromMidRunFailure) {
+  auto c = paper_config(Protocol::kDtsSs);
+  c.enable_maintenance = true;
+  // Kill a handful of nodes early in the measurement window.
+  c.failures = {{5, Time::seconds(20)}, {11, Time::seconds(22)}};
+  const RunMetrics m = run_scenario(c);
+  // The network keeps running and delivers the bulk of readings.
+  EXPECT_GT(m.delivery_ratio, 0.7);
+  EXPECT_GT(m.epochs_measured, 50u);
+}
+
+}  // namespace
+}  // namespace essat::harness

@@ -1,0 +1,118 @@
+// Parameterized MAC sweeps: retry accounting, contention-window scaling and
+// airtime arithmetic must hold for any parameter combination a user
+// configures (the library exposes MacParams through ScenarioConfig).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "src/mac/csma.h"
+#include "src/net/channel.h"
+
+namespace essat::mac {
+namespace {
+
+using util::Time;
+
+class AttemptSweep : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(MaxAttempts, AttemptSweep, ::testing::Values(1, 2, 5, 8));
+
+TEST_P(AttemptSweep, FailureUsesExactlyMaxAttempts) {
+  sim::Simulator sim;
+  net::Topology topo = net::Topology::line(2, 100.0, 125.0);
+  net::Channel channel{sim, topo};
+  MacParams params;
+  params.max_attempts = GetParam();
+  energy::Radio r0{sim, energy::RadioParams{}};
+  energy::Radio r1{sim, energy::RadioParams{}};
+  CsmaMac m0{sim, channel, r0, 0, params, util::Rng{1}};
+  CsmaMac m1{sim, channel, r1, 1, params, util::Rng{2}};
+  r1.turn_off();
+  sim.run_until(Time::milliseconds(10));
+
+  bool failed = false;
+  net::DataHeader h;
+  m0.send(net::make_data_packet(0, 1, h), [&](bool ok) { failed = !ok; });
+  sim.run_until(Time::seconds(5));
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(m0.stats().transmissions, static_cast<std::uint64_t>(GetParam()));
+  EXPECT_EQ(m0.stats().retries, static_cast<std::uint64_t>(GetParam() - 1));
+}
+
+class BandwidthSweep : public ::testing::TestWithParam<double> {};
+
+INSTANTIATE_TEST_SUITE_P(Bps, BandwidthSweep,
+                         ::testing::Values(250e3, 1e6, 2e6, 11e6));
+
+TEST_P(BandwidthSweep, TxDurationScalesInversely) {
+  MacParams p;
+  p.bandwidth_bps = GetParam();
+  const Time body = p.tx_duration(52) - p.phy_overhead;
+  // Durations are rounded to whole nanoseconds.
+  EXPECT_NEAR(body.to_seconds(), 52.0 * 8.0 / GetParam(), 1e-9);
+  EXPECT_GT(p.ack_timeout(), p.ack_duration());
+}
+
+class CwSweep : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(InitialCw, CwSweep, ::testing::Values(15, 31, 127, 255));
+
+TEST_P(CwSweep, SingleSenderLatencyBoundedByWindow) {
+  sim::Simulator sim;
+  net::Topology topo = net::Topology::line(2, 100.0, 125.0);
+  net::Channel channel{sim, topo};
+  MacParams params;
+  params.initial_data_cw = GetParam();
+  energy::Radio r0{sim, energy::RadioParams{}};
+  energy::Radio r1{sim, energy::RadioParams{}};
+  CsmaMac m0{sim, channel, r0, 0, params, util::Rng{3}};
+  CsmaMac m1{sim, channel, r1, 1, params, util::Rng{4}};
+  Time delivered = Time::zero();
+  m1.set_rx_handler([&](const net::Packet&) { delivered = sim.now(); });
+  net::DataHeader h;
+  m0.send(net::make_data_packet(0, 1, h));
+  sim.run_until(Time::seconds(1));
+  // Idle channel: DIFS + at most cw slots + frame airtime.
+  const Time bound = params.difs + params.slot * GetParam() +
+                     params.tx_duration(52) + Time::microseconds(10);
+  EXPECT_GT(delivered, Time::zero());
+  EXPECT_LE(delivered, bound);
+}
+
+// Contender-count sweep: delivery must stay lossless as the domain fills.
+class ContenderSweep : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Senders, ContenderSweep, ::testing::Values(2, 4, 8, 12));
+
+TEST_P(ContenderSweep, SimultaneousSendersAllDeliver) {
+  const int n = GetParam();
+  sim::Simulator sim;
+  // Everyone within one collision domain.
+  std::vector<net::Position> pos;
+  for (int i = 0; i <= n; ++i) {
+    pos.push_back({static_cast<double>(i % 4) * 20.0,
+                   static_cast<double>(i / 4) * 20.0});
+  }
+  net::Topology topo{pos, 125.0};
+  net::Channel channel{sim, topo};
+  std::vector<std::unique_ptr<energy::Radio>> radios;
+  std::vector<std::unique_ptr<CsmaMac>> macs;
+  for (int i = 0; i <= n; ++i) {
+    radios.push_back(std::make_unique<energy::Radio>(sim, energy::RadioParams{}));
+    macs.push_back(std::make_unique<CsmaMac>(sim, channel, *radios.back(),
+                                             static_cast<net::NodeId>(i),
+                                             MacParams{}, util::Rng{static_cast<std::uint64_t>(17 + i)}));
+  }
+  int received = 0;
+  macs[0]->set_rx_handler([&](const net::Packet&) { ++received; });
+  for (int i = 1; i <= n; ++i) {
+    net::DataHeader h;
+    macs[static_cast<std::size_t>(i)]->send(net::make_data_packet(i, 0, h));
+  }
+  sim.run_until(Time::seconds(10));
+  EXPECT_EQ(received, n);
+}
+
+}  // namespace
+}  // namespace essat::mac

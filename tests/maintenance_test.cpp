@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/core/maintenance.h"
+#include "src/core/sts.h"
+#include "src/net/channel.h"
+
+namespace essat::core {
+namespace {
+
+using util::Time;
+
+// Diamond + tail: 0 root; 1,2 under 0; 3 under 1 (also adjacent to 2);
+// 4 under 3. STS shapers so rank changes matter.
+struct MaintRig {
+  MaintRig()
+      : topo{{{0, 0}, {100, 0}, {0, 100}, {100, 100}, {200, 100}}, 125.0},
+        tree{5},
+        channel{sim, topo},
+        repair{topo, tree},
+        maintenance{repair, MaintenanceParams{.parent_failure_threshold = 2,
+                                              .child_miss_threshold = 3}} {
+    tree.set_root(0);
+    tree.add_node(1, 0);
+    tree.add_node(2, 0);
+    tree.add_node(3, 1);
+    tree.add_node(4, 3);
+    tree.recompute_ranks();
+    for (std::size_t i = 0; i < 5; ++i) {
+      radios.push_back(std::make_unique<energy::Radio>(sim, energy::RadioParams{}));
+      macs.push_back(std::make_unique<mac::CsmaMac>(sim, channel, *radios.back(),
+                                                    static_cast<net::NodeId>(i),
+                                                    mac::MacParams{}, util::Rng{11 + i}));
+      shapers.push_back(std::make_unique<StsShaper>());
+      shapers.back()->set_context(
+          query::ShaperContext{&tree, static_cast<net::NodeId>(i), nullptr});
+      agents.push_back(std::make_unique<query::QueryAgent>(
+          sim, *macs.back(), tree, static_cast<net::NodeId>(i), *shapers.back()));
+      macs.back()->set_rx_handler(
+          [this, i](const net::Packet& p) { agents[i]->handle_packet(p); });
+      maintenance.attach_agent(static_cast<net::NodeId>(i), agents.back().get());
+    }
+    maintenance.set_alive_predicate(
+        [this](net::NodeId n) { return !radios[static_cast<std::size_t>(n)]->failed(); });
+    repair.set_hooks(maintenance.make_repair_hooks());
+  }
+
+  sim::Simulator sim;
+  net::Topology topo;
+  routing::Tree tree;
+  net::Channel channel;
+  routing::RepairService repair;
+  MaintenanceService maintenance;
+  std::vector<std::unique_ptr<energy::Radio>> radios;
+  std::vector<std::unique_ptr<mac::CsmaMac>> macs;
+  std::vector<std::unique_ptr<query::TrafficShaper>> shapers;
+  std::vector<std::unique_ptr<query::QueryAgent>> agents;
+};
+
+TEST(Maintenance, ConsecutiveSendFailuresTriggerReparent) {
+  MaintRig rig;
+  // Node 3's parent 1 died.
+  rig.radios[1]->fail();
+  rig.maintenance.note_send_failure(3, 1);
+  EXPECT_EQ(rig.tree.parent(3), 1);  // below threshold: nothing yet
+  rig.maintenance.note_send_failure(3, 1);
+  EXPECT_EQ(rig.tree.parent(3), 2);  // threshold 2 reached: reparented
+  EXPECT_EQ(rig.maintenance.reparents(), 1u);
+  // Ranks were recomputed: 2 now carries the 3-4 tail.
+  EXPECT_EQ(rig.tree.rank(2), 2);
+}
+
+TEST(Maintenance, SendSuccessResetsFailureCounter) {
+  MaintRig rig;
+  rig.radios[1]->fail();
+  rig.maintenance.note_send_failure(3, 1);
+  rig.maintenance.note_send_success(3);
+  rig.maintenance.note_send_failure(3, 1);
+  EXPECT_EQ(rig.tree.parent(3), 1);  // streak broken: still below threshold
+  EXPECT_EQ(rig.maintenance.reparents(), 0u);
+}
+
+TEST(Maintenance, ConsecutiveChildMissesRemoveChild) {
+  MaintRig rig;
+  rig.radios[3]->fail();
+  rig.maintenance.note_child_miss(1, 3);
+  rig.maintenance.note_child_miss(1, 3);
+  EXPECT_TRUE(rig.tree.is_member(3));
+  rig.maintenance.note_child_miss(1, 3);  // threshold 3
+  EXPECT_FALSE(rig.tree.is_member(3));
+  EXPECT_EQ(rig.maintenance.child_removals(), 1u);
+  // Orphan 4 had no alternative neighbor: stranded (3 was its only link).
+  EXPECT_FALSE(rig.tree.is_member(4));
+}
+
+TEST(Maintenance, ChildHeardResetsMissCounter) {
+  MaintRig rig;
+  rig.maintenance.note_child_miss(1, 3);
+  rig.maintenance.note_child_miss(1, 3);
+  rig.maintenance.note_child_heard(1, 3);
+  rig.maintenance.note_child_miss(1, 3);
+  EXPECT_TRUE(rig.tree.is_member(3));
+}
+
+TEST(Maintenance, EndToEndFailureRecovery) {
+  MaintRig rig;
+  query::Query q;
+  q.id = 0;
+  q.period = Time::seconds(1);
+  q.phase = Time::seconds(1);
+  for (auto& a : rig.agents) a->register_query(q);
+
+  int root_contribs_late = 0;
+  rig.agents[0]->set_root_arrival_hook(
+      [&](const query::Query&, std::int64_t k, Time, int c) {
+        if (k >= 8) root_contribs_late += c;
+      });
+
+  // Kill node 1 at t = 2.5 s; node 3 must detect the dead parent via MAC
+  // failures and re-attach under node 2, restoring full delivery.
+  rig.sim.schedule_at(Time::from_seconds(2.5), [&] {
+    rig.radios[1]->fail();
+    rig.agents[1]->halt();
+  });
+  rig.sim.run_until(Time::from_seconds(11.5));
+  EXPECT_EQ(rig.tree.parent(3), 2);
+  // Epochs 8 and 9: nodes 2,3,4 all contribute again (node 1 is gone).
+  EXPECT_GE(root_contribs_late, 6);
+}
+
+}  // namespace
+}  // namespace essat::core

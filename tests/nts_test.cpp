@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/core/nts.h"
+#include "src/routing/tree.h"
+
+namespace essat::core {
+namespace {
+
+using util::Time;
+
+struct RecordingSink final : query::ExpectedTimeSink {
+  std::map<net::QueryId, Time> next_send;
+  std::map<std::pair<net::QueryId, net::NodeId>, Time> next_recv;
+  int erased_children = 0;
+  int erased_queries = 0;
+
+  void update_next_send(net::QueryId q, Time t) override { next_send[q] = t; }
+  void update_next_receive(net::QueryId q, net::NodeId c, Time t) override {
+    next_recv[{q, c}] = t;
+  }
+  void erase_child(net::QueryId q, net::NodeId c) override {
+    next_recv.erase({q, c});
+    ++erased_children;
+  }
+  void erase_query(net::QueryId q) override {
+    next_send.erase(q);
+    ++erased_queries;
+  }
+};
+
+// Chain 0-1-2-3-4: node 2 has child 3, rank 2, in a tree of max rank 4.
+struct NtsFixture : ::testing::Test {
+  NtsFixture()
+      : topo{net::Topology::line(5, 100.0, 125.0)},
+        tree{routing::build_bfs_tree(topo, 0, 1000.0)} {
+    shaper.set_context(query::ShaperContext{&tree, 2, &sink});
+    q.id = 0;
+    q.period = Time::seconds(1);
+    q.phase = Time::seconds(10);
+  }
+
+  net::Topology topo;
+  routing::Tree tree;
+  RecordingSink sink;
+  NtsShaper shaper;
+  query::Query q;
+};
+
+TEST_F(NtsFixture, RegisterPushesPhaseAsInitialTimes) {
+  shaper.register_query(q);
+  EXPECT_EQ(sink.next_send[0], Time::seconds(10));  // s(0) = φ
+  EXPECT_EQ((sink.next_recv[std::make_pair<net::QueryId, net::NodeId>(0, 3)]), Time::seconds(10));
+}
+
+TEST_F(NtsFixture, ExpectedTimesAreEpochStarts) {
+  // s(k) = r(k) = φ + kP for every node (§4.2.1).
+  EXPECT_EQ(shaper.expected_send(q, 3), Time::seconds(13));
+  EXPECT_EQ(shaper.expected_receive(q, 7, 3), Time::seconds(17));
+}
+
+TEST_F(NtsFixture, PlanSendIsImmediate) {
+  shaper.register_query(q);
+  // NTS sends "immediately after it has received and aggregated".
+  const auto plan = shaper.plan_send(q, 0, Time::seconds(10) + Time::milliseconds(37));
+  EXPECT_EQ(plan.send_at, Time::seconds(10) + Time::milliseconds(37));
+  EXPECT_FALSE(plan.phase_update.has_value());
+}
+
+TEST_F(NtsFixture, OnSentAdvancesNextSend) {
+  shaper.register_query(q);
+  shaper.on_report_sent(q, 0, Time::seconds(10));
+  EXPECT_EQ(sink.next_send[0], Time::seconds(11));
+  shaper.on_report_sent(q, 1, Time::seconds(11));
+  EXPECT_EQ(sink.next_send[0], Time::seconds(12));
+}
+
+TEST_F(NtsFixture, OnReceivedAdvancesChild) {
+  shaper.register_query(q);
+  shaper.on_report_received(q, 0, 3, std::nullopt);
+  EXPECT_EQ((sink.next_recv[std::make_pair<net::QueryId, net::NodeId>(0, 3)]), Time::seconds(11));
+}
+
+TEST_F(NtsFixture, TimeoutAdvancesChildToo) {
+  shaper.register_query(q);
+  shaper.on_child_timeout(q, 0, 3);
+  EXPECT_EQ((sink.next_recv[std::make_pair<net::QueryId, net::NodeId>(0, 3)]), Time::seconds(11));
+  // A late reception afterwards must not move the expectation backwards.
+  shaper.on_report_received(q, 0, 3, std::nullopt);
+  EXPECT_EQ((sink.next_recv[std::make_pair<net::QueryId, net::NodeId>(0, 3)]), Time::seconds(11));
+}
+
+TEST_F(NtsFixture, DeadlineFollowsRankFormula) {
+  // t_TO(d) = (d+1) * D/M with D = P (§4.3): node 2 has rank 2, M = 4.
+  const Time expected = q.epoch_start(5) + (q.period * 3) / 4;
+  EXPECT_EQ(shaper.aggregation_deadline(q, 5), expected);
+}
+
+TEST_F(NtsFixture, FullPeriodDeadlineVariant) {
+  NtsShaper baseline{NtsParams{.full_period_deadline = true, .deadline_periods = 2.0}};
+  baseline.set_context(query::ShaperContext{&tree, 2, nullptr});
+  EXPECT_EQ(baseline.aggregation_deadline(q, 0), q.epoch_start(0) + q.period * 2);
+}
+
+TEST_F(NtsFixture, ChildRemovalErasesSinkEntry) {
+  shaper.register_query(q);
+  ASSERT_EQ((sink.next_recv.count(std::make_pair<net::QueryId, net::NodeId>(0, 3))), 1u);
+  shaper.on_child_removed(q, 3);
+  EXPECT_EQ((sink.next_recv.count(std::make_pair<net::QueryId, net::NodeId>(0, 3))), 0u);
+  EXPECT_EQ(sink.erased_children, 1);
+}
+
+TEST_F(NtsFixture, ChildAddedStartsAtSendProgress) {
+  shaper.register_query(q);
+  shaper.on_report_sent(q, 0, Time::seconds(10));
+  shaper.on_report_sent(q, 1, Time::seconds(11));
+  shaper.on_child_added(q, 1);  // pretend node 1 became our child
+  // New child expected at our current epoch (2), i.e. φ + 2P.
+  EXPECT_EQ((sink.next_recv[std::make_pair<net::QueryId, net::NodeId>(0, 1)]), Time::seconds(12));
+}
+
+TEST_F(NtsFixture, RankChangeIsHarmlessForNts) {
+  // NTS times are independent of rank (§4.3: "NTS-SS does not require an
+  // update since all nodes share the expected send and reception times").
+  shaper.register_query(q);
+  const auto send_before = sink.next_send[0];
+  shaper.on_rank_changed(q);
+  EXPECT_EQ(sink.next_send[0], send_before);
+}
+
+TEST_F(NtsFixture, NoPhaseMachinery) {
+  EXPECT_FALSE(shaper.wants_phase_request_on_loss());
+  EXPECT_EQ(shaper.phase_updates_sent(), 0u);
+}
+
+TEST_F(NtsFixture, MultipleQueriesTrackedIndependently) {
+  query::Query q2 = q;
+  q2.id = 1;
+  q2.phase = Time::seconds(20);
+  q2.period = Time::seconds(3);
+  shaper.register_query(q);
+  shaper.register_query(q2);
+  shaper.on_report_sent(q, 0, Time::seconds(10));
+  EXPECT_EQ(sink.next_send[0], Time::seconds(11));
+  EXPECT_EQ(sink.next_send[1], Time::seconds(20));  // untouched
+}
+
+}  // namespace
+}  // namespace essat::core

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "src/net/packet.h"
+
+namespace essat::net {
+namespace {
+
+TEST(Packet, DataPacketUsesPaperSize) {
+  const Packet p = make_data_packet(1, 2, DataHeader{});
+  EXPECT_EQ(p.size_bytes, 52);  // §5: 52-byte data reports
+  EXPECT_EQ(p.type, PacketType::kData);
+  EXPECT_EQ(p.link_src, 1);
+  EXPECT_EQ(p.link_dst, 2);
+  EXPECT_FALSE(p.is_broadcast());
+}
+
+TEST(Packet, DataHeaderRoundTrip) {
+  DataHeader h;
+  h.query = 3;
+  h.epoch = 17;
+  h.origin = 9;
+  h.contributions = 4;
+  h.phase_update = util::Time::seconds(12);
+  const Packet p = make_data_packet(9, 2, h);
+  EXPECT_EQ(p.data().query, 3);
+  EXPECT_EQ(p.data().epoch, 17);
+  EXPECT_EQ(p.data().contributions, 4);
+  ASSERT_TRUE(p.data().phase_update.has_value());
+  EXPECT_EQ(*p.data().phase_update, util::Time::seconds(12));
+  EXPECT_FALSE(p.data().pass_through);
+}
+
+TEST(Packet, SetupIsBroadcast) {
+  const Packet p = make_setup_packet(4, 0, 2);
+  EXPECT_TRUE(p.is_broadcast());
+  EXPECT_EQ(p.setup().level, 2);
+  EXPECT_EQ(p.setup().root, 0);
+  EXPECT_EQ(p.size_bytes, Packet::kControlBytes);
+}
+
+TEST(Packet, JoinIsUnicastToParent) {
+  const Packet p = make_join_packet(5, 2);
+  EXPECT_EQ(p.link_dst, 2);
+  EXPECT_EQ(p.type, PacketType::kJoin);
+}
+
+TEST(Packet, RankPacket) {
+  const Packet p = make_rank_packet(5, 2, 3);
+  EXPECT_EQ(p.rank().rank, 3);
+  EXPECT_EQ(p.link_dst, 2);
+}
+
+TEST(Packet, AtimListsDestinations) {
+  const Packet p = make_atim_packet(1, {2, 3, 4});
+  EXPECT_TRUE(p.is_broadcast());
+  EXPECT_EQ(p.atim().destinations, (std::vector<NodeId>{2, 3, 4}));
+}
+
+TEST(Packet, PhaseRequest) {
+  const Packet p = make_phase_request_packet(2, 5, 7);
+  EXPECT_EQ(p.type, PacketType::kPhaseRequest);
+  EXPECT_EQ(p.phase_request().query, 7);
+  EXPECT_EQ(p.link_dst, 5);
+}
+
+TEST(Packet, TypeNames) {
+  EXPECT_STREQ(packet_type_name(PacketType::kData), "DATA");
+  EXPECT_STREQ(packet_type_name(PacketType::kAck), "ACK");
+  EXPECT_STREQ(packet_type_name(PacketType::kSetup), "SETUP");
+  EXPECT_STREQ(packet_type_name(PacketType::kAtim), "ATIM");
+}
+
+}  // namespace
+}  // namespace essat::net

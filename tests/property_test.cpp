@@ -1,0 +1,214 @@
+// Parameterized property sweeps over seeds, rates, and protocols: the
+// paper's analytical claims (Eq. 1-3, Safe Sleep's no-penalty guarantee,
+// DTS monotonicity) checked as invariants rather than point examples.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/dts.h"
+#include "src/core/sts.h"
+#include "src/harness/scenario.h"
+#include "src/net/channel.h"
+
+namespace essat {
+namespace {
+
+using harness::Protocol;
+using harness::RunMetrics;
+using harness::ScenarioConfig;
+using util::Time;
+
+// ---------------------------------------------------------------------------
+// Scenario-level properties, swept over seeds.
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+ScenarioConfig sweep_config(Protocol p, std::uint64_t seed) {
+  ScenarioConfig c;
+  c.protocol = p;
+  c.num_nodes = 50;
+  c.base_rate_hz = 1.5;
+  c.measure_duration = Time::seconds(25);
+  c.seed = seed;
+  return c;
+}
+
+TEST_P(SeedSweep, SafeSleepNeverBreaksDelivery) {
+  // The "safe" guarantee: sleeping must not lose data. Across seeds, ESSAT
+  // delivery stays near-perfect and MAC failures negligible.
+  for (Protocol p : {Protocol::kNtsSs, Protocol::kStsSs, Protocol::kDtsSs}) {
+    const RunMetrics m = run_scenario(sweep_config(p, GetParam()));
+    EXPECT_GT(m.delivery_ratio, 0.9)
+        << harness::protocol_name(p) << " seed " << GetParam();
+  }
+}
+
+TEST_P(SeedSweep, ShapedDutyNeverExceedsUnshaped) {
+  const RunMetrics nts = run_scenario(sweep_config(Protocol::kNtsSs, GetParam()));
+  const RunMetrics dts = run_scenario(sweep_config(Protocol::kDtsSs, GetParam()));
+  EXPECT_LT(dts.avg_duty_cycle, nts.avg_duty_cycle * 1.05) << GetParam();
+}
+
+TEST_P(SeedSweep, DutyCyclesAreFractions) {
+  const RunMetrics m = run_scenario(sweep_config(Protocol::kStsSs, GetParam()));
+  for (const auto& d : m.per_node) {
+    EXPECT_GE(d.duty_cycle, 0.0);
+    EXPECT_LE(d.duty_cycle, 1.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rate sweep: duty cycle grows with the base rate (Fig. 3's trend).
+
+class RateSweep : public ::testing::TestWithParam<double> {};
+
+INSTANTIATE_TEST_SUITE_P(Rates, RateSweep, ::testing::Values(0.5, 1.0, 2.0));
+
+TEST_P(RateSweep, DtsOverheadStaysBelowOneBit) {
+  ScenarioConfig c = sweep_config(Protocol::kDtsSs, 3);
+  c.base_rate_hz = GetParam();
+  // Phase shifts cluster in the convergence transient; measure long enough
+  // that steady state dominates, as the paper's 200 s runs do.
+  c.measure_duration = Time::seconds(120);
+  const RunMetrics m = run_scenario(c);
+  EXPECT_LT(m.phase_update_bits_per_report, 1.0) << GetParam() << " Hz";
+}
+
+TEST_P(RateSweep, LatencyWellBelowBaselineBuffering) {
+  ScenarioConfig c = sweep_config(Protocol::kDtsSs, 3);
+  c.base_rate_hz = GetParam();
+  const RunMetrics m = run_scenario(c);
+  // DTS-SS latency stays below one base period plus the shaper's slack —
+  // far below SYNC/PSM multi-interval buffering at any tested rate.
+  EXPECT_LT(m.avg_latency_s, 1.0 / GetParam() + 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// STS analytical properties (Eq. 2/3) on exact trees, swept over deadlines.
+
+class StsDeadlineSweep : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(DeadlinesMs, StsDeadlineSweep,
+                         ::testing::Values(100, 200, 400, 800));
+
+TEST_P(StsDeadlineSweep, ScheduleIsRankMonotone) {
+  // On any tree, STS send times strictly follow rank order within an epoch:
+  // a node transmits after every node of lower rank.
+  const auto topo = net::Topology::line(6, 100.0, 125.0);
+  const auto tree = routing::build_bfs_tree(topo, 0, 10000.0);
+  query::Query q;
+  q.id = 0;
+  q.period = Time::seconds(1);
+  q.phase = Time::seconds(5);
+  core::StsShaper shaper{
+      core::StsParams{.deadline = Time::milliseconds(GetParam())}};
+  Time prev = Time::min();
+  for (net::NodeId n = 5; n >= 1; --n) {  // ranks 0..4 in this chain
+    core::StsShaper s{core::StsParams{.deadline = Time::milliseconds(GetParam())}};
+    s.set_context(query::ShaperContext{&tree, n, nullptr});
+    const Time send = s.expected_send(q, 0);
+    EXPECT_GT(send, prev);
+    prev = send;
+  }
+}
+
+TEST_P(StsDeadlineSweep, RootReceptionWithinDeadline) {
+  // Eq. 2 with l >= T_agg: query latency ~ M * l = D. The root's last
+  // child send time is at most φ + l*(M-1) < φ + D.
+  const auto topo = net::Topology::line(6, 100.0, 125.0);
+  const auto tree = routing::build_bfs_tree(topo, 0, 10000.0);
+  query::Query q;
+  q.id = 0;
+  q.period = Time::seconds(1);
+  q.phase = Time::seconds(5);
+  core::StsShaper s{core::StsParams{.deadline = Time::milliseconds(GetParam())}};
+  s.set_context(query::ShaperContext{&tree, 0, nullptr});
+  EXPECT_LT(s.expected_receive(q, 0, 1) - q.phase, Time::milliseconds(GetParam()));
+}
+
+// ---------------------------------------------------------------------------
+// DTS phase algebra, swept over random lateness sequences.
+
+class DtsLatenessSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(LatenessSeeds, DtsLatenessSweep,
+                         ::testing::Values(11, 22, 33, 44));
+
+TEST_P(DtsLatenessSweep, ExpectedSendNeverDecreases) {
+  // Phase shifts only postpone: s(k+1) >= s(k) + ... is monotone in k
+  // whatever the lateness pattern.
+  const auto topo = net::Topology::line(2, 100.0, 125.0);
+  const auto tree = routing::build_bfs_tree(topo, 0, 10000.0);
+  core::DtsShaper shaper;
+  shaper.set_context(query::ShaperContext{&tree, 1, nullptr});
+  query::Query q;
+  q.id = 0;
+  q.period = Time::seconds(1);
+  q.phase = Time::zero();
+  shaper.register_query(q);
+  util::Rng rng{GetParam()};
+  Time prev_send = Time::min();
+  for (std::int64_t k = 0; k < 50; ++k) {
+    const Time ready =
+        q.epoch_start(k) + Time::from_milliseconds(rng.uniform(0.0, 400.0));
+    const auto plan = shaper.plan_send(q, k, ready);
+    EXPECT_GT(plan.send_at, prev_send);
+    EXPECT_GE(plan.send_at, shaper.expected_send(q, k));
+    shaper.on_report_sent(q, k, plan.send_at);
+    prev_send = plan.send_at;
+  }
+}
+
+TEST_P(DtsLatenessSweep, AdvertisementExactlyWhenShifted) {
+  const auto topo = net::Topology::line(2, 100.0, 125.0);
+  const auto tree = routing::build_bfs_tree(topo, 0, 10000.0);
+  core::DtsShaper shaper;
+  shaper.set_context(query::ShaperContext{&tree, 1, nullptr});
+  query::Query q;
+  q.id = 0;
+  q.period = Time::seconds(1);
+  q.phase = Time::zero();
+  shaper.register_query(q);
+  util::Rng rng{GetParam()};
+  for (std::int64_t k = 0; k < 50; ++k) {
+    const bool late = rng.bernoulli(0.3);
+    const Time s_k = shaper.expected_send(q, k);
+    const Time ready = late ? s_k + Time::milliseconds(50) : s_k - Time::milliseconds(50);
+    const auto plan = shaper.plan_send(q, k, ready);
+    EXPECT_EQ(plan.phase_update.has_value(), late) << "epoch " << k;
+    shaper.on_report_sent(q, k, plan.send_at);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Break-even-time sweep (Fig. 9's mechanism): a larger T_BE can only raise
+// the duty cycle — short gaps stop being worth sleeping through.
+
+class TbeSweep : public ::testing::TestWithParam<double> {};
+
+INSTANTIATE_TEST_SUITE_P(TbeMs, TbeSweep, ::testing::Values(0.0, 2.5, 10.0));
+
+TEST_P(TbeSweep, DutyBoundedByAlwaysOn) {
+  ScenarioConfig c = sweep_config(Protocol::kDtsSs, 7);
+  c.t_be = Time::from_milliseconds(GetParam());
+  const RunMetrics m = run_scenario(c);
+  EXPECT_GT(m.avg_duty_cycle, 0.0);
+  EXPECT_LT(m.avg_duty_cycle, 1.0);
+}
+
+TEST(TbeMonotonicity, LargerTbeNeverSavesEnergy) {
+  ScenarioConfig c = sweep_config(Protocol::kDtsSs, 9);
+  c.t_be = Time::zero();
+  const double duty0 = run_scenario(c).avg_duty_cycle;
+  c.t_be = Time::from_milliseconds(10.0);
+  const double duty10 = run_scenario(c).avg_duty_cycle;
+  c.t_be = Time::from_milliseconds(40.0);
+  const double duty40 = run_scenario(c).avg_duty_cycle;
+  EXPECT_LE(duty0, duty10 * 1.02);
+  EXPECT_LE(duty10, duty40 * 1.02);
+}
+
+}  // namespace
+}  // namespace essat

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "src/energy/duty_cycle.h"
+#include "src/energy/radio.h"
+#include "src/sim/simulator.h"
+
+namespace essat::energy {
+namespace {
+
+using util::Time;
+
+RadioParams fast_params() {
+  RadioParams p;
+  p.t_off_on = Time::from_milliseconds(1.25);
+  p.t_on_off = Time::from_milliseconds(1.25);
+  return p;
+}
+
+TEST(Radio, StartsOn) {
+  sim::Simulator sim;
+  Radio r{sim, fast_params()};
+  EXPECT_EQ(r.state(), RadioState::kOn);
+  EXPECT_TRUE(r.is_on());
+}
+
+TEST(Radio, TurnOffTakesTransitionTime) {
+  sim::Simulator sim;
+  Radio r{sim, fast_params()};
+  r.turn_off();
+  EXPECT_EQ(r.state(), RadioState::kTurningOff);
+  sim.run_until(Time::from_milliseconds(1.0));
+  EXPECT_EQ(r.state(), RadioState::kTurningOff);
+  sim.run_until(Time::from_milliseconds(1.25));
+  EXPECT_EQ(r.state(), RadioState::kOff);
+}
+
+TEST(Radio, TurnOnTakesTransitionTime) {
+  sim::Simulator sim;
+  Radio r{sim, fast_params()};
+  r.turn_off();
+  sim.run_until(Time::from_milliseconds(2.0));
+  r.turn_on();
+  EXPECT_EQ(r.state(), RadioState::kTurningOn);
+  sim.run_until(Time::from_milliseconds(3.25));
+  EXPECT_EQ(r.state(), RadioState::kOn);
+}
+
+TEST(Radio, TurnOnWhileTurningOffQueues) {
+  sim::Simulator sim;
+  Radio r{sim, fast_params()};
+  r.turn_off();
+  r.turn_on();  // queued behind the OFF transition
+  EXPECT_EQ(r.state(), RadioState::kTurningOff);
+  sim.run_until(Time::from_milliseconds(1.25));
+  EXPECT_EQ(r.state(), RadioState::kTurningOn);
+  sim.run_until(Time::from_milliseconds(2.5));
+  EXPECT_EQ(r.state(), RadioState::kOn);
+}
+
+TEST(Radio, TurnOffIgnoredUnlessOn) {
+  sim::Simulator sim;
+  Radio r{sim, fast_params()};
+  r.turn_off();
+  sim.run_until(Time::from_milliseconds(2.0));
+  ASSERT_EQ(r.state(), RadioState::kOff);
+  r.turn_off();  // no-op
+  EXPECT_EQ(r.state(), RadioState::kOff);
+}
+
+TEST(Radio, RedundantTurnOnIsNoop) {
+  sim::Simulator sim;
+  Radio r{sim, fast_params()};
+  r.turn_on();
+  EXPECT_EQ(r.state(), RadioState::kOn);
+}
+
+TEST(Radio, ObserversSeeStateChanges) {
+  sim::Simulator sim;
+  Radio r{sim, fast_params()};
+  std::vector<RadioState> seen;
+  r.add_state_observer([&](RadioState s) { seen.push_back(s); });
+  r.turn_off();
+  sim.run_until(Time::from_milliseconds(2.0));
+  r.turn_on();
+  sim.run();
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen[0], RadioState::kTurningOff);
+  EXPECT_EQ(seen[1], RadioState::kOff);
+  EXPECT_EQ(seen[2], RadioState::kTurningOn);
+  EXPECT_EQ(seen[3], RadioState::kOn);
+}
+
+TEST(Radio, DutyCycleCountsTransitionsAsActive) {
+  sim::Simulator sim;
+  Radio r{sim, fast_params()};
+  r.begin_measurement();
+  // ON for 10 ms, then off; OFF period lasts until wake at 50 ms.
+  sim.schedule_at(Time::milliseconds(10), [&] { r.turn_off(); });
+  sim.schedule_at(Time::milliseconds(50), [&] { r.turn_on(); });
+  sim.run_until(Time::milliseconds(100));
+  // Active: [0,10) ON + [10,11.25) turning off + [50,51.25) turning on +
+  // [51.25,100) ON = 10 + 1.25 + 1.25 + 48.75 = 61.25 ms of 100 ms.
+  EXPECT_NEAR(r.duty_cycle(), 0.6125, 1e-9);
+  EXPECT_NEAR(r.active_time().to_seconds(), 0.06125, 1e-12);
+  EXPECT_NEAR(r.off_time().to_seconds(), 0.03875, 1e-12);
+}
+
+TEST(Radio, SleepIntervalsRecorded) {
+  sim::Simulator sim;
+  Radio r{sim, fast_params()};
+  r.begin_measurement();
+  sim.schedule_at(Time::milliseconds(10), [&] { r.turn_off(); });
+  sim.schedule_at(Time::milliseconds(50), [&] { r.turn_on(); });
+  sim.schedule_at(Time::milliseconds(80), [&] { r.turn_off(); });
+  sim.schedule_at(Time::milliseconds(95), [&] { r.turn_on(); });
+  sim.run_until(Time::milliseconds(200));
+  // OFF intervals: [11.25, 50) = 38.75 ms and [81.25, 95) = 13.75 ms.
+  ASSERT_EQ(r.sleep_intervals_s().size(), 2u);
+  EXPECT_NEAR(r.sleep_intervals_s()[0], 0.03875, 1e-12);
+  EXPECT_NEAR(r.sleep_intervals_s()[1], 0.01375, 1e-12);
+}
+
+TEST(Radio, MeasurementWindowResetsAccounting) {
+  sim::Simulator sim;
+  Radio r{sim, fast_params()};
+  sim.schedule_at(Time::milliseconds(10), [&] { r.turn_off(); });
+  sim.schedule_at(Time::milliseconds(100), [&] { r.begin_measurement(); });
+  sim.run_until(Time::milliseconds(150));
+  // Whole window spent OFF.
+  EXPECT_NEAR(r.duty_cycle(), 0.0, 1e-9);
+  EXPECT_TRUE(r.sleep_intervals_s().empty());  // interval began pre-window
+  sim.schedule_at(Time::milliseconds(160), [&] { r.turn_on(); });
+  sim.run_until(Time::milliseconds(200));
+  // The straddling OFF interval counts from the window start (100 ms).
+  ASSERT_EQ(r.sleep_intervals_s().size(), 1u);
+  EXPECT_NEAR(r.sleep_intervals_s()[0], 0.060, 1e-9);
+}
+
+TEST(Radio, ZeroTransitionTimes) {
+  sim::Simulator sim;
+  RadioParams p;
+  p.t_off_on = Time::zero();
+  p.t_on_off = Time::zero();
+  Radio r{sim, p};
+  EXPECT_EQ(p.break_even(), Time::zero());
+  r.begin_measurement();
+  r.turn_off();
+  sim.run_until(Time::milliseconds(1));  // zero-delay transition event fires
+  EXPECT_EQ(r.state(), RadioState::kOff);
+  r.turn_on();
+  sim.run_until(Time::milliseconds(2));
+  EXPECT_EQ(r.state(), RadioState::kOn);
+  ASSERT_EQ(r.sleep_intervals_s().size(), 1u);
+  EXPECT_NEAR(r.sleep_intervals_s()[0], 1e-3, 1e-9);
+}
+
+TEST(Radio, FailForcesOffPermanently) {
+  sim::Simulator sim;
+  Radio r{sim, fast_params()};
+  r.fail();
+  EXPECT_TRUE(r.failed());
+  EXPECT_EQ(r.state(), RadioState::kOff);
+  r.turn_on();
+  sim.run_until(Time::seconds(1));
+  EXPECT_EQ(r.state(), RadioState::kOff);
+}
+
+TEST(Radio, EnergyAccumulatesByState) {
+  sim::Simulator sim;
+  RadioParams p = fast_params();
+  p.p_idle_mw = 10.0;
+  p.p_off_mw = 0.0;
+  p.p_transition_mw = 10.0;
+  sim::Simulator s2;
+  Radio r{s2, p};
+  r.begin_measurement();
+  s2.schedule_at(Time::seconds(1), [&] { r.turn_off(); });
+  s2.run_until(Time::seconds(2));
+  // 1 s idle @10 mW + 1.25 ms transition @10 mW, rest off @0.
+  EXPECT_NEAR(r.energy_mj(), 10.0 * 1.0 + 10.0 * 0.00125, 1e-6);
+}
+
+TEST(Radio, TxRxPowerHints) {
+  sim::Simulator sim;
+  RadioParams p = fast_params();
+  p.p_idle_mw = 10.0;
+  p.p_tx_mw = 40.0;
+  Radio r{sim, p};
+  r.begin_measurement();
+  sim.schedule_at(Time::seconds(1), [&] { r.note_tx(true); });
+  sim.schedule_at(Time::seconds(2), [&] { r.note_tx(false); });
+  sim.run_until(Time::seconds(3));
+  EXPECT_NEAR(r.energy_mj(), 10.0 + 40.0 + 10.0, 1e-6);
+}
+
+TEST(RadioParams, BreakEvenIsSumOfTransitions) {
+  RadioParams p;
+  p.t_off_on = Time::from_milliseconds(1.25);
+  p.t_on_off = Time::from_milliseconds(1.25);
+  EXPECT_EQ(p.break_even(), Time::from_milliseconds(2.5));
+}
+
+TEST(DutyCycleSummary, AveragesRadios) {
+  sim::Simulator sim;
+  Radio a{sim, fast_params()};
+  Radio b{sim, fast_params()};
+  a.begin_measurement();
+  b.begin_measurement();
+  sim.schedule_at(Time::milliseconds(0), [&] { b.turn_off(); });
+  sim.run_until(Time::seconds(1));
+  const auto summary = summarize_duty_cycles({&a, &b});
+  EXPECT_NEAR(summary.average, (1.0 + 0.00125) / 2.0, 1e-6);
+  EXPECT_NEAR(summary.max, 1.0, 1e-9);
+}
+
+TEST(DutyCycleByGroup, GroupsCorrectly) {
+  sim::Simulator sim;
+  Radio a{sim, fast_params()};
+  Radio b{sim, fast_params()};
+  Radio c{sim, fast_params()};
+  a.begin_measurement();
+  b.begin_measurement();
+  c.begin_measurement();
+  c.turn_off();
+  sim.run_until(Time::seconds(10));
+  const auto by_group = duty_cycle_by_group({&a, &b, &c}, {0, 0, 1}, 2);
+  ASSERT_EQ(by_group.size(), 2u);
+  EXPECT_NEAR(by_group[0], 1.0, 1e-9);
+  EXPECT_LT(by_group[1], 0.01);
+}
+
+TEST(DutyCycleByGroup, SizeMismatchThrows) {
+  EXPECT_THROW(duty_cycle_by_group({}, {0}, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace essat::energy

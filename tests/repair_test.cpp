@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "src/routing/repair.h"
+
+namespace essat::routing {
+namespace {
+
+// Diamond with a tail: 0 root; 1,2 adjacent to 0; 3 adjacent to both 1 and
+// 2; 4 adjacent to 3 only.
+net::Topology diamond() {
+  return net::Topology{{{0, 0}, {100, 0}, {0, 100}, {100, 100}, {200, 100}}, 125.0};
+}
+
+Tree diamond_tree() {
+  Tree t{5};
+  t.set_root(0);
+  t.add_node(1, 0);
+  t.add_node(2, 0);
+  t.add_node(3, 1);
+  t.add_node(4, 3);
+  t.recompute_ranks();
+  return t;
+}
+
+TEST(Repair, ReparentPicksLowestLevelNeighbor) {
+  const auto topo = diamond();
+  Tree t = diamond_tree();
+  RepairService repair{topo, t, {}};
+  // Node 3 loses parent 1: the only other member neighbor is 2 (level 1).
+  EXPECT_TRUE(repair.reparent(3, [](net::NodeId n) { return n != 1; }));
+  EXPECT_EQ(t.parent(3), 2);
+  EXPECT_EQ(t.level(3), 2);
+  EXPECT_EQ(t.level(4), 3);  // subtree moved along
+  EXPECT_EQ(t.rank(2), 2);
+  EXPECT_EQ(t.rank(1), 0);
+}
+
+TEST(Repair, ReparentFailsWithoutCandidates) {
+  const auto topo = diamond();
+  Tree t = diamond_tree();
+  RepairService repair{topo, t, {}};
+  // Node 4's only neighbor is its parent 3.
+  EXPECT_FALSE(repair.reparent(4, [](net::NodeId) { return true; }));
+  EXPECT_EQ(t.parent(4), 3);
+}
+
+TEST(Repair, ReparentSkipsDeadCandidates) {
+  const auto topo = diamond();
+  Tree t = diamond_tree();
+  RepairService repair{topo, t, {}};
+  // Both 1 (old parent) and 2 dead: nothing to attach to.
+  EXPECT_FALSE(repair.reparent(3, [](net::NodeId n) { return n != 1 && n != 2; }));
+}
+
+TEST(Repair, HooksFireOnReparent) {
+  const auto topo = diamond();
+  Tree t = diamond_tree();
+  std::vector<net::NodeId> rank_changed;
+  net::NodeId moved = net::kNoNode, new_parent = net::kNoNode,
+              lost_child_parent = net::kNoNode;
+  RepairService::Hooks hooks;
+  hooks.on_rank_changed = [&](net::NodeId n) { rank_changed.push_back(n); };
+  hooks.on_parent_changed = [&](net::NodeId c, net::NodeId p) {
+    moved = c;
+    new_parent = p;
+  };
+  hooks.on_child_removed = [&](net::NodeId p, net::NodeId) {
+    lost_child_parent = p;
+  };
+  RepairService repair{topo, t, std::move(hooks)};
+  ASSERT_TRUE(repair.reparent(3, [](net::NodeId n) { return n != 1; }));
+  EXPECT_EQ(moved, 3);
+  EXPECT_EQ(new_parent, 2);
+  EXPECT_EQ(lost_child_parent, 1);
+  // Ranks changed for 1 (2 -> 0) and 2 (0 -> 2).
+  EXPECT_NE(std::find(rank_changed.begin(), rank_changed.end(), 1), rank_changed.end());
+  EXPECT_NE(std::find(rank_changed.begin(), rank_changed.end(), 2), rank_changed.end());
+}
+
+TEST(Repair, RemoveFailedNodeReattachesOrphans) {
+  const auto topo = diamond();
+  Tree t = diamond_tree();
+  RepairService repair{topo, t, {}};
+  // Node 1 dies; orphan 3 can rejoin under 2; 4 rejoins under 3.
+  const auto stranded =
+      repair.remove_failed_node(1, [](net::NodeId n) { return n != 1; });
+  EXPECT_TRUE(stranded.empty());
+  EXPECT_FALSE(t.is_member(1));
+  EXPECT_TRUE(t.is_member(3));
+  EXPECT_EQ(t.parent(3), 2);
+  EXPECT_TRUE(t.is_member(4));
+  EXPECT_EQ(t.parent(4), 3);
+}
+
+TEST(Repair, RemoveFailedNodeReportsStranded) {
+  // 4's only route was through 3; kill 3 and 4 is stranded.
+  const auto topo = diamond();
+  Tree t = diamond_tree();
+  RepairService repair{topo, t, {}};
+  const auto stranded =
+      repair.remove_failed_node(3, [](net::NodeId n) { return n != 3; });
+  EXPECT_EQ(stranded, (std::vector<net::NodeId>{4}));
+  EXPECT_FALSE(t.is_member(4));
+}
+
+TEST(Repair, SetHooksAfterConstruction) {
+  const auto topo = diamond();
+  Tree t = diamond_tree();
+  RepairService repair{topo, t};
+  bool fired = false;
+  RepairService::Hooks hooks;
+  hooks.on_parent_changed = [&](net::NodeId, net::NodeId) { fired = true; };
+  repair.set_hooks(std::move(hooks));
+  ASSERT_TRUE(repair.reparent(3, [](net::NodeId n) { return n != 1; }));
+  EXPECT_TRUE(fired);
+}
+
+}  // namespace
+}  // namespace essat::routing

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/simulator.h"
+#include "src/sim/timer.h"
+
+namespace essat::sim {
+namespace {
+
+using util::Time;
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(Time::seconds(3), [&] { fired.push_back(3); });
+  q.push(Time::seconds(1), [&] { fired.push_back(1); });
+  q.push(Time::seconds(2), [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimestampFifo) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.push(Time::seconds(1), [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().second();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelSuppressesEvent) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.push(Time::seconds(1), [&] { fired = true; });
+  q.push(Time::seconds(2), [] {});
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.next_time(), Time::seconds(2));
+  while (!q.empty()) q.pop().second();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelUnknownIdIsNoop) {
+  EventQueue q;
+  q.push(Time::seconds(1), [] {});
+  q.cancel(999999);
+  q.cancel(kInvalidEventId);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, EmptyAfterAllCancelled) {
+  EventQueue q;
+  const EventId a = q.push(Time::seconds(1), [] {});
+  const EventId b = q.push(Time::seconds(2), [] {});
+  q.cancel(a);
+  q.cancel(b);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(Simulator, NowAdvancesWithEvents) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), Time::zero());
+  std::vector<Time> seen;
+  sim.schedule_at(Time::seconds(5), [&] { seen.push_back(sim.now()); });
+  sim.schedule_at(Time::seconds(2), [&] { seen.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], Time::seconds(2));
+  EXPECT_EQ(seen[1], Time::seconds(5));
+  EXPECT_EQ(sim.now(), Time::seconds(5));
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  Time fired_at = Time::zero();
+  sim.schedule_at(Time::seconds(1), [&] {
+    sim.schedule_in(Time::seconds(2), [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, Time::seconds(3));
+}
+
+TEST(Simulator, PastSchedulesClampToNow) {
+  Simulator sim;
+  Time fired_at = Time::min();
+  sim.schedule_at(Time::seconds(5), [&] {
+    sim.schedule_at(Time::seconds(1), [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, Time::seconds(5));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryInclusive) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(Time::seconds(1), [&] { ++fired; });
+  sim.schedule_at(Time::seconds(2), [&] { ++fired; });
+  sim.schedule_at(Time::seconds(3), [&] { ++fired; });
+  sim.run_until(Time::seconds(2));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), Time::seconds(2));
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.run_until(Time::seconds(10));
+  EXPECT_EQ(sim.now(), Time::seconds(10));
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(Time::seconds(1), [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_at(Time::seconds(2), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Simulator, CancelScheduledEvent) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(Time::seconds(1), [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, ExecutedEventsCounter) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(Time::seconds(i + 1), [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 7u);
+}
+
+TEST(Simulator, StressManyEventsKeepOrder) {
+  Simulator sim;
+  Time last = Time::min();
+  bool ordered = true;
+  for (int i = 0; i < 10000; ++i) {
+    const Time t = Time::milliseconds((i * 7919) % 10000);
+    sim.schedule_at(t, [&, t] {
+      if (sim.now() < last) ordered = false;
+      last = sim.now();
+    });
+  }
+  sim.run();
+  EXPECT_TRUE(ordered);
+  EXPECT_EQ(sim.executed_events(), 10000u);
+}
+
+TEST(Timer, FiresAtArmedTime) {
+  Simulator sim;
+  Timer timer{sim};
+  Time fired_at = Time::min();
+  timer.arm_at(Time::seconds(2), [&] { fired_at = sim.now(); });
+  EXPECT_TRUE(timer.armed());
+  EXPECT_EQ(timer.fire_time(), Time::seconds(2));
+  sim.run();
+  EXPECT_EQ(fired_at, Time::seconds(2));
+  EXPECT_FALSE(timer.armed());
+}
+
+TEST(Timer, RearmCancelsPrevious) {
+  Simulator sim;
+  Timer timer{sim};
+  int fired = 0;
+  timer.arm_at(Time::seconds(1), [&] { fired = 1; });
+  timer.arm_at(Time::seconds(2), [&] { fired = 2; });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.executed_events(), 1u);
+}
+
+TEST(Timer, CancelPreventsFire) {
+  Simulator sim;
+  Timer timer{sim};
+  bool fired = false;
+  timer.arm_at(Time::seconds(1), [&] { fired = true; });
+  timer.cancel();
+  EXPECT_FALSE(timer.armed());
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Timer, DestructionCancels) {
+  Simulator sim;
+  bool fired = false;
+  {
+    Timer timer{sim};
+    timer.arm_at(Time::seconds(1), [&] { fired = true; });
+  }
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Timer, ArmInsideCallback) {
+  Simulator sim;
+  Timer timer{sim};
+  std::vector<Time> fires;
+  timer.arm_in(Time::seconds(1), [&] {
+    fires.push_back(sim.now());
+    timer.arm_in(Time::seconds(1), [&] { fires.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(fires.size(), 2u);
+  EXPECT_EQ(fires[1], Time::seconds(2));
+}
+
+}  // namespace
+}  // namespace essat::sim

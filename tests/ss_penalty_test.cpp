@@ -1,0 +1,139 @@
+// The core Safe Sleep guarantee (§4.1): "no energy or delay penalties are
+// incurred by turning the node off". Verified end-to-end: the same
+// query workload on the same topology must deliver with (near-)identical
+// latency whether Safe Sleep is running or the radios stay always on.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "src/core/safe_sleep.h"
+#include "src/core/sts.h"
+#include "src/net/channel.h"
+#include "src/query/query_agent.h"
+
+namespace essat::core {
+namespace {
+
+using util::Time;
+
+struct StackResult {
+  std::map<std::int64_t, Time> root_arrival;   // epoch -> last arrival
+  std::map<std::int64_t, int> contributions;
+  double leaf_duty = 1.0;
+  std::uint64_t send_failures = 0;
+};
+
+// Chain 0(root)-1-2-3-4, STS shapers, one 1 Hz query.
+StackResult run_chain(bool with_safe_sleep, Time t_be) {
+  sim::Simulator sim;
+  net::Topology topo = net::Topology::line(5, 100.0, 125.0);
+  routing::Tree tree = routing::build_bfs_tree(topo, 0, 10000.0);
+  net::Channel channel{sim, topo};
+
+  energy::RadioParams rp;
+  rp.t_off_on = t_be / 2;
+  rp.t_on_off = t_be / 2;
+
+  std::vector<std::unique_ptr<energy::Radio>> radios;
+  std::vector<std::unique_ptr<mac::CsmaMac>> macs;
+  std::vector<std::unique_ptr<StsShaper>> shapers;
+  std::vector<std::unique_ptr<SafeSleep>> sleepers;
+  std::vector<std::unique_ptr<query::QueryAgent>> agents;
+  for (std::size_t i = 0; i < 5; ++i) {
+    radios.push_back(std::make_unique<energy::Radio>(sim, rp));
+    macs.push_back(std::make_unique<mac::CsmaMac>(sim, channel, *radios.back(),
+                                                  static_cast<net::NodeId>(i),
+                                                  mac::MacParams{}, util::Rng{100 + i}));
+    shapers.push_back(std::make_unique<StsShaper>());
+    if (with_safe_sleep) {
+      sleepers.push_back(std::make_unique<SafeSleep>(
+          sim, *radios.back(), *macs.back(), SafeSleepParams{t_be, true}));
+      sleepers.back()->set_setup_end(Time::milliseconds(500));
+    } else {
+      sleepers.push_back(nullptr);
+    }
+    shapers.back()->set_context(query::ShaperContext{
+        &tree, static_cast<net::NodeId>(i),
+        sleepers.back() ? sleepers.back().get() : nullptr});
+    agents.push_back(std::make_unique<query::QueryAgent>(
+        sim, *macs.back(), tree, static_cast<net::NodeId>(i), *shapers.back()));
+    macs.back()->set_rx_handler(
+        [&agents, i](const net::Packet& p) { agents[i]->handle_packet(p); });
+  }
+
+  StackResult out;
+  agents[0]->set_root_arrival_hook(
+      [&](const query::Query&, std::int64_t k, Time t, int c) {
+        auto [it, inserted] = out.root_arrival.try_emplace(k, t);
+        if (!inserted) it->second = std::max(it->second, t);
+        out.contributions[k] += c;
+      });
+
+  query::Query q;
+  q.id = 0;
+  q.period = Time::seconds(1);
+  q.phase = Time::seconds(1);
+  for (auto& a : agents) a->register_query(q);
+
+  radios[4]->begin_measurement();
+  sim.run_until(Time::seconds(20));
+  out.leaf_duty = radios[4]->duty_cycle();
+  for (const auto& a : agents) out.send_failures += a->stats().send_failures;
+  return out;
+}
+
+class PenaltySweep : public ::testing::TestWithParam<double> {};
+
+INSTANTIATE_TEST_SUITE_P(TbeMs, PenaltySweep, ::testing::Values(1.0, 2.5, 10.0));
+
+TEST_P(PenaltySweep, NoDelayPenaltyFromSleeping) {
+  const Time t_be = Time::from_milliseconds(GetParam());
+  const StackResult awake = run_chain(false, t_be);
+  const StackResult sleeping = run_chain(true, t_be);
+
+  ASSERT_GE(sleeping.root_arrival.size(), 15u);
+  ASSERT_EQ(sleeping.root_arrival.size(), awake.root_arrival.size());
+  for (const auto& [k, t] : sleeping.root_arrival) {
+    const Time t_awake = awake.root_arrival.at(k);
+    // Identical schedules modulo sub-millisecond MAC jitter: sleeping must
+    // not delay any epoch perceptibly.
+    EXPECT_LT((t - t_awake).to_seconds(), 5e-3) << "epoch " << k;
+  }
+}
+
+TEST_P(PenaltySweep, NoDeliveryPenaltyFromSleeping) {
+  const Time t_be = Time::from_milliseconds(GetParam());
+  const StackResult sleeping = run_chain(true, t_be);
+  EXPECT_EQ(sleeping.send_failures, 0u);
+  for (const auto& [k, c] : sleeping.contributions) {
+    EXPECT_EQ(c, 4) << "epoch " << k;  // all four non-root readings
+  }
+}
+
+TEST_P(PenaltySweep, SleepingActuallySavesEnergy) {
+  const Time t_be = Time::from_milliseconds(GetParam());
+  const StackResult awake = run_chain(false, t_be);
+  const StackResult sleeping = run_chain(true, t_be);
+  EXPECT_NEAR(awake.leaf_duty, 1.0, 1e-6);
+  // A leaf with a 1 Hz query is busy a few milliseconds per second.
+  EXPECT_LT(sleeping.leaf_duty, 0.10);
+}
+
+TEST(SafeSleepTiming, ParentWakesExactlyForChildSend) {
+  // White-box timing: with STS, the parent's radio must complete its
+  // OFF->ON transition no later than the child's expected send time.
+  const StackResult sleeping = run_chain(true, Time::from_milliseconds(2.5));
+  // Covered implicitly by zero failures + full delivery above; this test
+  // pins the schedule: first epoch's aggregate reaches the root within one
+  // local deadline of the root's expected reception.
+  ASSERT_FALSE(sleeping.root_arrival.empty());
+  const Time first = sleeping.root_arrival.begin()->second;
+  // Chain M = 4, D = P = 1 s, l = 250 ms: root's child (rank 3) sends at
+  // φ + 3l = 1.75 s; arrival within a few ms after that.
+  EXPECT_GT(first, Time::from_seconds(1.75));
+  EXPECT_LT(first, Time::from_seconds(1.80));
+}
+
+}  // namespace
+}  // namespace essat::core

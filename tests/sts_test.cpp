@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/core/sts.h"
+#include "src/routing/tree.h"
+
+namespace essat::core {
+namespace {
+
+using util::Time;
+
+struct RecordingSink final : query::ExpectedTimeSink {
+  std::map<net::QueryId, Time> next_send;
+  std::map<std::pair<net::QueryId, net::NodeId>, Time> next_recv;
+  void update_next_send(net::QueryId q, Time t) override { next_send[q] = t; }
+  void update_next_receive(net::QueryId q, net::NodeId c, Time t) override {
+    next_recv[{q, c}] = t;
+  }
+  void erase_child(net::QueryId q, net::NodeId c) override { next_recv.erase({q, c}); }
+  void erase_query(net::QueryId q) override { next_send.erase(q); }
+};
+
+// Chain 0-1-2-3-4: M = 4; node 2 has rank 2 and child 3 (rank 1).
+struct StsFixture : ::testing::Test {
+  StsFixture()
+      : topo{net::Topology::line(5, 100.0, 125.0)},
+        tree{routing::build_bfs_tree(topo, 0, 1000.0)} {
+    q.id = 0;
+    q.period = Time::seconds(1);
+    q.phase = Time::seconds(10);
+  }
+
+  StsShaper make(StsParams params = {}, net::NodeId self = 2) {
+    StsShaper s{params};
+    s.set_context(query::ShaperContext{&tree, self, &sink});
+    return s;
+  }
+
+  net::Topology topo;
+  routing::Tree tree;
+  RecordingSink sink;
+  query::Query q;
+};
+
+TEST_F(StsFixture, LocalDeadlineIsDOverM) {
+  auto s = make();
+  // Default D = P; M = 4 -> l = 250 ms.
+  EXPECT_EQ(s.local_deadline(q), Time::milliseconds(250));
+  auto s2 = make(StsParams{.deadline = Time::milliseconds(800)});
+  EXPECT_EQ(s2.local_deadline(q), Time::milliseconds(200));
+}
+
+TEST_F(StsFixture, SendFormulaUsesOwnRank) {
+  auto s = make();
+  // s(k) = φ + kP + l*d with d = 2, l = 250 ms.
+  EXPECT_EQ(s.expected_send(q, 0), Time::seconds(10) + Time::milliseconds(500));
+  EXPECT_EQ(s.expected_send(q, 2), Time::seconds(12) + Time::milliseconds(500));
+}
+
+TEST_F(StsFixture, ReceiveFormulaUsesChildRank) {
+  auto s = make();
+  // r(k,c) equals the child's expected send time (§4.1): child 3 has rank 1.
+  EXPECT_EQ(s.expected_receive(q, 0, 3), Time::seconds(10) + Time::milliseconds(250));
+}
+
+TEST_F(StsFixture, LeafSendsAtEpochStart) {
+  auto s = make({}, /*self=*/4);  // rank 0
+  EXPECT_EQ(s.expected_send(q, 3), Time::seconds(13));
+}
+
+TEST_F(StsFixture, EarlyReportBufferedUntilExpectedSend) {
+  auto s = make();
+  s.register_query(q);
+  // Ready well before s(0): buffered ("it is buffered until that time").
+  const auto plan = s.plan_send(q, 0, Time::seconds(10) + Time::milliseconds(100));
+  EXPECT_EQ(plan.send_at, Time::seconds(10) + Time::milliseconds(500));
+  EXPECT_FALSE(plan.phase_update.has_value());
+}
+
+TEST_F(StsFixture, LateReportSentImmediately) {
+  auto s = make();
+  s.register_query(q);
+  const Time late = Time::seconds(10) + Time::milliseconds(700);
+  const auto plan = s.plan_send(q, 0, late);
+  EXPECT_EQ(plan.send_at, late);
+}
+
+TEST_F(StsFixture, RegisterPushesRankBasedTimes) {
+  auto s = make();
+  s.register_query(q);
+  EXPECT_EQ(sink.next_send[0], Time::seconds(10) + Time::milliseconds(500));
+  EXPECT_EQ((sink.next_recv[std::make_pair<net::QueryId, net::NodeId>(0, 3)]), Time::seconds(10) + Time::milliseconds(250));
+}
+
+TEST_F(StsFixture, ZeroDeadlineDegeneratesToNts) {
+  // "In the special case when l = 0, STS behaves like NTS" (§4.2.2).
+  auto s = make(StsParams{.deadline = Time::zero()});
+  EXPECT_EQ(s.expected_send(q, 0), Time::seconds(10));
+  EXPECT_EQ(s.expected_receive(q, 0, 3), Time::seconds(10));
+}
+
+TEST_F(StsFixture, DeadlineNeverBeforeExpectedSend) {
+  auto s = make();
+  EXPECT_GE(s.aggregation_deadline(q, 0), s.expected_send(q, 0));
+}
+
+TEST_F(StsFixture, DeadlineIncludesLossFloor) {
+  auto s = make(StsParams{.deadline = std::nullopt, .t_to = Time::milliseconds(10), .loss_floor_periods = 1.0});
+  // Floor s(k) + P dominates the paper cutoff s(k) + l - t_TO here.
+  EXPECT_EQ(s.aggregation_deadline(q, 0), s.expected_send(q, 0) + q.period);
+}
+
+TEST_F(StsFixture, RankChangeRepushesSchedule) {
+  auto s = make();
+  s.register_query(q);
+  // Simulate a repair that moves node 3 (and its subtree) under node 1,
+  // turning node 2 into a leaf.
+  tree.change_parent(3, 1);
+  tree.recompute_ranks();
+  ASSERT_EQ(tree.rank(2), 0);
+  s.on_rank_changed(q);
+  // s now uses rank 0: φ + kP.
+  EXPECT_EQ(sink.next_send[0], Time::seconds(10));
+}
+
+TEST_F(StsFixture, SendProgressPersistsAcrossEpochs) {
+  auto s = make();
+  s.register_query(q);
+  s.on_report_sent(q, 0, s.expected_send(q, 0));
+  EXPECT_EQ(sink.next_send[0], s.expected_send(q, 1));
+  s.on_report_received(q, 0, 3, std::nullopt);
+  EXPECT_EQ((sink.next_recv[std::make_pair<net::QueryId, net::NodeId>(0, 3)]), s.expected_receive(q, 1, 3));
+}
+
+TEST_F(StsFixture, PaperCutoffUsedWhenFloorDisabled) {
+  auto s = make(StsParams{.deadline = std::nullopt, .t_to = Time::milliseconds(10), .loss_floor_periods = 0.0});
+  // Deadline = s(k) + l - t_TO = s(k) + 240 ms.
+  EXPECT_EQ(s.aggregation_deadline(q, 0),
+            s.expected_send(q, 0) + Time::milliseconds(240));
+}
+
+}  // namespace
+}  // namespace essat::core

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "src/net/topology.h"
+
+namespace essat::net {
+namespace {
+
+TEST(Position, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(Topology, RejectsNonPositiveRange) {
+  EXPECT_THROW(Topology({{0, 0}}, 0.0), std::invalid_argument);
+  EXPECT_THROW(Topology({{0, 0}}, -5.0), std::invalid_argument);
+}
+
+TEST(Topology, NeighborsWithinRange) {
+  Topology t{{{0, 0}, {100, 0}, {300, 0}}, 125.0};
+  EXPECT_TRUE(t.in_range(0, 1));
+  EXPECT_FALSE(t.in_range(0, 2));
+  EXPECT_FALSE(t.in_range(1, 2));  // 200 m apart
+  EXPECT_EQ(t.neighbors(0).size(), 1u);
+  EXPECT_EQ(t.neighbors(0)[0], 1);
+  EXPECT_TRUE(t.neighbors(2).empty());
+}
+
+TEST(Topology, NeighborsSymmetric) {
+  util::Rng rng{7};
+  const Topology t = Topology::uniform_random(40, 500.0, 125.0, rng);
+  for (NodeId a = 0; a < 40; ++a) {
+    for (NodeId b : t.neighbors(a)) {
+      const auto& back = t.neighbors(b);
+      EXPECT_NE(std::find(back.begin(), back.end(), a), back.end());
+    }
+  }
+}
+
+TEST(Topology, RangeBoundaryIsInclusive) {
+  Topology t{{{0, 0}, {125, 0}}, 125.0};
+  EXPECT_TRUE(t.in_range(0, 1));
+}
+
+TEST(Topology, NodeNotInRangeOfItself) {
+  Topology t{{{0, 0}, {10, 0}}, 125.0};
+  EXPECT_FALSE(t.in_range(0, 0));
+}
+
+TEST(Topology, UniformRandomStaysInArea) {
+  util::Rng rng{3};
+  const Topology t = Topology::uniform_random(80, 500.0, 125.0, rng);
+  EXPECT_EQ(t.num_nodes(), 80u);
+  for (NodeId n = 0; n < 80; ++n) {
+    EXPECT_GE(t.position(n).x, 0.0);
+    EXPECT_LT(t.position(n).x, 500.0);
+    EXPECT_GE(t.position(n).y, 0.0);
+    EXPECT_LT(t.position(n).y, 500.0);
+  }
+}
+
+TEST(Topology, UniformRandomDeterministicPerSeed) {
+  util::Rng a{11};
+  util::Rng b{11};
+  const Topology ta = Topology::uniform_random(20, 500.0, 125.0, a);
+  const Topology tb = Topology::uniform_random(20, 500.0, 125.0, b);
+  for (NodeId n = 0; n < 20; ++n) EXPECT_EQ(ta.position(n), tb.position(n));
+}
+
+TEST(Topology, LinePlacement) {
+  const Topology t = Topology::line(5, 100.0, 125.0);
+  EXPECT_EQ(t.num_nodes(), 5u);
+  EXPECT_DOUBLE_EQ(t.position(3).x, 300.0);
+  // Chain connectivity only: each interior node has exactly 2 neighbors.
+  EXPECT_EQ(t.neighbors(0).size(), 1u);
+  EXPECT_EQ(t.neighbors(2).size(), 2u);
+}
+
+TEST(Topology, GridPlacement) {
+  const Topology t = Topology::grid(3, 100.0, 125.0);
+  EXPECT_EQ(t.num_nodes(), 9u);
+  // Centre of a 3x3 grid with 100 m spacing and 125 m range: 4 axis
+  // neighbors (diagonals are ~141 m away).
+  EXPECT_EQ(t.neighbors(4).size(), 4u);
+}
+
+TEST(Topology, NearestFindsClosestNode) {
+  Topology t{{{0, 0}, {250, 250}, {499, 499}}, 125.0};
+  EXPECT_EQ(t.nearest({240, 260}), 1);
+  EXPECT_EQ(t.nearest({0, 10}), 0);
+}
+
+TEST(Topology, ConnectedDetection) {
+  EXPECT_TRUE(Topology::line(5, 100.0, 125.0).connected());
+  Topology split{{{0, 0}, {100, 0}, {400, 0}, {500, 0}}, 125.0};
+  EXPECT_FALSE(split.connected());
+  EXPECT_TRUE(Topology({{7, 7}}, 125.0).connected());
+}
+
+}  // namespace
+}  // namespace essat::net

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/net/channel.h"
+#include "src/routing/tree_protocol.h"
+
+namespace essat::routing {
+namespace {
+
+using util::Time;
+
+// Runs the distributed flooding setup on a given topology and returns the
+// assembled tree.
+struct SetupRig {
+  SetupRig(net::Topology t, net::NodeId root, TreeSetupParams params = {})
+      : topo{std::move(t)}, channel{sim, topo},
+        protocol{sim, topo, root, params, util::Rng{42}} {
+    for (std::size_t i = 0; i < topo.num_nodes(); ++i) {
+      radios.push_back(std::make_unique<energy::Radio>(sim, energy::RadioParams{}));
+      macs.push_back(std::make_unique<mac::CsmaMac>(sim, channel, *radios.back(),
+                                                    static_cast<net::NodeId>(i),
+                                                    mac::MacParams{}, util::Rng{7 + i}));
+      protocol.attach_mac(static_cast<net::NodeId>(i), macs.back().get());
+      macs.back()->set_rx_handler([this, i](const net::Packet& p) {
+        protocol.handle_packet(static_cast<net::NodeId>(i), p);
+      });
+    }
+  }
+
+  Tree run() {
+    std::optional<Tree> result;
+    protocol.start([&](Tree t) { result = std::move(t); });
+    sim.run_until(Time::seconds(10));
+    return std::move(result).value();
+  }
+
+  sim::Simulator sim;
+  net::Topology topo;
+  net::Channel channel;
+  TreeSetupProtocol protocol;
+  std::vector<std::unique_ptr<energy::Radio>> radios;
+  std::vector<std::unique_ptr<mac::CsmaMac>> macs;
+};
+
+TEST(TreeSetupProtocol, BuildsChainTree) {
+  SetupRig rig{net::Topology::line(5, 100.0, 125.0), 0,
+               TreeSetupParams{.max_dist_from_root = 10000.0}};
+  const Tree t = rig.run();
+  EXPECT_EQ(t.root(), 0);
+  EXPECT_EQ(t.member_count(), 5u);
+  for (net::NodeId n = 1; n < 5; ++n) {
+    EXPECT_EQ(t.parent(n), n - 1);
+    EXPECT_EQ(t.level(n), n);
+  }
+  EXPECT_EQ(t.max_rank(), 4);
+}
+
+TEST(TreeSetupProtocol, MinHopLevelsOnRandomTopology) {
+  util::Rng rng{3};
+  auto topo = net::Topology::uniform_random(40, 400.0, 125.0, rng);
+  if (!topo.connected()) GTEST_SKIP() << "disconnected sample";
+  const net::NodeId root = topo.nearest({200, 200});
+  SetupRig rig{topo, root, TreeSetupParams{.max_dist_from_root = 10000.0}};
+  const Tree protocol_tree = rig.run();
+  const Tree bfs = build_bfs_tree(rig.topo, root, 10000.0);
+  EXPECT_EQ(protocol_tree.member_count(), bfs.member_count());
+  // Flooding yields min-hop levels, matching BFS ("selects the node with
+  // the lowest level as its parent").
+  for (net::NodeId n : bfs.members()) {
+    EXPECT_EQ(protocol_tree.level(n), bfs.level(n)) << "node " << n;
+  }
+}
+
+TEST(TreeSetupProtocol, RespectsDistanceLimit) {
+  SetupRig rig{net::Topology::line(6, 100.0, 125.0), 0,
+               TreeSetupParams{.max_dist_from_root = 300.0}};
+  const Tree t = rig.run();
+  EXPECT_TRUE(t.is_member(3));
+  EXPECT_FALSE(t.is_member(4));  // 400 m from the root
+  EXPECT_FALSE(t.is_member(5));
+}
+
+TEST(TreeSetupProtocol, JoinsReachParents) {
+  SetupRig rig{net::Topology::line(4, 100.0, 125.0), 0,
+               TreeSetupParams{.max_dist_from_root = 10000.0}};
+  rig.run();
+  // Every non-root member unicasts one JOIN.
+  EXPECT_EQ(rig.protocol.joins_received(), 3u);
+}
+
+TEST(TreeSetupProtocol, ParentChoicesExposedForInspection) {
+  SetupRig rig{net::Topology::line(3, 100.0, 125.0), 0,
+               TreeSetupParams{.max_dist_from_root = 10000.0}};
+  rig.run();
+  EXPECT_EQ(rig.protocol.chosen_parent(1), 0);
+  EXPECT_EQ(rig.protocol.chosen_level(2), 2);
+}
+
+}  // namespace
+}  // namespace essat::routing

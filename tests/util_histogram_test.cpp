@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "src/util/histogram.h"
+
+namespace essat::util {
+namespace {
+
+TEST(Histogram, RejectsInvalidLayout) {
+  EXPECT_THROW(Histogram(0.0, 0.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, -1.0, 4), std::invalid_argument);
+}
+
+TEST(Histogram, BinsValuesByRange) {
+  Histogram h{0.0, 0.025, 8};  // the paper's Fig. 8 layout
+  h.add(0.010);   // bin 0: [0, 25) ms
+  h.add(0.024);   // bin 0
+  h.add(0.026);   // bin 1: [25, 50) ms
+  h.add(0.160);   // bin 6: [150, 175) ms
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(6), 1u);
+  EXPECT_EQ(h.count(7), 0u);
+}
+
+TEST(Histogram, UnderflowAndOverflow) {
+  Histogram h{0.1, 0.1, 2};  // [0.1, 0.2), [0.2, 0.3)
+  h.add(0.05);
+  h.add(0.35);
+  h.add(0.31);  // past the last edge -> overflow
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, TotalCountsEverything) {
+  Histogram h{0.0, 1.0, 3};
+  for (double v : {-1.0, 0.5, 1.5, 2.5, 9.0}) h.add(v);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, BinUpperEdgeLabels) {
+  Histogram h{0.0, 0.025, 8};
+  EXPECT_DOUBLE_EQ(h.bin_upper_edge(0), 0.025);
+  EXPECT_DOUBLE_EQ(h.bin_upper_edge(7), 0.2);
+}
+
+TEST(Histogram, FractionBelowThreshold) {
+  Histogram h{0.0, 0.025, 8};
+  h.add(0.001);
+  h.add(0.002);
+  h.add(0.010);
+  h.add(0.100);
+  EXPECT_DOUBLE_EQ(h.fraction_below(0.0025), 0.5);
+  EXPECT_DOUBLE_EQ(h.fraction_below(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.fraction_below(0.0), 0.0);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  Histogram a{0.0, 1.0, 2};
+  Histogram b{0.0, 1.0, 2};
+  a.add(0.5);
+  b.add(0.5);
+  b.add(1.5);
+  b.add(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(0), 2u);
+  EXPECT_EQ(a.count(1), 1u);
+  EXPECT_EQ(a.overflow(), 1u);
+  EXPECT_EQ(a.total(), 4u);
+}
+
+TEST(Histogram, MergeRejectsIncompatibleLayouts) {
+  Histogram a{0.0, 1.0, 2};
+  Histogram b{0.0, 2.0, 2};
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  Histogram c{0.0, 1.0, 3};
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace essat::util

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "src/util/time.h"
+
+namespace essat::util {
+namespace {
+
+using namespace time_literals;
+
+TEST(Time, DefaultIsZero) {
+  EXPECT_EQ(Time{}.ns(), 0);
+  EXPECT_TRUE(Time{}.is_zero());
+}
+
+TEST(Time, NamedConstructors) {
+  EXPECT_EQ(Time::nanoseconds(7).ns(), 7);
+  EXPECT_EQ(Time::microseconds(3).ns(), 3'000);
+  EXPECT_EQ(Time::milliseconds(2).ns(), 2'000'000);
+  EXPECT_EQ(Time::seconds(1).ns(), 1'000'000'000);
+}
+
+TEST(Time, FromSecondsRoundsToNearestNanosecond) {
+  EXPECT_EQ(Time::from_seconds(1.5).ns(), 1'500'000'000);
+  EXPECT_EQ(Time::from_seconds(1e-9).ns(), 1);
+  EXPECT_EQ(Time::from_seconds(0.49e-9).ns(), 0);
+  EXPECT_EQ(Time::from_seconds(-1.0).ns(), -1'000'000'000);
+}
+
+TEST(Time, FromMilliseconds) {
+  EXPECT_EQ(Time::from_milliseconds(2.5).ns(), 2'500'000);
+}
+
+TEST(Time, ToSecondsRoundTrip) {
+  const Time t = Time::from_seconds(123.456789);
+  EXPECT_NEAR(t.to_seconds(), 123.456789, 1e-9);
+  EXPECT_NEAR(t.to_milliseconds(), 123456.789, 1e-6);
+}
+
+TEST(Time, Arithmetic) {
+  const Time a = Time::seconds(3);
+  const Time b = Time::seconds(1);
+  EXPECT_EQ((a + b).ns(), 4'000'000'000);
+  EXPECT_EQ((a - b).ns(), 2'000'000'000);
+  EXPECT_EQ((-b).ns(), -1'000'000'000);
+  EXPECT_EQ((b * 5).ns(), 5'000'000'000);
+  EXPECT_EQ((5 * b).ns(), 5'000'000'000);
+  EXPECT_EQ((a / 3).ns(), 1'000'000'000);
+}
+
+TEST(Time, ScalarMultiplyDouble) {
+  EXPECT_EQ((Time::seconds(2) * 0.25).ns(), 500'000'000);
+}
+
+TEST(Time, DurationRatio) {
+  EXPECT_DOUBLE_EQ(Time::seconds(1) / Time::seconds(4), 0.25);
+}
+
+TEST(Time, CompoundAssignment) {
+  Time t = Time::seconds(1);
+  t += Time::seconds(2);
+  EXPECT_EQ(t, Time::seconds(3));
+  t -= Time::seconds(4);
+  EXPECT_EQ(t, -Time::seconds(1));
+  EXPECT_TRUE(t.is_negative());
+}
+
+TEST(Time, Comparisons) {
+  const Time a = Time::milliseconds(1);
+  const Time b = Time::milliseconds(2);
+  EXPECT_LT(a, b);
+  EXPECT_LE(a, a);
+  EXPECT_GT(b, a);
+  EXPECT_GE(b, b);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, Time::microseconds(1000));
+}
+
+TEST(Time, MinMaxSentinels) {
+  EXPECT_LT(Time::min(), Time::seconds(-1'000'000));
+  EXPECT_GT(Time::max(), Time::seconds(1'000'000));
+}
+
+TEST(Time, Literals) {
+  EXPECT_EQ(2_sec, Time::seconds(2));
+  EXPECT_EQ(1.5_sec, Time::from_seconds(1.5));
+  EXPECT_EQ(20_ms, Time::milliseconds(20));
+  EXPECT_EQ(2.5_ms, Time::from_milliseconds(2.5));
+  EXPECT_EQ(50_us, Time::microseconds(50));
+  EXPECT_EQ(7_ns, Time::nanoseconds(7));
+}
+
+TEST(Time, ToStringPicksUnit) {
+  EXPECT_EQ(Time::zero().to_string(), "0s");
+  EXPECT_EQ(Time::seconds(2).to_string(), "2s");
+  EXPECT_EQ(Time::milliseconds(5).to_string(), "5ms");
+  EXPECT_EQ(Time::microseconds(12).to_string(), "12us");
+}
+
+}  // namespace
+}  // namespace essat::util

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "src/query/workload.h"
+
+namespace essat::query {
+namespace {
+
+TEST(Workload, ClassPeriodsFollowPaperRatio) {
+  WorkloadParams p;
+  p.base_rate_hz = 6.0;  // makes the 6:3:2 ratio land on integers
+  // Rates 6, 3, 2 Hz -> periods 1/6, 1/3, 1/2 s.
+  EXPECT_EQ(class_period(p, 0), util::Time::from_seconds(1.0 / 6.0));
+  EXPECT_EQ(class_period(p, 1), util::Time::from_seconds(1.0 / 3.0));
+  EXPECT_EQ(class_period(p, 2), util::Time::from_seconds(1.0 / 2.0));
+}
+
+TEST(Workload, ClassPeriodValidation) {
+  WorkloadParams p;
+  EXPECT_THROW(class_period(p, -1), std::invalid_argument);
+  EXPECT_THROW(class_period(p, 3), std::invalid_argument);
+  p.base_rate_hz = 0.0;
+  EXPECT_THROW(class_period(p, 0), std::invalid_argument);
+}
+
+TEST(Workload, MakesThreePerClassQueries) {
+  WorkloadParams p;
+  p.base_rate_hz = 1.0;
+  p.queries_per_class = 3;
+  util::Rng rng{5};
+  const auto queries = make_workload(p, rng);
+  ASSERT_EQ(queries.size(), 9u);
+  // Ids are dense and class-major.
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(queries[i].id, static_cast<net::QueryId>(i));
+    EXPECT_EQ(queries[i].query_class, static_cast<int>(i / 3));
+  }
+}
+
+TEST(Workload, PhasesWithinStartWindow) {
+  WorkloadParams p;
+  p.start_window_begin = util::Time::seconds(5);
+  p.start_window_length = util::Time::seconds(10);
+  p.queries_per_class = 10;
+  util::Rng rng{7};
+  const auto queries = make_workload(p, rng);
+  for (const auto& q : queries) {
+    EXPECT_GE(q.phase, util::Time::seconds(5));
+    EXPECT_LT(q.phase, util::Time::seconds(15));
+  }
+}
+
+TEST(Workload, DeterministicPerSeed) {
+  WorkloadParams p;
+  util::Rng a{9}, b{9};
+  const auto qa = make_workload(p, a);
+  const auto qb = make_workload(p, b);
+  ASSERT_EQ(qa.size(), qb.size());
+  for (std::size_t i = 0; i < qa.size(); ++i) EXPECT_EQ(qa[i].phase, qb[i].phase);
+}
+
+TEST(Query, EpochStartArithmetic) {
+  Query q;
+  q.period = util::Time::seconds(2);
+  q.phase = util::Time::seconds(10);
+  EXPECT_EQ(q.epoch_start(0), util::Time::seconds(10));
+  EXPECT_EQ(q.epoch_start(5), util::Time::seconds(20));
+}
+
+}  // namespace
+}  // namespace essat::query
