@@ -1,13 +1,17 @@
 // Shared configuration for the figure-reproduction benches: the paper's
-// experimental setup (§5) with the number of repetitions used per point.
+// experimental setup (§5) with the number of repetitions used per point,
+// and the parallel sweep plumbing shared by the rewired drivers.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <functional>
 #include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "src/essat.h"
-
-#include <cstdlib>
 
 namespace essat::bench {
 
@@ -22,6 +26,10 @@ inline int runs_per_point() {
 }
 inline const int kRunsPerPoint = runs_per_point();
 
+// Worker threads for the sweep engine. Override with ESSAT_JOBS (defaults
+// to all cores); results are bit-identical regardless of the value.
+inline const int kJobs = exp::default_jobs();
+
 inline harness::ScenarioConfig paper_defaults() {
   harness::ScenarioConfig c;
   c.num_nodes = 80;
@@ -33,12 +41,53 @@ inline harness::ScenarioConfig paper_defaults() {
   return c;
 }
 
+// A SweepRunner wired to kJobs with a live stderr trial ticker.
+inline exp::SweepRunner parallel_runner(const char* tag) {
+  exp::SweepRunner::Options opts;
+  opts.jobs = kJobs;
+  auto reporter = std::make_shared<exp::ProgressReporter>(std::cerr, tag);
+  opts.progress = [reporter](std::size_t done, std::size_t total) {
+    reporter->on_trial_done(done, total);
+  };
+  return exp::SweepRunner(std::move(opts));
+}
+
+// Pivots a two-axis sweep (rows = axis 0, columns = axis 1) into the
+// figure tables the seed printed: one cell per point, formatted by `cell`.
+inline void print_pivot(
+    std::ostream& os, const std::vector<exp::PointResult>& results,
+    const std::string& row_header,
+    const std::function<std::string(const harness::AveragedMetrics&)>& cell) {
+  if (results.empty() || results[0].point.labels.size() < 2) return;
+  // Column count = length of the first run of rows sharing axis-0's label.
+  std::size_t num_cols = results.size();
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    if (results[i].point.labels[0] != results[0].point.labels[0]) {
+      num_cols = i;
+      break;
+    }
+  }
+  std::vector<std::string> headers{row_header};
+  for (std::size_t c = 0; c < num_cols; ++c) {
+    headers.push_back(results[c].point.labels[1]);
+  }
+  harness::Table table(std::move(headers));
+  for (std::size_t r = 0; (r + 1) * num_cols <= results.size(); ++r) {
+    std::vector<std::string> row{results[r * num_cols].point.labels[0]};
+    for (std::size_t c = 0; c < num_cols; ++c) {
+      row.push_back(cell(results[r * num_cols + c].metrics));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(os);
+}
+
 inline void print_header(const char* figure, const char* description) {
   std::printf("==============================================================\n");
   std::printf("%s — %s\n", figure, description);
   std::printf("Setup: 80 nodes, 500x500 m^2, range 125 m, 1 Mbps, 52 B reports,\n");
-  std::printf("       query classes Q1:Q2:Q3 = 6:3:2, %d runs per point.\n",
-              kRunsPerPoint);
+  std::printf("       query classes Q1:Q2:Q3 = 6:3:2, %d runs per point, %d jobs.\n",
+              kRunsPerPoint, kJobs);
   std::printf("==============================================================\n");
 }
 

@@ -3,26 +3,37 @@
 // the local deadline l = D/M crosses T_agg: below it latency is flat and
 // duty falls as D grows; above it latency grows ~ linearly with D while the
 // duty cycle stops improving.
+//
+// All eight deadline points run concurrently through the sweep engine.
 #include "bench_common.h"
 
 int main() {
   using namespace essat;
   bench::print_header("Figure 2", "STS-SS duty cycle & query latency vs deadline D");
 
-  harness::Table table{{"D (s)", "duty cycle (%)", "ci90", "latency (s)", "ci90"}};
+  harness::ScenarioConfig base = bench::paper_defaults();
+  base.protocol = harness::Protocol::kStsSs;
+  // Base rate chosen so the deadline sweep stays below the base period
+  // (the paper leaves Fig. 2's rate unstated; see EXPERIMENTS.md).
+  base.base_rate_hz = 1.0;
+
+  exp::SweepSpec spec(base);
+  std::vector<std::pair<std::string, exp::SweepSpec::Apply>> deadlines;
   for (double d_s : {0.05, 0.1, 0.15, 0.2, 0.3, 0.45, 0.6, 0.8}) {
-    harness::ScenarioConfig c = bench::paper_defaults();
-    c.protocol = harness::Protocol::kStsSs;
-    // Base rate chosen so the deadline sweep stays below the base period
-    // (the paper leaves Fig. 2's rate unstated; see EXPERIMENTS.md).
-    c.base_rate_hz = 1.0;
-    c.sts_deadline = util::Time::from_seconds(d_s);
-    const auto avg = harness::run_repeated(c, bench::kRunsPerPoint);
-    table.add_row({harness::fmt(d_s, 2),
-                   harness::fmt_pct(avg.duty_cycle.mean()),
-                   harness::fmt_pct(avg.duty_ci90()),
-                   harness::fmt(avg.latency_s.mean(), 3),
-                   harness::fmt(avg.latency_ci90(), 3)});
+    deadlines.emplace_back(harness::fmt(d_s, 2), [d_s](harness::ScenarioConfig& c) {
+      c.sts_deadline = util::Time::from_seconds(d_s);
+    });
+  }
+  spec.runs(bench::kRunsPerPoint).axis("D (s)", std::move(deadlines));
+  const auto results = bench::parallel_runner("fig2").run(spec);
+
+  harness::Table table{{"D (s)", "duty cycle (%)", "ci90", "latency (s)", "ci90"}};
+  for (const auto& r : results) {
+    table.add_row({r.point.labels[0],
+                   harness::fmt_pct(r.metrics.duty_cycle.mean()),
+                   harness::fmt_pct(r.metrics.duty_ci90()),
+                   harness::fmt(r.metrics.latency_s.mean(), 3),
+                   harness::fmt(r.metrics.latency_ci90(), 3)});
   }
   table.print(std::cout);
   std::printf("\nPaper: knee at D ~ 0.12 s (l ~ T_agg); duty falls toward the knee,\n"

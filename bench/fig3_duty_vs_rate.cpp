@@ -2,30 +2,26 @@
 // varies from 1 to 5 Hz. Paper ordering: SPAN highest, then PSM, then
 // NTS-SS; STS-SS and DTS-SS lowest. (SYNC is omitted as in the paper —
 // it is pinned at a 20% duty cycle by configuration.)
+//
+// All rate x protocol points run concurrently through the sweep engine.
 #include "bench_common.h"
 
 int main() {
   using namespace essat;
   bench::print_header("Figure 3", "average duty cycle (%) vs base rate (Hz)");
 
-  const harness::Protocol protocols[] = {
-      harness::Protocol::kDtsSs, harness::Protocol::kStsSs,
-      harness::Protocol::kNtsSs, harness::Protocol::kPsm,
-      harness::Protocol::kSpan};
+  exp::SweepSpec spec(bench::paper_defaults());
+  spec.runs(bench::kRunsPerPoint)
+      .axis("rate (Hz)", &harness::ScenarioConfig::base_rate_hz, {1.0, 3.0, 5.0})
+      .axis_protocol({harness::Protocol::kDtsSs, harness::Protocol::kStsSs,
+                      harness::Protocol::kNtsSs, harness::Protocol::kPsm,
+                      harness::Protocol::kSpan});
+  const auto results = bench::parallel_runner("fig3").run(spec);
 
-  harness::Table table{{"rate (Hz)", "DTS-SS", "STS-SS", "NTS-SS", "PSM", "SPAN"}};
-  for (double rate : {1.0, 3.0, 5.0}) {
-    std::vector<std::string> row{harness::fmt(rate, 1)};
-    for (auto p : protocols) {
-      harness::ScenarioConfig c = bench::paper_defaults();
-      c.protocol = p;
-      c.base_rate_hz = rate;
-      const auto avg = harness::run_repeated(c, bench::kRunsPerPoint);
-      row.push_back(harness::fmt_pct(avg.duty_cycle.mean()));
-    }
-    table.add_row(std::move(row));
-  }
-  table.print(std::cout);
+  bench::print_pivot(std::cout, results, "rate (Hz)",
+                     [](const harness::AveragedMetrics& m) {
+                       return harness::fmt_pct(m.duty_cycle.mean());
+                     });
   std::printf("\nPaper: SPAN highest (backbone always on); PSM above all ESSAT\n"
               "protocols; NTS-SS worst of ESSAT; STS-SS/DTS-SS lowest and rising\n"
               "with rate. 90%% CIs within +/- 2.3%%.\n\n");

@@ -1,5 +1,8 @@
 // Figure 4: average duty cycle at base rate 0.2 Hz as the number of queries
 // per class grows 1..10 (aggregate multi-query workloads, §5.1).
+//
+// All queries/class x protocol points run concurrently through the sweep
+// engine.
 #include "bench_common.h"
 
 int main() {
@@ -7,25 +10,21 @@ int main() {
   bench::print_header("Figure 4",
                       "average duty cycle (%) vs queries per class @ 0.2 Hz");
 
-  const harness::Protocol protocols[] = {
-      harness::Protocol::kDtsSs, harness::Protocol::kStsSs,
-      harness::Protocol::kNtsSs, harness::Protocol::kPsm,
-      harness::Protocol::kSpan};
+  harness::ScenarioConfig base = bench::paper_defaults();
+  base.base_rate_hz = 0.2;
+  exp::SweepSpec spec(base);
+  spec.runs(bench::kRunsPerPoint)
+      .axis("queries/class", &harness::ScenarioConfig::queries_per_class,
+            {1, 4, 7, 10})
+      .axis_protocol({harness::Protocol::kDtsSs, harness::Protocol::kStsSs,
+                      harness::Protocol::kNtsSs, harness::Protocol::kPsm,
+                      harness::Protocol::kSpan});
+  const auto results = bench::parallel_runner("fig4").run(spec);
 
-  harness::Table table{{"queries/class", "DTS-SS", "STS-SS", "NTS-SS", "PSM", "SPAN"}};
-  for (int n : {1, 4, 7, 10}) {
-    std::vector<std::string> row{std::to_string(n)};
-    for (auto p : protocols) {
-      harness::ScenarioConfig c = bench::paper_defaults();
-      c.protocol = p;
-      c.base_rate_hz = 0.2;
-      c.queries_per_class = n;
-      const auto avg = harness::run_repeated(c, bench::kRunsPerPoint);
-      row.push_back(harness::fmt_pct(avg.duty_cycle.mean()));
-    }
-    table.add_row(std::move(row));
-  }
-  table.print(std::cout);
+  bench::print_pivot(std::cout, results, "queries/class",
+                     [](const harness::AveragedMetrics& m) {
+                       return harness::fmt_pct(m.duty_cycle.mean());
+                     });
   std::printf("\nPaper: all ESSAT protocols below the baselines; DTS adapts to the\n"
               "aggregate workload without tuning. 90%% CIs within +/- 1.2%%.\n\n");
   return 0;

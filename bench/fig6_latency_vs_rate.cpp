@@ -1,31 +1,26 @@
 // Figure 6: average query latency vs base rate (paper plots log scale,
 // including SYNC). ESSAT protocols and SPAN sit far below PSM and SYNC,
 // whose schedule/workload misalignment buffers reports for whole intervals.
+//
+// All rate x protocol points run concurrently through the sweep engine.
 #include "bench_common.h"
 
 int main() {
   using namespace essat;
   bench::print_header("Figure 6", "query latency (s) vs base rate (Hz)");
 
-  const harness::Protocol protocols[] = {
-      harness::Protocol::kDtsSs, harness::Protocol::kStsSs,
-      harness::Protocol::kNtsSs, harness::Protocol::kPsm,
-      harness::Protocol::kSpan,  harness::Protocol::kSync};
+  exp::SweepSpec spec(bench::paper_defaults());
+  spec.runs(bench::kRunsPerPoint)
+      .axis("rate (Hz)", &harness::ScenarioConfig::base_rate_hz, {1.0, 3.0, 5.0})
+      .axis_protocol({harness::Protocol::kDtsSs, harness::Protocol::kStsSs,
+                      harness::Protocol::kNtsSs, harness::Protocol::kPsm,
+                      harness::Protocol::kSpan, harness::Protocol::kSync});
+  const auto results = bench::parallel_runner("fig6").run(spec);
 
-  harness::Table table{
-      {"rate (Hz)", "DTS-SS", "STS-SS", "NTS-SS", "PSM", "SPAN", "SYNC"}};
-  for (double rate : {1.0, 3.0, 5.0}) {
-    std::vector<std::string> row{harness::fmt(rate, 1)};
-    for (auto p : protocols) {
-      harness::ScenarioConfig c = bench::paper_defaults();
-      c.protocol = p;
-      c.base_rate_hz = rate;
-      const auto avg = harness::run_repeated(c, bench::kRunsPerPoint);
-      row.push_back(harness::fmt(avg.latency_s.mean(), 3));
-    }
-    table.add_row(std::move(row));
-  }
-  table.print(std::cout);
+  bench::print_pivot(std::cout, results, "rate (Hz)",
+                     [](const harness::AveragedMetrics& m) {
+                       return harness::fmt(m.latency_s.mean(), 3);
+                     });
   std::printf("\nPaper: NTS-SS and SPAN lowest; STS-SS's latency tracks its deadline\n"
               "(= the query period, so it falls as the rate rises); PSM and SYNC one\n"
               "to two orders of magnitude above ESSAT (log scale in the paper).\n\n");

@@ -1,6 +1,9 @@
 // Figure 7: average query latency at base rate 0.2 Hz as queries per class
 // grow. STS-SS's latency is constant (its deadline equals the unchanged
 // period); DTS-SS stays below STS-SS.
+//
+// All queries/class x protocol points run concurrently through the sweep
+// engine.
 #include "bench_common.h"
 
 int main() {
@@ -8,26 +11,21 @@ int main() {
   bench::print_header("Figure 7",
                       "query latency (s) vs queries per class @ 0.2 Hz");
 
-  const harness::Protocol protocols[] = {
-      harness::Protocol::kDtsSs, harness::Protocol::kStsSs,
-      harness::Protocol::kNtsSs, harness::Protocol::kPsm,
-      harness::Protocol::kSpan,  harness::Protocol::kSync};
+  harness::ScenarioConfig base = bench::paper_defaults();
+  base.base_rate_hz = 0.2;
+  exp::SweepSpec spec(base);
+  spec.runs(bench::kRunsPerPoint)
+      .axis("queries/class", &harness::ScenarioConfig::queries_per_class,
+            {1, 4, 7, 10})
+      .axis_protocol({harness::Protocol::kDtsSs, harness::Protocol::kStsSs,
+                      harness::Protocol::kNtsSs, harness::Protocol::kPsm,
+                      harness::Protocol::kSpan, harness::Protocol::kSync});
+  const auto results = bench::parallel_runner("fig7").run(spec);
 
-  harness::Table table{
-      {"queries/class", "DTS-SS", "STS-SS", "NTS-SS", "PSM", "SPAN", "SYNC"}};
-  for (int n : {1, 4, 7, 10}) {
-    std::vector<std::string> row{std::to_string(n)};
-    for (auto p : protocols) {
-      harness::ScenarioConfig c = bench::paper_defaults();
-      c.protocol = p;
-      c.base_rate_hz = 0.2;
-      c.queries_per_class = n;
-      const auto avg = harness::run_repeated(c, bench::kRunsPerPoint);
-      row.push_back(harness::fmt(avg.latency_s.mean(), 3));
-    }
-    table.add_row(std::move(row));
-  }
-  table.print(std::cout);
+  bench::print_pivot(std::cout, results, "queries/class",
+                     [](const harness::AveragedMetrics& m) {
+                       return harness::fmt(m.latency_s.mean(), 3);
+                     });
   std::printf("\nPaper: STS-SS constant (deadline = period, unchanged); DTS-SS below\n"
               "STS-SS; PSM/SYNC high due to periodic-schedule buffering.\n\n");
   return 0;

@@ -11,6 +11,9 @@
 //   core    — the paper's contribution: Safe Sleep + NTS/STS/DTS shapers
 //   baselines — SYNC, PSM, SPAN comparison protocols
 //   harness — scenario assembly, metrics, multi-run experiments
+//   exp     — parallel experiment-sweep engine (thread pool, parameter
+//             grids, deterministic seeding, aggregation, result sinks);
+//             harness::run_repeated forwards here
 #pragma once
 
 #include "src/baselines/psm.h"
@@ -24,6 +27,11 @@
 #include "src/core/sts.h"
 #include "src/energy/duty_cycle.h"
 #include "src/energy/radio.h"
+#include "src/exp/aggregate.h"
+#include "src/exp/sinks.h"
+#include "src/exp/sweep.h"
+#include "src/exp/sweep_runner.h"
+#include "src/exp/thread_pool.h"
 #include "src/harness/metrics.h"
 #include "src/harness/runner.h"
 #include "src/harness/scenario.h"

@@ -1,0 +1,30 @@
+#include "src/exp/aggregate.h"
+
+#include <utility>
+
+namespace essat::exp {
+
+void Aggregator::add(harness::RunMetrics m) {
+  out_.duty_cycle.add(m.avg_duty_cycle);
+  out_.latency_s.add(m.avg_latency_s);
+  out_.p95_latency_s.add(m.p95_latency_s);
+  out_.delivery_ratio.add(m.delivery_ratio);
+  out_.phase_update_bits.add(m.phase_update_bits_per_report);
+  out_.mac_send_failures.add(static_cast<double>(m.mac_send_failures));
+  if (m.duty_by_rank.size() > out_.duty_by_rank.size()) {
+    out_.duty_by_rank.resize(m.duty_by_rank.size());
+  }
+  for (std::size_t r = 0; r < m.duty_by_rank.size(); ++r) {
+    out_.duty_by_rank[r].add(m.duty_by_rank[r]);
+  }
+  out_.last_run = std::move(m);
+  ++runs_;
+}
+
+harness::AveragedMetrics aggregate_runs(std::vector<harness::RunMetrics> runs) {
+  Aggregator agg;
+  for (auto& m : runs) agg.add(std::move(m));
+  return agg.take();
+}
+
+}  // namespace essat::exp

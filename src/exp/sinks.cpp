@@ -1,0 +1,134 @@
+#include "src/exp/sinks.h"
+
+#include <cstdio>
+
+namespace essat::exp {
+namespace {
+
+// The metric columns every sink emits, in order.
+const char* const kMetricColumns[] = {
+    "runs",          "duty_mean",     "duty_ci90",     "latency_mean",
+    "latency_ci90",  "p95_latency",   "delivery_mean", "phase_bits_mean",
+    "send_failures",
+};
+
+std::vector<double> metric_values(const PointResult& r) {
+  const harness::AveragedMetrics& m = r.metrics;
+  return {static_cast<double>(m.duty_cycle.count()),
+          m.duty_cycle.mean(),
+          m.duty_ci90(),
+          m.latency_s.mean(),
+          m.latency_ci90(),
+          m.p95_latency_s.mean(),
+          m.delivery_ratio.mean(),
+          m.phase_update_bits.mean(),
+          m.mac_send_failures.mean()};
+}
+
+std::string full_precision(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ console
+
+void ConsoleTableSink::begin(const std::vector<std::string>& axis_names) {
+  std::vector<std::string> headers = axis_names;
+  headers.insert(headers.end(), {"duty (%)", "±ci90", "latency (s)", "±ci90",
+                                 "delivery (%)", "runs"});
+  table_ = std::make_unique<harness::Table>(std::move(headers));
+}
+
+void ConsoleTableSink::on_point(const PointResult& r) {
+  const harness::AveragedMetrics& m = r.metrics;
+  std::vector<std::string> row = r.point.labels;
+  row.push_back(harness::fmt_pct(m.duty_cycle.mean()));
+  row.push_back(harness::fmt_pct(m.duty_ci90()));
+  row.push_back(harness::fmt(m.latency_s.mean(), 3));
+  row.push_back(harness::fmt(m.latency_ci90(), 3));
+  row.push_back(harness::fmt_pct(m.delivery_ratio.mean()));
+  row.push_back(std::to_string(m.duty_cycle.count()));
+  table_->add_row(std::move(row));
+}
+
+void ConsoleTableSink::finish() {
+  if (table_) table_->print(os_);
+}
+
+// ------------------------------------------------------------ csv
+
+void CsvSink::begin(const std::vector<std::string>& axis_names) {
+  num_axes_ = axis_names.size();
+  os_ << "point";
+  for (const auto& name : axis_names) os_ << ',' << csv_escape(name);
+  for (const char* col : kMetricColumns) os_ << ',' << col;
+  os_ << '\n';
+}
+
+void CsvSink::on_point(const PointResult& r) {
+  os_ << r.point.index;
+  for (const auto& label : r.point.labels) os_ << ',' << csv_escape(label);
+  for (double v : metric_values(r)) os_ << ',' << full_precision(v);
+  os_ << '\n';
+}
+
+// ------------------------------------------------------------ json lines
+
+void JsonLinesSink::begin(const std::vector<std::string>& axis_names) {
+  axis_names_ = axis_names;
+}
+
+void JsonLinesSink::on_point(const PointResult& r) {
+  os_ << "{\"point\":" << r.point.index << ",\"labels\":{";
+  for (std::size_t i = 0; i < r.point.labels.size(); ++i) {
+    if (i) os_ << ',';
+    const std::string& name =
+        i < axis_names_.size() ? axis_names_[i] : "axis" + std::to_string(i);
+    os_ << '"' << json_escape(name) << "\":\"" << json_escape(r.point.labels[i])
+        << '"';
+  }
+  os_ << '}';
+  const auto values = metric_values(r);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    os_ << ",\"" << kMetricColumns[i] << "\":" << full_precision(values[i]);
+  }
+  os_ << "}\n";
+}
+
+// ------------------------------------------------------------ progress
+
+void ProgressReporter::on_trial_done(std::size_t done, std::size_t total) {
+  std::lock_guard<std::mutex> lock(mu_);
+  os_ << '\r' << '[' << tag_ << "] trials " << done << '/' << total;
+  if (done >= total) os_ << '\n';
+  os_.flush();
+}
+
+}  // namespace essat::exp

@@ -1,0 +1,93 @@
+// Pluggable result sinks for sweep output.
+//
+// A sink receives every aggregated grid point, in point (row-major grid)
+// order, after the whole sweep has run. Shipping sinks: an ASCII console
+// table (one row per point), CSV (full precision, machine-readable), and
+// JSON lines (one object per point). ProgressReporter is the live side
+// channel: it ticks per completed trial while the sweep is in flight.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/exp/sweep.h"
+#include "src/harness/runner.h"
+#include "src/harness/table.h"
+
+namespace essat::exp {
+
+// One aggregated grid point.
+struct PointResult {
+  SweepPoint point;
+  harness::AveragedMetrics metrics;
+};
+
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  // Called once before any point, with the sweep's axis names.
+  virtual void begin(const std::vector<std::string>& axis_names) { (void)axis_names; }
+  // Called once per grid point, in point order.
+  virtual void on_point(const PointResult& r) = 0;
+  // Called once after the last point.
+  virtual void finish() {}
+};
+
+// Human-readable summary table: one row per point, axis labels first, then
+// the headline metrics with 90% confidence intervals.
+class ConsoleTableSink : public ResultSink {
+ public:
+  explicit ConsoleTableSink(std::ostream& os) : os_(os) {}
+  void begin(const std::vector<std::string>& axis_names) override;
+  void on_point(const PointResult& r) override;
+  void finish() override;
+
+ private:
+  std::ostream& os_;
+  std::unique_ptr<harness::Table> table_;
+};
+
+// CSV with a header row; numbers at %.17g so doubles round-trip exactly.
+class CsvSink : public ResultSink {
+ public:
+  explicit CsvSink(std::ostream& os) : os_(os) {}
+  void begin(const std::vector<std::string>& axis_names) override;
+  void on_point(const PointResult& r) override;
+
+ private:
+  std::ostream& os_;
+  std::size_t num_axes_ = 0;
+};
+
+// One JSON object per line per point; numbers at %.17g.
+class JsonLinesSink : public ResultSink {
+ public:
+  explicit JsonLinesSink(std::ostream& os) : os_(os) {}
+  void begin(const std::vector<std::string>& axis_names) override;
+  void on_point(const PointResult& r) override;
+
+ private:
+  std::ostream& os_;
+  std::vector<std::string> axis_names_;
+};
+
+// Live trial-completion ticker ("[tag] trials 12/40"), safe to call from
+// worker threads. Writes carriage-return-terminated updates and a final
+// newline so it plays nicely with a following table print.
+class ProgressReporter {
+ public:
+  explicit ProgressReporter(std::ostream& os, std::string tag = "sweep")
+      : os_(os), tag_(std::move(tag)) {}
+  void on_trial_done(std::size_t done, std::size_t total);
+
+ private:
+  std::mutex mu_;
+  std::ostream& os_;
+  std::string tag_;
+};
+
+}  // namespace essat::exp

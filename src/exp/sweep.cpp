@@ -1,0 +1,56 @@
+#include "src/exp/sweep.h"
+
+namespace essat::exp {
+
+SweepSpec& SweepSpec::axis(std::string name,
+                           std::vector<std::pair<std::string, Apply>> options) {
+  axis_names_.push_back(std::move(name));
+  axes_.push_back(Axis{std::move(options)});
+  return *this;
+}
+
+SweepSpec& SweepSpec::axis_protocol(
+    const std::vector<harness::Protocol>& protocols) {
+  std::vector<std::pair<std::string, Apply>> options;
+  options.reserve(protocols.size());
+  for (harness::Protocol p : protocols) {
+    options.emplace_back(axis_label(p), [p](harness::ScenarioConfig& c) {
+      c.protocol = p;
+    });
+  }
+  return axis("protocol", std::move(options));
+}
+
+std::size_t SweepSpec::num_points() const {
+  std::size_t n = 1;
+  for (const Axis& a : axes_) n *= a.options.size();
+  return n;
+}
+
+std::vector<SweepPoint> SweepSpec::points() const {
+  std::vector<SweepPoint> out;
+  const std::size_t total = num_points();
+  out.reserve(total);
+  // Row-major expansion: odometer over the per-axis option indices, first
+  // axis slowest. An empty axis list yields the single base point.
+  std::vector<std::size_t> idx(axes_.size(), 0);
+  for (std::size_t flat = 0; flat < total; ++flat) {
+    SweepPoint p;
+    p.index = flat;
+    p.config = base_;
+    p.labels.reserve(axes_.size());
+    for (std::size_t a = 0; a < axes_.size(); ++a) {
+      const auto& option = axes_[a].options[idx[a]];
+      p.labels.push_back(option.first);
+      option.second(p.config);
+    }
+    out.push_back(std::move(p));
+    for (std::size_t a = axes_.size(); a-- > 0;) {
+      if (++idx[a] < axes_[a].options.size()) break;
+      idx[a] = 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace essat::exp

@@ -1,0 +1,82 @@
+#include "src/exp/sweep_runner.h"
+
+#include <exception>
+#include <mutex>
+#include <utility>
+
+#include "src/exp/thread_pool.h"
+
+namespace essat::exp {
+
+std::vector<PointResult> SweepRunner::run(const SweepSpec& spec,
+                                          const std::vector<ResultSink*>& sinks) {
+  const std::vector<SweepPoint> points = spec.points();
+  const int runs = spec.runs_per_point();
+  const std::size_t total_trials = points.size() * static_cast<std::size_t>(runs);
+
+  auto run_fn = options_.run_fn
+                    ? options_.run_fn
+                    : [](const harness::ScenarioConfig& c) {
+                        return harness::run_scenario(c);
+                      };
+
+  // Result slots are pre-assigned per (point, repetition) so completion
+  // order cannot influence anything downstream.
+  std::vector<std::vector<harness::RunMetrics>> results(points.size());
+  for (auto& slot : results) slot.resize(static_cast<std::size_t>(runs));
+
+  std::size_t done = 0;
+  std::mutex done_mu;  // guards `done` AND orders the progress callbacks
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  auto run_trial = [&](std::size_t p, int rep) {
+    try {
+      harness::ScenarioConfig config = points[p].config;
+      config.seed = config.seed + static_cast<std::uint64_t>(rep);
+      results[p][static_cast<std::size_t>(rep)] = run_fn(config);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (!first_error) first_error = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(done_mu);
+    ++done;
+    if (options_.progress) options_.progress(done, total_trials);
+  };
+
+  int jobs = options_.jobs > 0 ? options_.jobs : default_jobs();
+  if (static_cast<std::size_t>(jobs) > total_trials) {
+    jobs = static_cast<int>(total_trials);  // don't spawn idle workers
+  }
+  if (jobs <= 1 || total_trials <= 1) {
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      for (int rep = 0; rep < runs; ++rep) run_trial(p, rep);
+    }
+  } else {
+    ThreadPool pool(jobs);
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      for (int rep = 0; rep < runs; ++rep) {
+        pool.submit([&run_trial, p, rep] { run_trial(p, rep); });
+      }
+    }
+    pool.wait_idle();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  std::vector<PointResult> out;
+  out.reserve(points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    Aggregator agg;
+    for (auto& m : results[p]) agg.add(std::move(m));
+    out.push_back(PointResult{points[p], agg.take()});
+  }
+
+  for (ResultSink* sink : sinks) sink->begin(spec.axis_names());
+  for (const PointResult& r : out) {
+    for (ResultSink* sink : sinks) sink->on_point(r);
+  }
+  for (ResultSink* sink : sinks) sink->finish();
+  return out;
+}
+
+}  // namespace essat::exp

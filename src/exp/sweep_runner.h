@@ -1,0 +1,47 @@
+// Deterministic parallel sweep execution.
+//
+// Every (point, repetition) pair is an independent trial: its config is
+// fully determined up front (point config + seed = base seed + repetition
+// index), it runs on whichever worker picks it up, and its RunMetrics
+// lands in a pre-assigned slot. Aggregation happens only after all trials
+// finish, folding each point's runs in repetition order — so the output is
+// bit-identical for any thread count, including the serial jobs=1 path.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "src/exp/aggregate.h"
+#include "src/exp/sinks.h"
+#include "src/exp/sweep.h"
+
+namespace essat::exp {
+
+class SweepRunner {
+ public:
+  struct Options {
+    // Worker threads; 0 means default_jobs() (ESSAT_JOBS or all cores).
+    int jobs = 0;
+    // The function executed per trial. Defaults to harness::run_scenario;
+    // injectable so tests can exercise the engine with a cheap stub.
+    std::function<harness::RunMetrics(const harness::ScenarioConfig&)> run_fn;
+    // Called after each trial completes with (trials done, trials total).
+    // Invoked under a lock, possibly from worker threads.
+    std::function<void(std::size_t done, std::size_t total)> progress;
+  };
+
+  SweepRunner() = default;
+  explicit SweepRunner(Options options) : options_(std::move(options)) {}
+
+  // Runs the full grid (points * runs_per_point trials), then feeds each
+  // aggregated point to every sink (begin / on_point in order / finish)
+  // and returns the results in point order. Rethrows the first trial
+  // exception after all workers have drained.
+  std::vector<PointResult> run(const SweepSpec& spec,
+                               const std::vector<ResultSink*>& sinks = {});
+
+ private:
+  Options options_;
+};
+
+}  // namespace essat::exp

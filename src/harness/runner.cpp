@@ -1,27 +1,22 @@
 #include "src/harness/runner.h"
 
+#include <utility>
+
+#include "src/exp/sweep_runner.h"
+
 namespace essat::harness {
 
 AveragedMetrics run_repeated(ScenarioConfig config, int runs) {
-  AveragedMetrics out;
-  for (int i = 0; i < runs; ++i) {
-    config.seed = config.seed + (i == 0 ? 0 : 1);
-    RunMetrics m = run_scenario(config);
-    out.duty_cycle.add(m.avg_duty_cycle);
-    out.latency_s.add(m.avg_latency_s);
-    out.p95_latency_s.add(m.p95_latency_s);
-    out.delivery_ratio.add(m.delivery_ratio);
-    out.phase_update_bits.add(m.phase_update_bits_per_report);
-    out.mac_send_failures.add(static_cast<double>(m.mac_send_failures));
-    if (m.duty_by_rank.size() > out.duty_by_rank.size()) {
-      out.duty_by_rank.resize(m.duty_by_rank.size());
-    }
-    for (std::size_t r = 0; r < m.duty_by_rank.size(); ++r) {
-      out.duty_by_rank[r].add(m.duty_by_rank[r]);
-    }
-    out.last_run = std::move(m);
-  }
-  return out;
+  if (runs < 1) return {};  // historical behavior: no runs, empty stats
+  // Thin wrapper over the parallel sweep engine: a single-point sweep.
+  // The engine runs trial i with seed = base_seed + i (as documented
+  // above) and folds the runs in repetition order, so the result is
+  // bit-identical to the historical serial loop for any thread count.
+  exp::SweepSpec spec(std::move(config));
+  spec.runs(runs);
+  exp::SweepRunner runner;
+  std::vector<exp::PointResult> results = runner.run(spec);
+  return std::move(results.front().metrics);
 }
 
 }  // namespace essat::harness

@@ -1,0 +1,407 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/exp/aggregate.h"
+#include "src/exp/sinks.h"
+#include "src/exp/sweep.h"
+#include "src/exp/sweep_runner.h"
+#include "src/exp/thread_pool.h"
+#include "src/harness/runner.h"
+#include "src/harness/scenario.h"
+
+namespace essat::exp {
+namespace {
+
+// A cheap deterministic stand-in for run_scenario: every metric is a pure
+// function of (seed, rate), so engine-level determinism is isolated from
+// simulator cost.
+harness::RunMetrics stub_run(const harness::ScenarioConfig& c) {
+  harness::RunMetrics m;
+  const double s = static_cast<double>(c.seed);
+  m.avg_duty_cycle = 0.01 * s + c.base_rate_hz;
+  m.avg_latency_s = 1.0 / (s + 1.0);
+  m.p95_latency_s = 2.0 / (s + 1.0);
+  m.delivery_ratio = 1.0 - 0.001 * s;
+  m.phase_update_bits_per_report = 0.5 * s;
+  m.mac_send_failures = c.seed % 7;
+  m.duty_by_rank = {0.1 * s, 0.2 * s, 0.3 * s};
+  return m;
+}
+
+// A quick-to-simulate scenario for end-to-end determinism checks.
+harness::ScenarioConfig small_scenario() {
+  harness::ScenarioConfig c;
+  c.num_nodes = 12;
+  c.area_m = 250.0;
+  c.range_m = 125.0;
+  c.max_tree_dist_m = 250.0;
+  c.setup_duration = util::Time::seconds(2);
+  c.query_start_window = util::Time::seconds(1);
+  c.measure_duration = util::Time::seconds(3);
+  c.latency_grace = util::Time::seconds(1);
+  c.seed = 7;
+  return c;
+}
+
+void expect_stat_identical(const util::RunningStat& a,
+                           const util::RunningStat& b) {
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.mean(), b.mean());          // exact: bit-identical requirement
+  EXPECT_EQ(a.variance(), b.variance());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+}
+
+void expect_identical(const harness::AveragedMetrics& a,
+                      const harness::AveragedMetrics& b) {
+  expect_stat_identical(a.duty_cycle, b.duty_cycle);
+  expect_stat_identical(a.latency_s, b.latency_s);
+  expect_stat_identical(a.p95_latency_s, b.p95_latency_s);
+  expect_stat_identical(a.delivery_ratio, b.delivery_ratio);
+  expect_stat_identical(a.phase_update_bits, b.phase_update_bits);
+  expect_stat_identical(a.mac_send_failures, b.mac_send_failures);
+  ASSERT_EQ(a.duty_by_rank.size(), b.duty_by_rank.size());
+  for (std::size_t r = 0; r < a.duty_by_rank.size(); ++r) {
+    expect_stat_identical(a.duty_by_rank[r], b.duty_by_rank[r]);
+  }
+  EXPECT_EQ(a.last_run.avg_duty_cycle, b.last_run.avg_duty_cycle);
+  EXPECT_EQ(a.last_run.avg_latency_s, b.last_run.avg_latency_s);
+}
+
+// ------------------------------------------------------------ SweepSpec
+
+TEST(SweepSpec, GridExpansionCrossesAxesRowMajor) {
+  harness::ScenarioConfig base;
+  SweepSpec spec(base);
+  spec.runs(5)
+      .axis("rate", &harness::ScenarioConfig::base_rate_hz,
+            {1.0, 2.0, 3.0, 4.0})
+      .axis("nodes", &harness::ScenarioConfig::num_nodes, {10, 20});
+
+  EXPECT_EQ(spec.num_axes(), 2u);
+  EXPECT_EQ(spec.num_points(), 8u);
+  EXPECT_EQ(spec.runs_per_point(), 5);
+  ASSERT_EQ(spec.axis_names().size(), 2u);
+  EXPECT_EQ(spec.axis_names()[0], "rate");
+  EXPECT_EQ(spec.axis_names()[1], "nodes");
+
+  const auto points = spec.points();
+  ASSERT_EQ(points.size(), 8u);
+  // Row-major: first axis slowest.
+  EXPECT_EQ(points[0].labels, (std::vector<std::string>{"1", "10"}));
+  EXPECT_EQ(points[1].labels, (std::vector<std::string>{"1", "20"}));
+  EXPECT_EQ(points[2].labels, (std::vector<std::string>{"2", "10"}));
+  EXPECT_EQ(points[7].labels, (std::vector<std::string>{"4", "20"}));
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].index, i);
+    EXPECT_EQ(points[i].config.base_rate_hz, 1.0 + static_cast<double>(i / 2));
+    EXPECT_EQ(points[i].config.num_nodes, i % 2 == 0 ? 10 : 20);
+  }
+}
+
+TEST(SweepSpec, NoAxesYieldsSingleBasePoint) {
+  harness::ScenarioConfig base;
+  base.seed = 42;
+  SweepSpec spec(base);
+  EXPECT_EQ(spec.num_points(), 1u);
+  const auto points = spec.points();
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_TRUE(points[0].labels.empty());
+  EXPECT_EQ(points[0].config.seed, 42u);
+}
+
+TEST(SweepSpec, ProtocolAxisUsesProtocolNames) {
+  SweepSpec spec{harness::ScenarioConfig{}};
+  spec.axis_protocol({harness::Protocol::kDtsSs, harness::Protocol::kPsm});
+  const auto points = spec.points();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].labels[0], "DTS-SS");
+  EXPECT_EQ(points[1].labels[0], "PSM");
+  EXPECT_EQ(points[0].config.protocol, harness::Protocol::kDtsSs);
+  EXPECT_EQ(points[1].config.protocol, harness::Protocol::kPsm);
+}
+
+// ------------------------------------------------------------ ThreadPool
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, DefaultJobsHonoursEnvOverride) {
+  ::setenv("ESSAT_JOBS", "3", 1);
+  EXPECT_EQ(default_jobs(), 3);
+  ::setenv("ESSAT_JOBS", "0", 1);
+  EXPECT_GE(default_jobs(), 1);  // invalid values fall back to hardware
+  ::unsetenv("ESSAT_JOBS");
+  EXPECT_GE(default_jobs(), 1);
+}
+
+// ------------------------------------------------------------ SweepRunner
+
+TEST(SweepRunner, ParallelIdenticalToSerialOnStub) {
+  harness::ScenarioConfig base;
+  base.seed = 100;
+  auto make_spec = [&] {
+    SweepSpec spec(base);
+    spec.runs(5)
+        .axis("rate", &harness::ScenarioConfig::base_rate_hz,
+              {1.0, 2.0, 3.0, 4.0})
+        .axis("nodes", &harness::ScenarioConfig::num_nodes, {10, 20});
+    return spec;  // 8 points x 5 runs
+  };
+
+  SweepRunner::Options serial;
+  serial.jobs = 1;
+  serial.run_fn = stub_run;
+  SweepRunner::Options par;
+  par.jobs = 4;
+  par.run_fn = stub_run;
+
+  const auto a = SweepRunner(serial).run(make_spec());
+  const auto b = SweepRunner(par).run(make_spec());
+  ASSERT_EQ(a.size(), 8u);
+  ASSERT_EQ(b.size(), 8u);
+  for (std::size_t p = 0; p < a.size(); ++p) {
+    EXPECT_EQ(a[p].point.labels, b[p].point.labels);
+    expect_identical(a[p].metrics, b[p].metrics);
+  }
+}
+
+TEST(SweepRunner, TrialSeedsAreBasePlusRepetition) {
+  harness::ScenarioConfig base;
+  base.seed = 50;
+  SweepSpec spec(base);
+  spec.runs(5).axis("rate", &harness::ScenarioConfig::base_rate_hz, {1.0, 2.0});
+
+  std::mutex mu;
+  std::set<std::uint64_t> seeds;
+  SweepRunner::Options opts;
+  opts.jobs = 4;
+  opts.run_fn = [&](const harness::ScenarioConfig& c) {
+    std::lock_guard<std::mutex> lock(mu);
+    seeds.insert(c.seed);
+    return stub_run(c);
+  };
+  SweepRunner(opts).run(spec);
+  // Both points share the base seed, so the union is 50..54.
+  EXPECT_EQ(seeds, (std::set<std::uint64_t>{50, 51, 52, 53, 54}));
+}
+
+TEST(SweepRunner, ReportsProgressAndFeedsSinksInPointOrder) {
+  SweepSpec spec{harness::ScenarioConfig{}};
+  spec.runs(3).axis("rate", &harness::ScenarioConfig::base_rate_hz, {1.0, 2.0});
+
+  std::size_t last_done = 0, last_total = 0;
+  SweepRunner::Options opts;
+  opts.jobs = 2;
+  opts.run_fn = stub_run;
+  opts.progress = [&](std::size_t done, std::size_t total) {
+    last_done = done;
+    last_total = total;
+  };
+
+  struct OrderSink : ResultSink {
+    std::vector<std::size_t> order;
+    bool began = false, finished = false;
+    void begin(const std::vector<std::string>& names) override {
+      began = true;
+      EXPECT_EQ(names, (std::vector<std::string>{"rate"}));
+    }
+    void on_point(const PointResult& r) override { order.push_back(r.point.index); }
+    void finish() override { finished = true; }
+  } sink;
+
+  SweepRunner(opts).run(spec, {&sink});
+  EXPECT_EQ(last_done, 6u);
+  EXPECT_EQ(last_total, 6u);
+  EXPECT_TRUE(sink.began);
+  EXPECT_TRUE(sink.finished);
+  EXPECT_EQ(sink.order, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(SweepRunner, TrialExceptionIsRethrown) {
+  SweepSpec spec{harness::ScenarioConfig{}};
+  spec.runs(2).axis("rate", &harness::ScenarioConfig::base_rate_hz, {1.0, 2.0});
+  SweepRunner::Options opts;
+  opts.jobs = 2;
+  opts.run_fn = [](const harness::ScenarioConfig&) -> harness::RunMetrics {
+    throw std::runtime_error("boom");
+  };
+  EXPECT_THROW(SweepRunner(opts).run(spec), std::runtime_error);
+}
+
+// The acceptance check: >= 8 points x 5 runs through the real simulator,
+// 4 threads vs 1 thread, per-point AveragedMetrics bit-identical.
+TEST(SweepRunner, ParallelIdenticalToSerialOnRealScenario) {
+  auto make_spec = [] {
+    SweepSpec spec(small_scenario());
+    spec.runs(5)
+        .axis("rate", &harness::ScenarioConfig::base_rate_hz,
+              {0.5, 1.0, 2.0, 4.0})
+        .axis_protocol({harness::Protocol::kDtsSs, harness::Protocol::kNtsSs});
+    return spec;  // 8 points x 5 runs = 40 trials
+  };
+
+  SweepRunner::Options serial;
+  serial.jobs = 1;
+  SweepRunner::Options par;
+  par.jobs = 4;
+
+  const auto a = SweepRunner(serial).run(make_spec());
+  const auto b = SweepRunner(par).run(make_spec());
+  ASSERT_EQ(a.size(), 8u);
+  ASSERT_EQ(b.size(), 8u);
+  for (std::size_t p = 0; p < a.size(); ++p) {
+    SCOPED_TRACE("point " + std::to_string(p));
+    expect_identical(a[p].metrics, b[p].metrics);
+    // Sanity: the runs measured something.
+    EXPECT_EQ(a[p].metrics.duty_cycle.count(), 5u);
+    EXPECT_GT(a[p].metrics.duty_cycle.mean(), 0.0);
+  }
+}
+
+// harness::run_repeated is now a wrapper over the engine; it must match a
+// hand-rolled serial loop with the documented seed = base + i advance.
+TEST(RunRepeated, MatchesManualSerialLoop) {
+  harness::ScenarioConfig config = small_scenario();
+  const auto wrapped = harness::run_repeated(config, 3);
+
+  Aggregator agg;
+  for (int i = 0; i < 3; ++i) {
+    harness::ScenarioConfig c = config;
+    c.seed = config.seed + static_cast<std::uint64_t>(i);
+    agg.add(harness::run_scenario(c));
+  }
+  expect_identical(wrapped, agg.result());
+}
+
+// ------------------------------------------------------------ sinks
+
+PointResult known_point() {
+  PointResult r;
+  r.point.index = 0;
+  r.point.labels = {"1.5", "DTS-SS"};
+  harness::RunMetrics m;
+  m.avg_duty_cycle = 0.0625;
+  m.avg_latency_s = 0.125;
+  m.p95_latency_s = 0.25;
+  m.delivery_ratio = 0.96875;
+  m.phase_update_bits_per_report = 0.75;
+  m.mac_send_failures = 3;
+  Aggregator agg;
+  agg.add(m);
+  m.avg_duty_cycle = 0.09375;
+  m.avg_latency_s = 0.1875;
+  agg.add(m);
+  r.metrics = agg.take();
+  return r;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+TEST(CsvSink, RoundTripsKnownAggregate) {
+  const PointResult r = known_point();
+  std::ostringstream os;
+  CsvSink sink(os);
+  sink.begin({"rate", "protocol"});
+  sink.on_point(r);
+  sink.finish();
+
+  const auto lines = split(os.str(), '\n');
+  ASSERT_GE(lines.size(), 2u);
+  const auto header = split(lines[0], ',');
+  const auto row = split(lines[1], ',');
+  ASSERT_EQ(header.size(), row.size());
+  ASSERT_EQ(header[0], "point");
+  EXPECT_EQ(row[0], "0");
+  EXPECT_EQ(row[1], "1.5");
+  EXPECT_EQ(row[2], "DTS-SS");
+
+  auto col = [&](const std::string& name) {
+    for (std::size_t i = 0; i < header.size(); ++i) {
+      if (header[i] == name) return std::strtod(row[i].c_str(), nullptr);
+    }
+    ADD_FAILURE() << "missing column " << name;
+    return 0.0;
+  };
+  // %.17g output parses back to the exact double.
+  EXPECT_EQ(col("runs"), 2.0);
+  EXPECT_EQ(col("duty_mean"), r.metrics.duty_cycle.mean());
+  EXPECT_EQ(col("duty_ci90"), r.metrics.duty_ci90());
+  EXPECT_EQ(col("latency_mean"), r.metrics.latency_s.mean());
+  EXPECT_EQ(col("latency_ci90"), r.metrics.latency_ci90());
+  EXPECT_EQ(col("p95_latency"), r.metrics.p95_latency_s.mean());
+  EXPECT_EQ(col("delivery_mean"), r.metrics.delivery_ratio.mean());
+  EXPECT_EQ(col("phase_bits_mean"), r.metrics.phase_update_bits.mean());
+  EXPECT_EQ(col("send_failures"), r.metrics.mac_send_failures.mean());
+}
+
+TEST(JsonLinesSink, RoundTripsKnownAggregate) {
+  const PointResult r = known_point();
+  std::ostringstream os;
+  JsonLinesSink sink(os);
+  sink.begin({"rate", "protocol"});
+  sink.on_point(r);
+  sink.finish();
+
+  const std::string line = split(os.str(), '\n')[0];
+  EXPECT_NE(line.find("\"labels\":{\"rate\":\"1.5\",\"protocol\":\"DTS-SS\"}"),
+            std::string::npos);
+
+  auto field = [&](const std::string& name) {
+    const std::string key = "\"" + name + "\":";
+    const auto pos = line.find(key);
+    EXPECT_NE(pos, std::string::npos) << "missing field " << name;
+    return std::strtod(line.c_str() + pos + key.size(), nullptr);
+  };
+  EXPECT_EQ(field("point"), 0.0);
+  EXPECT_EQ(field("runs"), 2.0);
+  EXPECT_EQ(field("duty_mean"), r.metrics.duty_cycle.mean());
+  EXPECT_EQ(field("duty_ci90"), r.metrics.duty_ci90());
+  EXPECT_EQ(field("latency_mean"), r.metrics.latency_s.mean());
+  EXPECT_EQ(field("delivery_mean"), r.metrics.delivery_ratio.mean());
+}
+
+TEST(ConsoleTableSink, PrintsAxisAndMetricColumns) {
+  const PointResult r = known_point();
+  std::ostringstream os;
+  ConsoleTableSink sink(os);
+  sink.begin({"rate", "protocol"});
+  sink.on_point(r);
+  sink.finish();
+  const std::string out = os.str();
+  EXPECT_NE(out.find("rate"), std::string::npos);
+  EXPECT_NE(out.find("protocol"), std::string::npos);
+  EXPECT_NE(out.find("duty (%)"), std::string::npos);
+  EXPECT_NE(out.find("DTS-SS"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace essat::exp
