@@ -14,7 +14,7 @@ int main() {
                       "ESSAT shapers under node failures (maintenance on)");
 
   harness::ScenarioConfig base = bench::paper_defaults();
-  base.base_rate_hz = 1.0;
+  base.workload.base_rate_hz = 1.0;
   base.measure_duration = util::Time::seconds(120);
   base.enable_maintenance = true;
 

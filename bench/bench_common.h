@@ -32,10 +32,10 @@ inline const int kJobs = exp::default_jobs();
 
 inline harness::ScenarioConfig paper_defaults() {
   harness::ScenarioConfig c;
-  c.num_nodes = 80;
-  c.area_m = 500.0;
-  c.range_m = 125.0;
-  c.max_tree_dist_m = 300.0;
+  c.deployment.num_nodes = 80;
+  c.deployment.area_m = 500.0;
+  c.deployment.range_m = 125.0;
+  c.deployment.max_tree_dist_m = 300.0;
   c.measure_duration = util::Time::seconds(200);  // "experiments last 200s"
   c.seed = 1;
   return c;

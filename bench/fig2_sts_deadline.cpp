@@ -15,7 +15,7 @@ int main() {
   base.protocol = harness::Protocol::kStsSs;
   // Base rate chosen so the deadline sweep stays below the base period
   // (the paper leaves Fig. 2's rate unstated; see EXPERIMENTS.md).
-  base.base_rate_hz = 1.0;
+  base.workload.base_rate_hz = 1.0;
 
   exp::SweepSpec spec(base);
   std::vector<std::pair<std::string, exp::SweepSpec::Apply>> deadlines;

@@ -12,7 +12,7 @@ int main() {
 
   exp::SweepSpec spec(bench::paper_defaults());
   spec.runs(bench::kRunsPerPoint)
-      .axis("rate (Hz)", &harness::ScenarioConfig::base_rate_hz, {1.0, 3.0, 5.0})
+      .axis_rate({1.0, 3.0, 5.0})
       .axis_protocol({harness::Protocol::kDtsSs, harness::Protocol::kStsSs,
                       harness::Protocol::kNtsSs, harness::Protocol::kPsm,
                       harness::Protocol::kSpan});

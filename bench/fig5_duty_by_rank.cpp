@@ -16,7 +16,7 @@ int main() {
   for (auto p : protocols) {
     harness::ScenarioConfig c = bench::paper_defaults();
     c.protocol = p;
-    c.base_rate_hz = 5.0;
+    c.workload.base_rate_hz = 5.0;
     c.seed = 7;  // "a typical run"
     const auto m = harness::run_scenario(c);
     series.push_back(m.duty_by_rank);

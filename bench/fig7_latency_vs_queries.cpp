@@ -12,11 +12,10 @@ int main() {
                       "query latency (s) vs queries per class @ 0.2 Hz");
 
   harness::ScenarioConfig base = bench::paper_defaults();
-  base.base_rate_hz = 0.2;
+  base.workload.base_rate_hz = 0.2;
   exp::SweepSpec spec(base);
   spec.runs(bench::kRunsPerPoint)
-      .axis("queries/class", &harness::ScenarioConfig::queries_per_class,
-            {1, 4, 7, 10})
+      .axis_queries({1, 4, 7, 10})
       .axis_protocol({harness::Protocol::kDtsSs, harness::Protocol::kStsSs,
                       harness::Protocol::kNtsSs, harness::Protocol::kPsm,
                       harness::Protocol::kSpan, harness::Protocol::kSync});

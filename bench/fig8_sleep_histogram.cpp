@@ -18,7 +18,7 @@ int main() {
                  harness::Protocol::kNtsSs}) {
     harness::ScenarioConfig c = bench::paper_defaults();
     c.protocol = p;
-    c.base_rate_hz = 5.0;
+    c.workload.base_rate_hz = 5.0;
     c.t_be = util::Time::zero();
     c.seed = 7;
     const auto m = harness::run_scenario(c);

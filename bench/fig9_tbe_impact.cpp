@@ -18,7 +18,7 @@ int main() {
       for (double tbe_ms : {0.0, 2.5, 10.0, 40.0}) {
         harness::ScenarioConfig c = bench::paper_defaults();
         c.protocol = p;
-        c.base_rate_hz = rate;
+        c.workload.base_rate_hz = rate;
         c.t_be = util::Time::from_milliseconds(tbe_ms);
         const auto avg = harness::run_repeated(c, bench::kRunsPerPoint);
         row.push_back(harness::fmt_pct(avg.duty_cycle.mean()));

@@ -14,7 +14,7 @@ int main() {
     auto run = [&](harness::Protocol p) {
       harness::ScenarioConfig c = bench::paper_defaults();
       c.protocol = p;
-      c.base_rate_hz = rate;
+      c.workload.base_rate_hz = rate;
       return harness::run_repeated(c, bench::kRunsPerPoint);
     };
     const auto dts = run(harness::Protocol::kDtsSs);

@@ -1,6 +1,11 @@
-// Microbenchmarks of the hot paths: event queue operations, Safe Sleep
+// Microbenchmarks of the hot paths: event queue operations (including an
+// A/B against the pre-refactor hash-set implementation), channel broadcast
+// scheduling (batched vs legacy per-neighbor events), Safe Sleep
 // bookkeeping, shaper updates, and a full small-scenario run.
 #include <benchmark/benchmark.h>
+
+#include <queue>
+#include <unordered_set>
 
 #include "src/essat.h"
 
@@ -9,11 +14,68 @@ namespace {
 using namespace essat;
 using util::Time;
 
-void BM_EventQueuePushPop(benchmark::State& state) {
+// The pre-refactor EventQueue, verbatim: lazy cancellation through a
+// live_/cancelled_ unordered_set pair, kept here as the baseline the
+// slot-indexed rewrite is measured against.
+class LegacyEventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  sim::EventId push(Time t, Callback cb) {
+    const sim::EventId id = next_id_++;
+    heap_.push(Entry{t, next_seq_++, id, std::move(cb)});
+    live_.insert(id);
+    return id;
+  }
+  void cancel(sim::EventId id) {
+    if (id == sim::kInvalidEventId) return;
+    if (live_.erase(id) != 0) cancelled_.insert(id);
+  }
+  bool empty() const {
+    drop_cancelled_();
+    return heap_.empty();
+  }
+  std::pair<Time, Callback> pop() {
+    drop_cancelled_();
+    auto& top = const_cast<Entry&>(heap_.top());
+    std::pair<Time, Callback> out{top.time, std::move(top.cb)};
+    live_.erase(top.id);
+    heap_.pop();
+    return out;
+  }
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq = 0;
+    sim::EventId id = sim::kInvalidEventId;
+    Callback cb;
+    bool operator<(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+  void drop_cancelled_() const {
+    while (!heap_.empty()) {
+      const auto it = cancelled_.find(heap_.top().id);
+      if (it == cancelled_.end()) return;
+      cancelled_.erase(it);
+      heap_.pop();
+    }
+  }
+  mutable std::priority_queue<Entry> heap_;
+  mutable std::unordered_set<sim::EventId> cancelled_;
+  std::unordered_set<sim::EventId> live_;
+  std::uint64_t next_seq_ = 0;
+  sim::EventId next_id_ = 1;
+};
+
+template <typename Queue>
+void queue_push_pop(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   util::Rng rng{1};
   for (auto _ : state) {
-    sim::EventQueue q;
+    Queue q;
     for (int i = 0; i < n; ++i) {
       q.push(Time::nanoseconds(rng.uniform_int(0, 1'000'000)), [] {});
     }
@@ -21,7 +83,83 @@ void BM_EventQueuePushPop(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  queue_push_pop<sim::EventQueue>(state);
+}
 BENCHMARK(BM_EventQueuePushPop)->Arg(256)->Arg(4096);
+
+void BM_LegacyEventQueuePushPop(benchmark::State& state) {
+  queue_push_pop<LegacyEventQueue>(state);
+}
+BENCHMARK(BM_LegacyEventQueuePushPop)->Arg(256)->Arg(4096);
+
+// The MAC/timer pattern the simulator hammers: every armed timer is
+// re-armed (push + cancel) many times before it finally fires.
+template <typename Queue>
+void queue_cancel_churn(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng{2};
+  for (auto _ : state) {
+    Queue q;
+    std::vector<sim::EventId> ids;
+    ids.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      ids.push_back(q.push(Time::nanoseconds(rng.uniform_int(0, 1'000'000)), [] {}));
+    }
+    // Rearm every event three times: cancel + fresh push.
+    for (int round = 0; round < 3; ++round) {
+      for (int i = 0; i < n; ++i) {
+        q.cancel(ids[static_cast<std::size_t>(i)]);
+        ids[static_cast<std::size_t>(i)] =
+            q.push(Time::nanoseconds(rng.uniform_int(0, 1'000'000)), [] {});
+      }
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 4);
+}
+
+void BM_EventQueueCancelChurn(benchmark::State& state) {
+  queue_cancel_churn<sim::EventQueue>(state);
+}
+BENCHMARK(BM_EventQueueCancelChurn)->Arg(256)->Arg(4096);
+
+void BM_LegacyEventQueueCancelChurn(benchmark::State& state) {
+  queue_cancel_churn<LegacyEventQueue>(state);
+}
+BENCHMARK(BM_LegacyEventQueueCancelChurn)->Arg(256)->Arg(4096);
+
+// Channel broadcast scheduling: a dense clique (every node hears every
+// transmission) is the worst case for the legacy two-events-per-neighbor
+// path. range(0) selects batched (1) vs legacy (0) scheduling.
+void BM_ChannelBroadcast(benchmark::State& state) {
+  const bool batched = state.range(0) == 1;
+  const int num_nodes = static_cast<int>(state.range(1));
+  util::Rng rng{3};
+  const net::Topology topo = net::Topology::uniform_random(
+      static_cast<std::size_t>(num_nodes), 80.0, 125.0, rng);  // clique
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::ChannelParams params;
+    params.batch_arrivals = batched;
+    net::Channel ch{sim, topo, params};
+    for (int i = 0; i < 64; ++i) {
+      const auto src = static_cast<net::NodeId>(i % num_nodes);
+      sim.schedule_at(Time::microseconds(i * 500), [&ch, src] {
+        net::DataHeader h;
+        ch.start_tx(src, net::make_data_packet(src, net::kNoNode, h),
+                    Time::microseconds(400));
+      });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.executed_events());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ChannelBroadcast)
+    ->ArgsProduct({{0, 1}, {16, 64}})
+    ->ArgNames({"batched", "nodes"});
 
 void BM_SimulatorTimerChurn(benchmark::State& state) {
   for (auto _ : state) {
@@ -85,8 +223,8 @@ void BM_SmallScenario(benchmark::State& state) {
   for (auto _ : state) {
     harness::ScenarioConfig c;
     c.protocol = harness::Protocol::kDtsSs;
-    c.num_nodes = 30;
-    c.base_rate_hz = 1.0;
+    c.deployment.num_nodes = 30;
+    c.workload.base_rate_hz = 1.0;
     c.measure_duration = Time::seconds(10);
     c.seed = 3;
     benchmark::DoNotOptimize(harness::run_scenario(c));

@@ -20,7 +20,7 @@ int main() {
     for (bool inject : {false, true}) {
       harness::ScenarioConfig c;
       c.protocol = p;
-      c.base_rate_hz = 1.0;
+      c.workload.base_rate_hz = 1.0;
       c.measure_duration = Time::seconds(120);
       c.enable_maintenance = true;
       c.seed = 31;

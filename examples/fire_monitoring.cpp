@@ -16,7 +16,7 @@ int main() {
 
   harness::ScenarioConfig c;
   c.protocol = harness::Protocol::kDtsSs;
-  c.base_rate_hz = 0.2;  // background monitoring
+  c.workload.base_rate_hz = 0.2;  // background monitoring
   c.measure_duration = Time::seconds(160);
   c.seed = 23;
 
@@ -28,7 +28,7 @@ int main() {
     q.period = Time::from_seconds(1.0 / rate);
     q.phase = fire_at;
     q.query_class = 0;
-    c.extra_queries.push_back(q);
+    c.workload.extra_queries.push_back(q);
   }
 
   std::printf("Fire monitoring: background 0.2 Hz; 3 emergency queries at t=80 s\n\n");

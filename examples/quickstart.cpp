@@ -12,14 +12,14 @@ int main() {
 
   harness::ScenarioConfig config;
   config.protocol = harness::Protocol::kDtsSs;
-  config.base_rate_hz = 2.0;   // Q1 at 2 Hz; Q2 at 1 Hz; Q3 at 0.67 Hz
-  config.queries_per_class = 1;
+  config.workload.base_rate_hz = 2.0;   // Q1 at 2 Hz; Q2 at 1 Hz; Q3 at 0.67 Hz
+  config.workload.queries_per_class = 1;
   config.measure_duration = util::Time::seconds(60);
   config.seed = 42;
 
   std::printf("ESSAT quickstart: %s, %d nodes, base rate %.1f Hz\n",
-              harness::protocol_name(config.protocol), config.num_nodes,
-              config.base_rate_hz);
+              config.protocol.c_str(), config.deployment.num_nodes,
+              config.workload.base_rate_hz);
 
   const harness::RunMetrics m = harness::run_scenario(config);
 

@@ -23,7 +23,7 @@ int main() {
                  harness::Protocol::kSync, harness::Protocol::kPsm}) {
     harness::ScenarioConfig c;
     c.protocol = p;
-    c.base_rate_hz = 1.0;  // detection query at 1 Hz; status at 1/2 and 1/3 Hz
+    c.workload.base_rate_hz = 1.0;  // detection query at 1 Hz; status at 1/2 and 1/3 Hz
     c.measure_duration = Time::seconds(120);
     c.seed = 11;
     const auto m = harness::run_scenario(c);

@@ -1,0 +1,32 @@
+// PSM baseline policy: 802.11 power-save mode with traffic announcements
+// (PsmNode) per node; ATIM control packets are routed back to the owning
+// node through handle_packet. Registered in the StackRegistry as "PSM".
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/baselines/psm.h"
+#include "src/harness/power_manager.h"
+
+namespace essat::baselines {
+
+class PsmPowerManager : public harness::PowerManager {
+ public:
+  explicit PsmPowerManager(PsmParams params = {}) : params_(params) {}
+
+  std::unique_ptr<query::TrafficShaper> make_shaper(
+      const harness::StackContext& ctx, const harness::NodeHandles& node) override;
+  core::SafeSleep* attach_node(const harness::StackContext& ctx,
+                               const harness::NodeHandles& node) override;
+  void handle_packet(net::NodeId id, const net::Packet& packet) override;
+
+ private:
+  PsmParams params_;
+  std::vector<std::unique_ptr<PsmNode>> psm_nodes_;  // indexed by node id
+};
+
+// Called by the StackRegistry to pull this translation unit into the link.
+void register_psm_power_manager();
+
+}  // namespace essat::baselines

@@ -1,0 +1,31 @@
+#include "src/baselines/span_stack.h"
+
+#include "src/core/nts.h"
+#include "src/harness/scenario.h"
+#include "src/harness/stack_registry.h"
+
+namespace essat::baselines {
+
+SpanPowerManager::SpanPowerManager()
+    : core::EssatPowerManager(
+          // Leaves (and, harmlessly, backbone nodes) run NTS (§5).
+          [](const harness::ScenarioConfig&) {
+            return std::make_unique<core::NtsShaper>();
+          },
+          // Safe Sleep only off the backbone: coordinators stay always on.
+          [this](const harness::NodeHandles& node) {
+            return !election_.coordinator.at(static_cast<std::size_t>(node.id));
+          }) {}
+
+void SpanPowerManager::on_tree_ready(const harness::StackContext& ctx) {
+  election_ = elect_coordinators(ctx.topo, ctx.tree, ctx.rng);
+}
+
+void register_span_power_manager() {
+  harness::StackRegistry::instance().add(
+      "SPAN", [](const harness::ScenarioConfig&) {
+        return std::make_unique<SpanPowerManager>();
+      });
+}
+
+}  // namespace essat::baselines

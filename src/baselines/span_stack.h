@@ -1,0 +1,28 @@
+// SPAN baseline policy: an elected coordinator backbone keeps its radios
+// always on while leaves run NTS with Safe Sleep (§5's modified setup).
+// Reuses the generic ESSAT "shaper + Safe Sleep" wiring, with sleeping
+// disabled on the backbone; the election runs once the routing tree is
+// final. Registered in the StackRegistry as "SPAN".
+#pragma once
+
+#include "src/baselines/span.h"
+#include "src/core/essat_stack.h"
+#include "src/harness/power_manager.h"
+
+namespace essat::baselines {
+
+class SpanPowerManager : public core::EssatPowerManager {
+ public:
+  SpanPowerManager();
+
+  void on_tree_ready(const harness::StackContext& ctx) override;
+  int backbone_size() const override { return election_.coordinator_count; }
+
+ private:
+  SpanElection election_;
+};
+
+// Called by the StackRegistry to pull this translation unit into the link.
+void register_span_power_manager();
+
+}  // namespace essat::baselines

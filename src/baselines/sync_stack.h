@@ -1,0 +1,32 @@
+// SYNC baseline policy: a network-synchronized fixed duty cycle per node
+// (SyncNode), with the query service running greedily on top (NTS shaper
+// with a generous loss timeout — per-hop buffering delays exceed the
+// rank-based budgets). Registered in the StackRegistry as "SYNC".
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/baselines/sync.h"
+#include "src/harness/power_manager.h"
+
+namespace essat::baselines {
+
+class SyncPowerManager : public harness::PowerManager {
+ public:
+  explicit SyncPowerManager(SyncParams params = {}) : params_(params) {}
+
+  std::unique_ptr<query::TrafficShaper> make_shaper(
+      const harness::StackContext& ctx, const harness::NodeHandles& node) override;
+  core::SafeSleep* attach_node(const harness::StackContext& ctx,
+                               const harness::NodeHandles& node) override;
+
+ private:
+  SyncParams params_;
+  std::vector<std::unique_ptr<SyncNode>> sync_nodes_;
+};
+
+// Called by the StackRegistry to pull this translation unit into the link.
+void register_sync_power_manager();
+
+}  // namespace essat::baselines

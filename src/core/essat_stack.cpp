@@ -1,0 +1,45 @@
+#include "src/core/essat_stack.h"
+
+#include "src/core/dts.h"
+#include "src/core/nts.h"
+#include "src/core/sts.h"
+#include "src/harness/scenario.h"
+#include "src/harness/stack_registry.h"
+
+namespace essat::core {
+
+SafeSleep* EssatPowerManager::attach_node(const harness::StackContext& ctx,
+                                          const harness::NodeHandles& node) {
+  auto sleeper = std::make_unique<SafeSleep>(
+      ctx.sim, node.radio, node.mac,
+      SafeSleepParams{.t_be = ctx.config.t_be,
+                      .enabled = !sleep_enabled_ || sleep_enabled_(node)});
+  sleeper->set_setup_end(ctx.setup_end);
+  sleepers_.push_back(std::move(sleeper));
+  return sleepers_.back().get();
+}
+
+void register_essat_power_managers() {
+  auto& registry = harness::StackRegistry::instance();
+  registry.add("NTS-SS", [](const harness::ScenarioConfig&) {
+    return std::make_unique<EssatPowerManager>(
+        [](const harness::ScenarioConfig&) {
+          return std::make_unique<NtsShaper>();
+        });
+  });
+  registry.add("STS-SS", [](const harness::ScenarioConfig&) {
+    return std::make_unique<EssatPowerManager>(
+        [](const harness::ScenarioConfig& c) {
+          return std::make_unique<StsShaper>(
+              StsParams{.deadline = c.sts_deadline});
+        });
+  });
+  registry.add("DTS-SS", [](const harness::ScenarioConfig&) {
+    return std::make_unique<EssatPowerManager>(
+        [](const harness::ScenarioConfig& c) {
+          return std::make_unique<DtsShaper>(DtsParams{.t_to = c.dts_t_to});
+        });
+  });
+}
+
+}  // namespace essat::core

@@ -17,10 +17,14 @@
 #pragma once
 
 #include "src/baselines/psm.h"
+#include "src/baselines/psm_stack.h"
 #include "src/baselines/span.h"
+#include "src/baselines/span_stack.h"
 #include "src/baselines/sync.h"
+#include "src/baselines/sync_stack.h"
 #include "src/core/dissemination.h"
 #include "src/core/dts.h"
+#include "src/core/essat_stack.h"
 #include "src/core/maintenance.h"
 #include "src/core/nts.h"
 #include "src/core/safe_sleep.h"
@@ -33,8 +37,10 @@
 #include "src/exp/sweep_runner.h"
 #include "src/exp/thread_pool.h"
 #include "src/harness/metrics.h"
+#include "src/harness/power_manager.h"
 #include "src/harness/runner.h"
 #include "src/harness/scenario.h"
+#include "src/harness/stack_registry.h"
 #include "src/harness/table.h"
 #include "src/mac/csma.h"
 #include "src/net/channel.h"

@@ -10,15 +10,73 @@ SweepSpec& SweepSpec::axis(std::string name,
 }
 
 SweepSpec& SweepSpec::axis_protocol(
-    const std::vector<harness::Protocol>& protocols) {
+    const std::vector<harness::ProtocolKey>& protocols) {
   std::vector<std::pair<std::string, Apply>> options;
   options.reserve(protocols.size());
-  for (harness::Protocol p : protocols) {
+  for (const harness::ProtocolKey& p : protocols) {
     options.emplace_back(axis_label(p), [p](harness::ScenarioConfig& c) {
       c.protocol = p;
     });
   }
   return axis("protocol", std::move(options));
+}
+
+SweepSpec& SweepSpec::axis_topology(const std::vector<net::TopologyKind>& kinds) {
+  std::vector<std::pair<std::string, Apply>> options;
+  options.reserve(kinds.size());
+  for (net::TopologyKind k : kinds) {
+    options.emplace_back(axis_label(k), [k](harness::ScenarioConfig& c) {
+      c.deployment.kind = k;
+    });
+  }
+  return axis("topology", std::move(options));
+}
+
+SweepSpec& SweepSpec::axis_topology(
+    const std::vector<net::DeploymentSpec>& deployments) {
+  std::vector<std::pair<std::string, Apply>> options;
+  options.reserve(deployments.size());
+  for (const net::DeploymentSpec& d : deployments) {
+    // Disambiguate repeated kinds ("corridor", "corridor#2", ...) so sink
+    // rows stay uniquely keyed.
+    std::string label = axis_label(d.kind);
+    int dup = 1;
+    for (const auto& [existing, _] : options) {
+      if (existing == label || existing.rfind(label + "#", 0) == 0) ++dup;
+    }
+    if (dup > 1) label += "#" + std::to_string(dup);
+    options.emplace_back(std::move(label), [d](harness::ScenarioConfig& c) {
+      c.deployment = d;
+    });
+  }
+  return axis("topology", std::move(options));
+}
+
+SweepSpec& SweepSpec::axis_topology(
+    const std::vector<std::pair<std::string, net::DeploymentSpec>>& deployments) {
+  std::vector<std::pair<std::string, Apply>> options;
+  options.reserve(deployments.size());
+  for (const auto& [label, d] : deployments) {
+    options.emplace_back(label, [d = d](harness::ScenarioConfig& c) {
+      c.deployment = d;
+    });
+  }
+  return axis("topology", std::move(options));
+}
+
+SweepSpec& SweepSpec::axis_rate(const std::vector<double>& rates_hz) {
+  return axis("rate (Hz)", &harness::ScenarioConfig::workload,
+              &harness::WorkloadSpec::base_rate_hz, rates_hz);
+}
+
+SweepSpec& SweepSpec::axis_queries(const std::vector<int>& queries_per_class) {
+  return axis("queries/class", &harness::ScenarioConfig::workload,
+              &harness::WorkloadSpec::queries_per_class, queries_per_class);
+}
+
+SweepSpec& SweepSpec::axis_nodes(const std::vector<int>& num_nodes) {
+  return axis("nodes", &harness::ScenarioConfig::deployment,
+              &net::DeploymentSpec::num_nodes, num_nodes);
 }
 
 std::size_t SweepSpec::num_points() const {

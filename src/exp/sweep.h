@@ -57,8 +57,39 @@ class SweepSpec {
     return axis(std::move(name), std::move(options));
   }
 
-  // Vary the protocol (labels from protocol_name).
-  SweepSpec& axis_protocol(const std::vector<harness::Protocol>& protocols);
+  // Vary one nested-spec field (deployment / workload sub-structs).
+  template <typename S, typename T>
+  SweepSpec& axis(std::string name, S harness::ScenarioConfig::*spec,
+                  T S::*field, const std::vector<T>& values) {
+    std::vector<std::pair<std::string, Apply>> options;
+    options.reserve(values.size());
+    for (const T& v : values) {
+      options.emplace_back(axis_label(v),
+                           [spec, field, v](harness::ScenarioConfig& c) {
+                             c.*spec.*field = v;
+                           });
+    }
+    return axis(std::move(name), std::move(options));
+  }
+
+  // Vary the power-management policy (labels are the registry keys; the
+  // Protocol enum converts implicitly for the built-ins).
+  SweepSpec& axis_protocol(const std::vector<harness::ProtocolKey>& protocols);
+
+  // Vary the deployment shape, keeping the base spec's size/range knobs
+  // (labels from topology_kind_name)...
+  SweepSpec& axis_topology(const std::vector<net::TopologyKind>& kinds);
+  // ...or sweep fully custom deployments, labelled by kind name (repeats
+  // disambiguated as "kind#2", "kind#3", ...)...
+  SweepSpec& axis_topology(const std::vector<net::DeploymentSpec>& deployments);
+  // ...or with explicit labels.
+  SweepSpec& axis_topology(
+      const std::vector<std::pair<std::string, net::DeploymentSpec>>& deployments);
+
+  // Common workload/deployment axes, pre-labelled.
+  SweepSpec& axis_rate(const std::vector<double>& rates_hz);
+  SweepSpec& axis_queries(const std::vector<int>& queries_per_class);
+  SweepSpec& axis_nodes(const std::vector<int>& num_nodes);
 
   const harness::ScenarioConfig& base() const { return base_; }
   std::size_t num_axes() const { return axes_.size(); }
@@ -86,6 +117,10 @@ class SweepSpec {
   static std::string axis_label(util::Time v) { return v.to_string(); }
   static std::string axis_label(harness::Protocol p) {
     return harness::protocol_name(p);
+  }
+  static std::string axis_label(const harness::ProtocolKey& p) { return p.name; }
+  static std::string axis_label(net::TopologyKind k) {
+    return net::topology_kind_name(k);
   }
 
   harness::ScenarioConfig base_;

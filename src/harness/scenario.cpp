@@ -1,21 +1,15 @@
 #include "src/harness/scenario.h"
 
-#include <algorithm>
 #include <memory>
+#include <ostream>
 #include <stdexcept>
 
-#include "src/baselines/psm.h"
-#include "src/baselines/span.h"
-#include "src/baselines/sync.h"
-#include "src/core/dts.h"
 #include "src/core/maintenance.h"
-#include "src/core/nts.h"
-#include "src/core/safe_sleep.h"
-#include "src/core/sts.h"
 #include "src/energy/duty_cycle.h"
+#include "src/harness/power_manager.h"
+#include "src/harness/stack_registry.h"
 #include "src/mac/csma.h"
 #include "src/net/channel.h"
-#include "src/net/topology.h"
 #include "src/query/query_agent.h"
 #include "src/query/workload.h"
 #include "src/routing/repair.h"
@@ -35,23 +29,23 @@ const char* protocol_name(Protocol p) {
     case Protocol::kPsm: return "PSM";
     case Protocol::kSpan: return "SPAN";
   }
-  return "?";
+  throw std::invalid_argument{"protocol_name: unknown Protocol enum value"};
+}
+
+std::ostream& operator<<(std::ostream& os, const ProtocolKey& key) {
+  return os << key.name;
 }
 
 namespace {
 
-bool is_essat(Protocol p) {
-  return p == Protocol::kNtsSs || p == Protocol::kStsSs || p == Protocol::kDtsSs;
-}
-
+// The policy-agnostic per-node substrate. Everything protocol-specific
+// (SafeSleep schedulers, beacon/backbone machinery) is owned by the
+// PowerManager the registry instantiated.
 struct NodeStack {
   std::unique_ptr<energy::Radio> radio;
   std::unique_ptr<mac::CsmaMac> mac;
   std::unique_ptr<query::TrafficShaper> shaper;
-  std::unique_ptr<core::SafeSleep> sleeper;
   std::unique_ptr<query::QueryAgent> agent;
-  std::unique_ptr<baselines::SyncNode> sync;
-  std::unique_ptr<baselines::PsmNode> psm;
 };
 
 }  // namespace
@@ -60,14 +54,11 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
   util::Rng master{config.seed};
   util::Rng placement_rng = master.fork(1);
   util::Rng workload_rng = master.fork(2);
-  util::Rng span_rng = master.fork(3);
+  util::Rng policy_rng = master.fork(3);
   util::Rng setup_rng = master.fork(4);
 
-  const net::Topology topo = net::Topology::uniform_random(
-      static_cast<std::size_t>(config.num_nodes), config.area_m, config.range_m,
-      placement_rng);
-  const net::NodeId root =
-      topo.nearest(net::Position{config.area_m / 2.0, config.area_m / 2.0});
+  const net::Topology topo = config.deployment.build(placement_rng);
+  const net::NodeId root = topo.nearest(config.deployment.centre());
 
   sim::Simulator sim;
   net::Channel channel{sim, topo};
@@ -92,72 +83,38 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
   if (config.use_distributed_setup) {
     setup_protocol = std::make_unique<routing::TreeSetupProtocol>(
         sim, topo, root,
-        routing::TreeSetupParams{.finalize_after = config.setup_duration * 4 / 5,
-                                 .max_dist_from_root = config.max_tree_dist_m},
+        routing::TreeSetupParams{
+            .finalize_after = config.setup_duration * 4 / 5,
+            .max_dist_from_root = config.deployment.max_tree_dist_m},
         setup_rng);
     for (std::size_t i = 0; i < n; ++i) {
       setup_protocol->attach_mac(static_cast<net::NodeId>(i), nodes[i].mac.get());
     }
   } else {
-    tree = routing::build_bfs_tree(topo, root, config.max_tree_dist_m);
+    tree = routing::build_bfs_tree(topo, root, config.deployment.max_tree_dist_m);
   }
 
-  // --- SPAN backbone ------------------------------------------------------
-  std::vector<bool> coordinator(n, false);
-  int backbone_size = 0;
-  auto elect_span = [&] {
-    const auto election = baselines::elect_coordinators(topo, tree, span_rng);
-    coordinator = election.coordinator;
-    backbone_size = election.coordinator_count;
-  };
-
-  // --- Per-node protocol stack -------------------------------------------
-  LatencyCollector latency;
+  // --- Power-management policy -------------------------------------------
+  // Declared after `nodes` so the policy (and everything it owns, e.g.
+  // SafeSleep instances referencing the radios/MACs) is destroyed first.
   const util::Time setup_end = config.setup_duration;
+  std::unique_ptr<PowerManager> policy =
+      StackRegistry::instance().create(config.protocol.name, config);
+  const StackContext stack_ctx{sim,    topo,      tree,      root,
+                               config, setup_end, policy_rng};
+
+  LatencyCollector latency;
 
   auto build_stacks = [&] {
+    policy->on_tree_ready(stack_ctx);
     for (net::NodeId id : tree.members()) {
       auto& node = nodes[static_cast<std::size_t>(id)];
+      const NodeHandles handles{id, *node.radio, *node.mac};
 
-      switch (config.protocol) {
-        case Protocol::kNtsSs:
-          node.shaper = std::make_unique<core::NtsShaper>();
-          break;
-        case Protocol::kStsSs:
-          node.shaper = std::make_unique<core::StsShaper>(
-              core::StsParams{.deadline = config.sts_deadline});
-          break;
-        case Protocol::kDtsSs:
-          node.shaper = std::make_unique<core::DtsShaper>(
-              core::DtsParams{.t_to = config.dts_t_to});
-          break;
-        case Protocol::kSpan:
-          // Leaves (and, harmlessly, backbone nodes) run NTS (§5).
-          node.shaper = std::make_unique<core::NtsShaper>();
-          break;
-        case Protocol::kSync:
-        case Protocol::kPsm:
-          // The query service runs greedily on top of the MAC-layer power
-          // management; generous loss timeout (per-hop buffering delays
-          // exceed rank-based budgets, ~1 beacon interval per hop).
-          node.shaper = std::make_unique<core::NtsShaper>(core::NtsParams{
-              .full_period_deadline = true, .deadline_periods = 3.0});
-          break;
-      }
+      node.shaper = policy->make_shaper(stack_ctx, handles);
+      core::SafeSleep* sleeper = policy->attach_node(stack_ctx, handles);
 
-      const bool wants_safe_sleep =
-          is_essat(config.protocol) ||
-          (config.protocol == Protocol::kSpan &&
-           !coordinator[static_cast<std::size_t>(id)]);
-      if (is_essat(config.protocol) || config.protocol == Protocol::kSpan) {
-        node.sleeper = std::make_unique<core::SafeSleep>(
-            sim, *node.radio, *node.mac,
-            core::SafeSleepParams{.t_be = config.t_be, .enabled = wants_safe_sleep});
-        node.sleeper->set_setup_end(setup_end);
-      }
-
-      node.shaper->set_context(query::ShaperContext{
-          &tree, id, node.sleeper ? node.sleeper.get() : nullptr});
+      node.shaper->set_context(query::ShaperContext{&tree, id, sleeper});
       node.agent = std::make_unique<query::QueryAgent>(
           sim, *node.mac, tree, id, *node.shaper,
           query::QueryAgentParams{.t_comp = config.t_comp});
@@ -167,41 +124,31 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
               latency.on_root_arrival(q, k, t, c);
             });
       }
-
-      if (config.protocol == Protocol::kSync) {
-        node.sync = std::make_unique<baselines::SyncNode>(sim, *node.radio,
-                                                          *node.mac, baselines::SyncParams{});
-        node.sync->start(setup_end);
-      } else if (config.protocol == Protocol::kPsm) {
-        node.psm = std::make_unique<baselines::PsmNode>(sim, *node.radio, *node.mac,
-                                                        baselines::PsmParams{});
-        node.psm->start(setup_end);
-      }
     }
   };
 
-  // Receive demultiplexing: every packet type goes to its protocol handler.
+  // Receive demultiplexing: core packet types go to their substrate
+  // handlers; everything else is the policy's private control traffic.
   for (std::size_t i = 0; i < n; ++i) {
     const auto id = static_cast<net::NodeId>(i);
-    nodes[i].mac->set_rx_handler([&nodes, &setup_protocol, id](const net::Packet& p) {
-      auto& node = nodes[static_cast<std::size_t>(id)];
-      switch (p.type) {
-        case net::PacketType::kData:
-        case net::PacketType::kPhaseRequest:
-          if (node.agent) node.agent->handle_packet(p);
-          break;
-        case net::PacketType::kAtim:
-          if (node.psm) node.psm->handle_packet(p);
-          break;
-        case net::PacketType::kSetup:
-        case net::PacketType::kJoin:
-        case net::PacketType::kRankReport:
-          if (setup_protocol) setup_protocol->handle_packet(id, p);
-          break;
-        default:
-          break;
-      }
-    });
+    nodes[i].mac->set_rx_handler(
+        [&nodes, &setup_protocol, policy = policy.get(), id](const net::Packet& p) {
+          auto& node = nodes[static_cast<std::size_t>(id)];
+          switch (p.type) {
+            case net::PacketType::kData:
+            case net::PacketType::kPhaseRequest:
+              if (node.agent) node.agent->handle_packet(p);
+              break;
+            case net::PacketType::kSetup:
+            case net::PacketType::kJoin:
+            case net::PacketType::kRankReport:
+              if (setup_protocol) setup_protocol->handle_packet(id, p);
+              break;
+            default:
+              policy->handle_packet(id, p);
+              break;
+          }
+        });
   }
 
   // --- Maintenance / repair ----------------------------------------------
@@ -222,12 +169,12 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
 
   // --- Workload ------------------------------------------------------------
   query::WorkloadParams wl;
-  wl.base_rate_hz = config.base_rate_hz;
-  wl.queries_per_class = config.queries_per_class;
+  wl.base_rate_hz = config.workload.base_rate_hz;
+  wl.queries_per_class = config.workload.queries_per_class;
   wl.start_window_begin = setup_end + util::Time::seconds(1);
-  wl.start_window_length = config.query_start_window;
+  wl.start_window_length = config.workload.query_start_window;
   std::vector<query::Query> queries = query::make_workload(wl, workload_rng);
-  for (query::Query q : config.extra_queries) {
+  for (query::Query q : config.workload.extra_queries) {
     q.id = static_cast<net::QueryId>(queries.size());
     queries.push_back(q);
   }
@@ -246,13 +193,11 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
       tree.recompute_ranks();
     });
     sim.schedule_at(setup_end, [&] {
-      if (config.protocol == Protocol::kSpan) elect_span();
       build_stacks();
       wire_maintenance();
       register_queries();
     });
   } else {
-    if (config.protocol == Protocol::kSpan) elect_span();
     build_stacks();
     wire_maintenance();
     sim.schedule_at(setup_end, [&] { register_queries(); });
@@ -260,7 +205,7 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
 
   // Measurement window: after all queries have started.
   const util::Time measure_start =
-      setup_end + util::Time::seconds(1) + config.query_start_window +
+      setup_end + util::Time::seconds(1) + config.workload.query_start_window +
       util::Time::seconds(1);
   const util::Time measure_end = measure_start + config.measure_duration;
   sim.schedule_at(measure_start, [&] {
@@ -283,7 +228,7 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
   const auto members = tree.members();
   out.tree_members = static_cast<int>(members.size());
   out.max_rank = tree.max_rank();
-  out.backbone_size = backbone_size;
+  out.backbone_size = policy->backbone_size();
 
   std::vector<const energy::Radio*> radios;
   std::vector<int> rank_of;

@@ -1,50 +1,90 @@
 // Scenario: assembles the full per-node stack (radio, CSMA MAC, routing
-// tree, traffic shaper, Safe Sleep or baseline power management, query
-// agent) for one protocol, runs the paper's experimental setup (§5), and
-// returns the measured metrics.
+// tree, query agent, and the power-management policy looked up in the
+// StackRegistry) from a declarative config, runs the paper's experimental
+// phasing (§5), and returns the measured metrics.
 //
 // Defaults reproduce the paper: 80 nodes uniform in 500x500 m^2, 125 m
 // range, 1 Mbps 802.11-style MAC, 52-byte reports, root nearest the centre,
 // tree over nodes within 300 m of the root, three query classes with rate
 // ratio 6:3:2 starting at random times in a 10 s window, 200 s measured.
+// The deployment (DeploymentSpec) and workload (WorkloadSpec) are open
+// axes; the protocol is an open string key resolved by the registry.
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "src/harness/metrics.h"
 #include "src/mac/mac_params.h"
+#include "src/net/topology.h"
 #include "src/net/types.h"
 #include "src/query/query.h"
 #include "src/util/time.h"
 
 namespace essat::harness {
 
+// The paper's six protocols, for convenient enumeration; the open-ended
+// form is ProtocolKey, which names any policy in the StackRegistry.
 enum class Protocol { kNtsSs, kStsSs, kDtsSs, kSync, kPsm, kSpan };
+// Registry key of a built-in protocol. Fails loudly: throws
+// std::invalid_argument for out-of-range enum values.
 const char* protocol_name(Protocol p);
 
-struct ScenarioConfig {
-  Protocol protocol = Protocol::kDtsSs;
+// String key selecting the power-management policy. Implicitly converts
+// from the Protocol enum and from string literals, so both
+// `config.protocol = Protocol::kDtsSs` and `config.protocol = "MY-POLICY"`
+// read naturally.
+struct ProtocolKey {
+  std::string name = "DTS-SS";
 
-  // Deployment (§5).
-  int num_nodes = 80;
-  double area_m = 500.0;
-  double range_m = 125.0;
-  double max_tree_dist_m = 300.0;
+  ProtocolKey() = default;
+  ProtocolKey(Protocol p) : name(protocol_name(p)) {}
+  ProtocolKey(std::string n) : name(std::move(n)) {}
+  ProtocolKey(const char* n) : name(n) {}
 
-  // Workload (§5).
+  const char* c_str() const { return name.c_str(); }
+
+  friend bool operator==(const ProtocolKey& a, const ProtocolKey& b) {
+    return a.name == b.name;
+  }
+  friend bool operator!=(const ProtocolKey& a, const ProtocolKey& b) {
+    return !(a == b);
+  }
+};
+std::ostream& operator<<(std::ostream& os, const ProtocolKey& key);
+
+// Declarative workload: the paper's three query classes with rate ratio
+// 6:3:2 (§5), scaled by base_rate_hz and replicated queries_per_class
+// times, plus any hand-crafted extra queries.
+struct WorkloadSpec {
   double base_rate_hz = 1.0;
   int queries_per_class = 1;
+  // Query starts are spread uniformly over this window after setup.
+  util::Time query_start_window = util::Time::seconds(10);
   // Additional hand-crafted queries (phases are absolute sim times); used
   // by examples, e.g. a mid-run workload surge.
   std::vector<query::Query> extra_queries;
+};
+
+struct ScenarioConfig {
+  // Power-management policy, looked up in the StackRegistry.
+  ProtocolKey protocol;
+
+  // Deployment (§5 defaults: 80 nodes uniform random, 500 m square,
+  // 125 m range, 300 m tree cap). See net::DeploymentSpec for the other
+  // topology shapes (grid, line, clustered, corridor).
+  net::DeploymentSpec deployment;
+
+  // Workload (§5).
+  WorkloadSpec workload;
 
   // Phasing: setup slot, then query starts spread over the start window,
   // then the measurement window.
   util::Time setup_duration = util::Time::seconds(5);
-  util::Time query_start_window = util::Time::seconds(10);
   util::Time measure_duration = util::Time::seconds(200);
   util::Time latency_grace = util::Time::seconds(5);
 

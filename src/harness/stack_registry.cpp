@@ -1,0 +1,113 @@
+#include "src/harness/stack_registry.h"
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+
+// Built-in policy registration hooks, defined next to the protocol
+// implementations. Referencing them here keeps their translation units in
+// the link when essat is consumed as a static library.
+namespace essat::core {
+void register_essat_power_managers();
+}  // namespace essat::core
+namespace essat::baselines {
+void register_sync_power_manager();
+void register_psm_power_manager();
+void register_span_power_manager();
+}  // namespace essat::baselines
+
+namespace essat::harness {
+
+StackRegistry& StackRegistry::instance() {
+  static StackRegistry registry;
+  return registry;
+}
+
+void StackRegistry::ensure_builtins_() {
+  // The builtin hooks register through add(), which calls back into this
+  // function; the thread-local flag turns that re-entry into a no-op
+  // instead of deadlocking the once-initialization.
+  static thread_local bool in_progress = false;
+  if (in_progress) return;
+  static std::once_flag once;
+  std::call_once(once, [] {
+    in_progress = true;
+    core::register_essat_power_managers();
+    baselines::register_sync_power_manager();
+    baselines::register_psm_power_manager();
+    baselines::register_span_power_manager();
+    in_progress = false;
+  });
+}
+
+void StackRegistry::add(std::string name, Factory factory) {
+  // Built-ins go in first so a colliding external registration is reported
+  // here, at the offending add() call, not at some later lookup.
+  ensure_builtins_();
+  if (name.empty()) {
+    throw std::invalid_argument{"StackRegistry::add: empty policy name"};
+  }
+  if (!factory) {
+    throw std::invalid_argument{"StackRegistry::add: null factory for \"" +
+                                name + "\""};
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [existing, _] : entries_) {
+    if (existing == name) {
+      throw std::invalid_argument{"StackRegistry::add: duplicate policy \"" +
+                                  name + "\""};
+    }
+  }
+  entries_.emplace_back(std::move(name), std::move(factory));
+}
+
+bool StackRegistry::contains(const std::string& name) const {
+  ensure_builtins_();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [existing, _] : entries_) {
+    if (existing == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> StackRegistry::names() const {
+  ensure_builtins_();
+  std::vector<std::string> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(entries_.size());
+    for (const auto& [name, _] : entries_) out.push_back(name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::unique_ptr<PowerManager> StackRegistry::create(
+    const std::string& name, const ScenarioConfig& config) const {
+  ensure_builtins_();
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [existing, f] : entries_) {
+      if (existing == name) {
+        factory = f;
+        break;
+      }
+    }
+  }
+  if (!factory) {
+    std::string known;
+    for (const std::string& n : names()) {
+      known += known.empty() ? n : ", " + n;
+    }
+    throw std::invalid_argument{"StackRegistry: unknown power-management policy \"" +
+                                name + "\" (registered: " + known + ")"};
+  }
+  return factory(config);
+}
+
+StackRegistrar::StackRegistrar(std::string name, StackRegistry::Factory factory) {
+  StackRegistry::instance().add(std::move(name), std::move(factory));
+}
+
+}  // namespace essat::harness

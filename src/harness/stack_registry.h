@@ -1,0 +1,62 @@
+// String-keyed factory registry of power-management policies.
+//
+// Each policy registers a factory under its protocol name ("DTS-SS",
+// "PSM", ...); run_scenario instantiates whatever ScenarioConfig::protocol
+// names. The six built-in wirings self-register from translation units
+// living next to their implementations (src/core/essat_stack.cpp,
+// src/baselines/*_stack.cpp) — adding a seventh policy means adding one
+// such file and touches no harness code. External programs can register
+// additional policies at static-initialization time with StackRegistrar,
+// or directly through StackRegistry::instance().add().
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/harness/power_manager.h"
+
+namespace essat::harness {
+
+class StackRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<PowerManager>(const ScenarioConfig&)>;
+
+  static StackRegistry& instance();
+
+  // Registers a policy under `name`. Throws std::invalid_argument on a
+  // duplicate name — silently shadowing a policy would corrupt sweeps.
+  void add(std::string name, Factory factory);
+
+  bool contains(const std::string& name) const;
+  // Registered names, sorted (stable sweep-axis ordering).
+  std::vector<std::string> names() const;
+
+  // Instantiates the policy for one run. Fails loudly: throws
+  // std::invalid_argument on an unknown key, listing the known names.
+  std::unique_ptr<PowerManager> create(const std::string& name,
+                                       const ScenarioConfig& config) const;
+
+ private:
+  StackRegistry() = default;
+  // Pulls in the built-in policy TUs (a static library drops translation
+  // units nothing references, so self-registration alone is not enough for
+  // the built-ins; external code linking its own registrar TU is).
+  static void ensure_builtins_();
+
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, Factory>> entries_;
+};
+
+// Registers a factory at static-initialization time:
+//   static const essat::harness::StackRegistrar kReg{
+//       "MY-POLICY", [](const essat::harness::ScenarioConfig& c) { ... }};
+struct StackRegistrar {
+  StackRegistrar(std::string name, StackRegistry::Factory factory);
+};
+
+}  // namespace essat::harness

@@ -44,6 +44,65 @@ Topology Topology::grid(std::size_t side, double spacing_m, double range_m) {
   return Topology{std::move(pos), range_m};
 }
 
+Topology Topology::grid_area(std::size_t num_nodes, double area_m,
+                             double range_m) {
+  std::vector<Position> pos;
+  pos.reserve(num_nodes);
+  if (num_nodes > 0) {
+    const auto cols = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(num_nodes))));
+    const std::size_t rows = (num_nodes + cols - 1) / cols;
+    const double dx = cols > 1 ? area_m / static_cast<double>(cols - 1) : 0.0;
+    const double dy = rows > 1 ? area_m / static_cast<double>(rows - 1) : 0.0;
+    for (std::size_t i = 0; i < num_nodes; ++i) {
+      pos.push_back(Position{static_cast<double>(i % cols) * dx,
+                             static_cast<double>(i / cols) * dy});
+    }
+  }
+  return Topology{std::move(pos), range_m};
+}
+
+Topology Topology::clustered(std::size_t num_nodes, double area_m,
+                             double range_m, std::size_t clusters,
+                             double sigma_m, util::Rng& rng) {
+  if (clusters == 0) clusters = 1;
+  // Centres on a circle of radius area/4 around the middle; a central
+  // cluster is added past four so large counts keep the hub bridged.
+  const double cx = area_m / 2.0, cy = area_m / 2.0, r = area_m / 4.0;
+  std::vector<Position> centres;
+  centres.reserve(clusters);
+  const std::size_t ring = clusters > 4 ? clusters - 1 : clusters;
+  for (std::size_t c = 0; c < ring; ++c) {
+    const double theta =
+        2.0 * 3.14159265358979323846 * static_cast<double>(c) /
+        static_cast<double>(ring);
+    centres.push_back(Position{cx + r * std::cos(theta), cy + r * std::sin(theta)});
+  }
+  if (clusters > 4) centres.push_back(Position{cx, cy});
+
+  auto clamp = [area_m](double v) {
+    return v < 0.0 ? 0.0 : (v > area_m ? area_m : v);
+  };
+  std::vector<Position> pos;
+  pos.reserve(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    const Position& c = centres[i % centres.size()];
+    pos.push_back(Position{clamp(c.x + rng.normal(0.0, sigma_m)),
+                           clamp(c.y + rng.normal(0.0, sigma_m))});
+  }
+  return Topology{std::move(pos), range_m};
+}
+
+Topology Topology::corridor(std::size_t num_nodes, double length_m,
+                            double width_m, double range_m, util::Rng& rng) {
+  std::vector<Position> pos;
+  pos.reserve(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    pos.push_back(Position{rng.uniform(0.0, length_m), rng.uniform(0.0, width_m)});
+  }
+  return Topology{std::move(pos), range_m};
+}
+
 void Topology::build_neighbor_lists_() {
   const auto n = positions_.size();
   neighbors_.assign(n, {});
@@ -94,6 +153,57 @@ bool Topology::connected() const {
     }
   }
   return reached == positions_.size();
+}
+
+const char* topology_kind_name(TopologyKind k) {
+  switch (k) {
+    case TopologyKind::kUniform: return "uniform";
+    case TopologyKind::kGrid: return "grid";
+    case TopologyKind::kLine: return "line";
+    case TopologyKind::kClustered: return "clustered";
+    case TopologyKind::kCorridor: return "corridor";
+  }
+  throw std::invalid_argument{"topology_kind_name: unknown TopologyKind"};
+}
+
+TopologyKind topology_kind_from_name(const std::string& name) {
+  for (TopologyKind k : {TopologyKind::kUniform, TopologyKind::kGrid,
+                         TopologyKind::kLine, TopologyKind::kClustered,
+                         TopologyKind::kCorridor}) {
+    if (name == topology_kind_name(k)) return k;
+  }
+  throw std::invalid_argument{"topology_kind_from_name: unknown kind \"" +
+                              name + "\""};
+}
+
+Topology DeploymentSpec::build(util::Rng& rng) const {
+  const auto n = static_cast<std::size_t>(num_nodes < 0 ? 0 : num_nodes);
+  switch (kind) {
+    case TopologyKind::kUniform:
+      return Topology::uniform_random(n, area_m, range_m, rng);
+    case TopologyKind::kGrid:
+      return Topology::grid_area(n, area_m, range_m);
+    case TopologyKind::kLine:
+      // The chain spans the area; spacing shrinks with node count.
+      return Topology::line(n, n > 1 ? area_m / static_cast<double>(n - 1) : 0.0,
+                            range_m);
+    case TopologyKind::kClustered:
+      return Topology::clustered(n, area_m, range_m,
+                                 static_cast<std::size_t>(clusters < 1 ? 1 : clusters),
+                                 cluster_sigma_m, rng);
+    case TopologyKind::kCorridor:
+      return Topology::corridor(n, area_m, corridor_width_m, range_m, rng);
+  }
+  throw std::invalid_argument{"DeploymentSpec::build: unknown TopologyKind"};
+}
+
+Position DeploymentSpec::centre() const {
+  switch (kind) {
+    case TopologyKind::kLine: return Position{area_m / 2.0, 0.0};
+    case TopologyKind::kCorridor:
+      return Position{area_m / 2.0, corridor_width_m / 2.0};
+    default: return Position{area_m / 2.0, area_m / 2.0};
+  }
 }
 
 }  // namespace essat::net

@@ -1,10 +1,13 @@
-// Static network topology: node positions and unit-disc connectivity.
+// Static network topology: node positions and unit-disc connectivity, plus
+// the declarative DeploymentSpec the harness sweeps over.
 //
 // The paper's setup: 80 nodes uniformly random in a 500x500 m^2 area with a
-// 125 m communication range.
+// 125 m communication range. The extra generators (grid, line, clustered,
+// corridor) open the deployment axis the paper left fixed.
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "src/net/position.h"
@@ -26,6 +29,20 @@ class Topology {
   static Topology line(std::size_t num_nodes, double spacing_m, double range_m);
   // Regular sqrt(n) x sqrt(n) grid with the given spacing.
   static Topology grid(std::size_t side, double spacing_m, double range_m);
+  // Near-square grid of exactly num_nodes spanning [0, area_m]^2 (the last
+  // row may be partial). Deterministic: no RNG is consumed.
+  static Topology grid_area(std::size_t num_nodes, double area_m, double range_m);
+  // Gaussian clusters: `clusters` centres evenly spaced on a circle of
+  // radius area_m/4 around the area centre (plus one central cluster when
+  // clusters > 4); nodes assigned round-robin with N(0, sigma_m) offsets,
+  // clamped to the area. Models dense sensor patches with sparse bridges.
+  static Topology clustered(std::size_t num_nodes, double area_m, double range_m,
+                            std::size_t clusters, double sigma_m, util::Rng& rng);
+  // Sparse corridor: uniform placement in [0, length_m) x [0, width_m) —
+  // an elongated deployment (road / pipeline / perimeter) that produces
+  // deep routing trees.
+  static Topology corridor(std::size_t num_nodes, double length_m,
+                           double width_m, double range_m, util::Rng& rng);
 
   std::size_t num_nodes() const { return positions_.size(); }
   const Position& position(NodeId n) const { return positions_.at(static_cast<std::size_t>(n)); }
@@ -49,6 +66,46 @@ class Topology {
   std::vector<Position> positions_;
   double range_m_;
   std::vector<std::vector<NodeId>> neighbors_;
+};
+
+// ---------------------------------------------------------------------------
+// Declarative deployment description: which generator, how many nodes, and
+// the geometry knobs — everything run_scenario needs to materialize a
+// Topology. Sweepable as a unit (exp::SweepSpec::axis_topology).
+
+enum class TopologyKind { kUniform, kGrid, kLine, kClustered, kCorridor };
+
+// Stable lower-case names ("uniform", "grid", ...). Throws
+// std::invalid_argument on an out-of-range kind / unknown name.
+const char* topology_kind_name(TopologyKind k);
+TopologyKind topology_kind_from_name(const std::string& name);
+
+struct DeploymentSpec {
+  TopologyKind kind = TopologyKind::kUniform;
+  int num_nodes = 80;
+  // Square side for uniform/grid/clustered; total extent for line/corridor.
+  double area_m = 500.0;
+  double range_m = 125.0;
+  // Tree construction: only nodes within this distance of the root join
+  // (the paper's 300 m cap on its 500 m area). Scaled by build callers when
+  // the area changes.
+  double max_tree_dist_m = 300.0;
+
+  // kClustered knobs.
+  int clusters = 4;
+  double cluster_sigma_m = 40.0;
+
+  // kCorridor knob.
+  double corridor_width_m = 60.0;
+
+  // Materializes the deployment. `rng` is consumed only by the random
+  // kinds; regular shapes (grid, line) are purely deterministic.
+  Topology build(util::Rng& rng) const;
+
+  // Geometric centre of the deployed region (the paper roots the routing
+  // tree at the node nearest the centre). Shape-aware: a corridor's centre
+  // sits on its spine, a line's on the chain.
+  Position centre() const;
 };
 
 }  // namespace essat::net

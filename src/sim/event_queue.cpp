@@ -5,24 +5,44 @@
 namespace essat::sim {
 
 EventId EventQueue::push(util::Time t, Callback cb) {
-  const EventId id = next_id_++;
-  heap_.push(Entry{t, next_seq_++, id, std::move(cb)});
-  live_.insert(id);
-  return id;
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  }
+  Slot& s = slots_[slot];
+  s.cb = std::move(cb);
+  s.pending = true;
+  heap_.push(Entry{t, next_seq_++, slot});
+  ++live_;
+  return encode_(slot, s.generation);
 }
 
 void EventQueue::cancel(EventId id) {
   if (id == kInvalidEventId) return;
-  // Only ids that are actually pending get a tombstone; cancelling an
-  // already-fired or unknown id is a no-op.
-  if (live_.erase(id) != 0) cancelled_.insert(id);
+  const std::uint64_t slot_plus_1 = id >> 32;
+  if (slot_plus_1 == 0 || slot_plus_1 > slots_.size()) return;
+  const auto slot = static_cast<std::uint32_t>(slot_plus_1 - 1);
+  Slot& s = slots_[slot];
+  // Only a pending event of the matching generation gets cancelled; a
+  // recycled slot (different generation) or an already-fired id is a no-op.
+  if (!s.pending || s.generation != static_cast<std::uint32_t>(id)) return;
+  s.pending = false;
+  s.cb = nullptr;  // free the closure eagerly; the heap entry is a tombstone
+  --live_;
+}
+
+void EventQueue::release_slot_(std::uint32_t slot) const {
+  ++slots_[slot].generation;
+  free_slots_.push_back(slot);
 }
 
 void EventQueue::drop_cancelled_() const {
-  while (!heap_.empty()) {
-    const auto it = cancelled_.find(heap_.top().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
+  while (!heap_.empty() && !slots_[heap_.top().slot].pending) {
+    release_slot_(heap_.top().slot);
     heap_.pop();
   }
 }
@@ -41,15 +61,15 @@ util::Time EventQueue::next_time() const {
 std::pair<util::Time, EventQueue::Callback> EventQueue::pop() {
   drop_cancelled_();
   assert(!heap_.empty());
-  // priority_queue::top() is const; the entry is moved out via const_cast,
-  // which is safe because pop() immediately removes it.
-  auto& top = const_cast<Entry&>(heap_.top());
-  std::pair<util::Time, Callback> out{top.time, std::move(top.cb)};
-  live_.erase(top.id);
+  const Entry top = heap_.top();  // POD copy; the callback lives in the slot
+  Slot& s = slots_[top.slot];
+  std::pair<util::Time, Callback> out{top.time, std::move(s.cb)};
+  s.cb = nullptr;
+  s.pending = false;
+  release_slot_(top.slot);
   heap_.pop();
+  --live_;
   return out;
 }
-
-std::size_t EventQueue::size() const { return live_.size(); }
 
 }  // namespace essat::sim

@@ -1,12 +1,19 @@
-// Priority queue of timestamped events with O(log n) insertion and lazy
+// Priority queue of timestamped events with O(log n) insertion and O(1)
 // cancellation. Events at the same timestamp fire in insertion order, which
 // makes simulation runs fully deterministic for a given seed.
+//
+// Implementation: heap entries are small PODs (time, seq, slot); the
+// callback and liveness state live in a slot table indexed directly by the
+// low half of the EventId. Cancellation flips the slot's state — no hash
+// lookups anywhere on the hot path — and cancelled entries are skimmed off
+// the heap lazily when they surface. Slots are recycled through a free
+// list; a generation counter folded into the EventId makes stale cancels
+// (of an already-fired or recycled id) harmless no-ops.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -33,14 +40,13 @@ class EventQueue {
   // Removes and returns the next live event. Precondition: !empty().
   std::pair<util::Time, Callback> pop();
 
-  std::size_t size() const;  // live events only
+  std::size_t size() const { return live_; }  // live events only
 
  private:
   struct Entry {
     util::Time time;
     std::uint64_t seq = 0;
-    EventId id = kInvalidEventId;
-    Callback cb;
+    std::uint32_t slot = 0;
     // Min-heap on (time, seq): std::priority_queue is a max-heap, so the
     // comparison is reversed.
     bool operator<(const Entry& other) const {
@@ -49,15 +55,28 @@ class EventQueue {
     }
   };
 
+  struct Slot {
+    Callback cb;
+    std::uint32_t generation = 0;
+    bool pending = false;  // pushed, not yet popped or cancelled
+  };
+
+  // EventId layout: (slot + 1) in the high 32 bits, generation in the low
+  // 32. The +1 keeps every valid id distinct from kInvalidEventId.
+  static EventId encode_(std::uint32_t slot, std::uint32_t generation) {
+    return (static_cast<EventId>(slot) + 1) << 32 | generation;
+  }
+
   // Pops cancelled entries off the head; they are dead, so this is
   // observably const.
   void drop_cancelled_() const;
+  void release_slot_(std::uint32_t slot) const;
 
   mutable std::priority_queue<Entry> heap_;
-  mutable std::unordered_set<EventId> cancelled_;
-  std::unordered_set<EventId> live_;  // pushed, not yet popped or cancelled
+  mutable std::vector<Slot> slots_;
+  mutable std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
+  std::size_t live_ = 0;
 };
 
 }  // namespace essat::sim

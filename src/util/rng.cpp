@@ -39,6 +39,11 @@ double Rng::exponential(double mean) {
   return d(gen_);
 }
 
+double Rng::normal(double mean, double stddev) {
+  std::normal_distribution<double> d{mean, stddev};
+  return d(gen_);
+}
+
 bool Rng::bernoulli(double p) {
   std::bernoulli_distribution d{p};
   return d(gen_);

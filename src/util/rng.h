@@ -27,6 +27,8 @@ class Rng {
   Time uniform_time(Time lo, Time hi);
   // Exponential with the given mean (> 0).
   double exponential(double mean);
+  // Gaussian with the given mean and standard deviation.
+  double normal(double mean, double stddev);
   bool bernoulli(double p);
 
   std::uint64_t seed() const { return seed_; }

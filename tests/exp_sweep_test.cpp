@@ -25,7 +25,7 @@ namespace {
 harness::RunMetrics stub_run(const harness::ScenarioConfig& c) {
   harness::RunMetrics m;
   const double s = static_cast<double>(c.seed);
-  m.avg_duty_cycle = 0.01 * s + c.base_rate_hz;
+  m.avg_duty_cycle = 0.01 * s + c.workload.base_rate_hz;
   m.avg_latency_s = 1.0 / (s + 1.0);
   m.p95_latency_s = 2.0 / (s + 1.0);
   m.delivery_ratio = 1.0 - 0.001 * s;
@@ -38,12 +38,12 @@ harness::RunMetrics stub_run(const harness::ScenarioConfig& c) {
 // A quick-to-simulate scenario for end-to-end determinism checks.
 harness::ScenarioConfig small_scenario() {
   harness::ScenarioConfig c;
-  c.num_nodes = 12;
-  c.area_m = 250.0;
-  c.range_m = 125.0;
-  c.max_tree_dist_m = 250.0;
+  c.deployment.num_nodes = 12;
+  c.deployment.area_m = 250.0;
+  c.deployment.range_m = 125.0;
+  c.deployment.max_tree_dist_m = 250.0;
   c.setup_duration = util::Time::seconds(2);
-  c.query_start_window = util::Time::seconds(1);
+  c.workload.query_start_window = util::Time::seconds(1);
   c.measure_duration = util::Time::seconds(3);
   c.latency_grace = util::Time::seconds(1);
   c.seed = 7;
@@ -81,9 +81,9 @@ TEST(SweepSpec, GridExpansionCrossesAxesRowMajor) {
   harness::ScenarioConfig base;
   SweepSpec spec(base);
   spec.runs(5)
-      .axis("rate", &harness::ScenarioConfig::base_rate_hz,
-            {1.0, 2.0, 3.0, 4.0})
-      .axis("nodes", &harness::ScenarioConfig::num_nodes, {10, 20});
+      .axis("rate", &harness::ScenarioConfig::workload,
+            &harness::WorkloadSpec::base_rate_hz, {1.0, 2.0, 3.0, 4.0})
+      .axis_nodes({10, 20});
 
   EXPECT_EQ(spec.num_axes(), 2u);
   EXPECT_EQ(spec.num_points(), 8u);
@@ -101,8 +101,9 @@ TEST(SweepSpec, GridExpansionCrossesAxesRowMajor) {
   EXPECT_EQ(points[7].labels, (std::vector<std::string>{"4", "20"}));
   for (std::size_t i = 0; i < points.size(); ++i) {
     EXPECT_EQ(points[i].index, i);
-    EXPECT_EQ(points[i].config.base_rate_hz, 1.0 + static_cast<double>(i / 2));
-    EXPECT_EQ(points[i].config.num_nodes, i % 2 == 0 ? 10 : 20);
+    EXPECT_EQ(points[i].config.workload.base_rate_hz,
+              1.0 + static_cast<double>(i / 2));
+    EXPECT_EQ(points[i].config.deployment.num_nodes, i % 2 == 0 ? 10 : 20);
   }
 }
 
@@ -158,9 +159,8 @@ TEST(SweepRunner, ParallelIdenticalToSerialOnStub) {
   auto make_spec = [&] {
     SweepSpec spec(base);
     spec.runs(5)
-        .axis("rate", &harness::ScenarioConfig::base_rate_hz,
-              {1.0, 2.0, 3.0, 4.0})
-        .axis("nodes", &harness::ScenarioConfig::num_nodes, {10, 20});
+        .axis_rate({1.0, 2.0, 3.0, 4.0})
+        .axis_nodes({10, 20});
     return spec;  // 8 points x 5 runs
   };
 
@@ -185,7 +185,7 @@ TEST(SweepRunner, TrialSeedsAreBasePlusRepetition) {
   harness::ScenarioConfig base;
   base.seed = 50;
   SweepSpec spec(base);
-  spec.runs(5).axis("rate", &harness::ScenarioConfig::base_rate_hz, {1.0, 2.0});
+  spec.runs(5).axis_rate({1.0, 2.0});
 
   std::mutex mu;
   std::set<std::uint64_t> seeds;
@@ -203,7 +203,7 @@ TEST(SweepRunner, TrialSeedsAreBasePlusRepetition) {
 
 TEST(SweepRunner, ReportsProgressAndFeedsSinksInPointOrder) {
   SweepSpec spec{harness::ScenarioConfig{}};
-  spec.runs(3).axis("rate", &harness::ScenarioConfig::base_rate_hz, {1.0, 2.0});
+  spec.runs(3).axis_rate({1.0, 2.0});
 
   std::size_t last_done = 0, last_total = 0;
   SweepRunner::Options opts;
@@ -219,7 +219,7 @@ TEST(SweepRunner, ReportsProgressAndFeedsSinksInPointOrder) {
     bool began = false, finished = false;
     void begin(const std::vector<std::string>& names) override {
       began = true;
-      EXPECT_EQ(names, (std::vector<std::string>{"rate"}));
+      EXPECT_EQ(names, (std::vector<std::string>{"rate (Hz)"}));
     }
     void on_point(const PointResult& r) override { order.push_back(r.point.index); }
     void finish() override { finished = true; }
@@ -235,7 +235,7 @@ TEST(SweepRunner, ReportsProgressAndFeedsSinksInPointOrder) {
 
 TEST(SweepRunner, TrialExceptionIsRethrown) {
   SweepSpec spec{harness::ScenarioConfig{}};
-  spec.runs(2).axis("rate", &harness::ScenarioConfig::base_rate_hz, {1.0, 2.0});
+  spec.runs(2).axis_rate({1.0, 2.0});
   SweepRunner::Options opts;
   opts.jobs = 2;
   opts.run_fn = [](const harness::ScenarioConfig&) -> harness::RunMetrics {
@@ -250,8 +250,7 @@ TEST(SweepRunner, ParallelIdenticalToSerialOnRealScenario) {
   auto make_spec = [] {
     SweepSpec spec(small_scenario());
     spec.runs(5)
-        .axis("rate", &harness::ScenarioConfig::base_rate_hz,
-              {0.5, 1.0, 2.0, 4.0})
+        .axis_rate({0.5, 1.0, 2.0, 4.0})
         .axis_protocol({harness::Protocol::kDtsSs, harness::Protocol::kNtsSs});
     return spec;  // 8 points x 5 runs = 40 trials
   };

@@ -13,7 +13,7 @@ ScenarioConfig paper_config(Protocol p, double rate_hz = 2.0,
                             std::uint64_t seed = 42) {
   ScenarioConfig c;
   c.protocol = p;
-  c.base_rate_hz = rate_hz;
+  c.workload.base_rate_hz = rate_hz;
   c.measure_duration = Time::seconds(40);
   c.seed = seed;
   return c;

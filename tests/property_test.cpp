@@ -28,8 +28,8 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Values(1, 2, 3, 4, 5));
 ScenarioConfig sweep_config(Protocol p, std::uint64_t seed) {
   ScenarioConfig c;
   c.protocol = p;
-  c.num_nodes = 50;
-  c.base_rate_hz = 1.5;
+  c.deployment.num_nodes = 50;
+  c.workload.base_rate_hz = 1.5;
   c.measure_duration = Time::seconds(25);
   c.seed = seed;
   return c;
@@ -68,7 +68,7 @@ INSTANTIATE_TEST_SUITE_P(Rates, RateSweep, ::testing::Values(0.5, 1.0, 2.0));
 
 TEST_P(RateSweep, DtsOverheadStaysBelowOneBit) {
   ScenarioConfig c = sweep_config(Protocol::kDtsSs, 3);
-  c.base_rate_hz = GetParam();
+  c.workload.base_rate_hz = GetParam();
   // Phase shifts cluster in the convergence transient; measure long enough
   // that steady state dominates, as the paper's 200 s runs do.
   c.measure_duration = Time::seconds(120);
@@ -78,7 +78,7 @@ TEST_P(RateSweep, DtsOverheadStaysBelowOneBit) {
 
 TEST_P(RateSweep, LatencyWellBelowBaselineBuffering) {
   ScenarioConfig c = sweep_config(Protocol::kDtsSs, 3);
-  c.base_rate_hz = GetParam();
+  c.workload.base_rate_hz = GetParam();
   const RunMetrics m = run_scenario(c);
   // DTS-SS latency stays below one base period plus the shaper's slack —
   // far below SYNC/PSM multi-interval buffering at any tested rate.

@@ -14,10 +14,10 @@ using util::Time;
 ScenarioConfig small_config(Protocol p) {
   ScenarioConfig c;
   c.protocol = p;
-  c.num_nodes = 30;
-  c.base_rate_hz = 1.0;
+  c.deployment.num_nodes = 30;
+  c.workload.base_rate_hz = 1.0;
   c.measure_duration = Time::seconds(20);
-  c.query_start_window = Time::seconds(3);
+  c.workload.query_start_window = Time::seconds(3);
   c.seed = 5;
   return c;
 }
@@ -86,7 +86,7 @@ TEST(Scenario, ExtraQueriesAreRegistered) {
   query::Query surge;
   surge.period = Time::from_seconds(0.5);
   surge.phase = Time::seconds(15);
-  c.extra_queries = {surge};
+  c.workload.extra_queries = {surge};
   const RunMetrics with_surge = run_scenario(c);
   const RunMetrics without = run_scenario(small_config(Protocol::kDtsSs));
   EXPECT_GT(with_surge.reports_sent, without.reports_sent);

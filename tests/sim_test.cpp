@@ -61,6 +61,43 @@ TEST(EventQueue, EmptyAfterAllCancelled) {
   EXPECT_EQ(q.size(), 0u);
 }
 
+// The slot-indexed queue recycles slots through a free list with a
+// generation counter: a handle from a fired/cancelled event must never
+// cancel the event that later reuses its slot.
+TEST(EventQueue, StaleHandleCannotCancelRecycledSlot) {
+  EventQueue q;
+  const EventId a = q.push(Time::seconds(1), [] {});
+  q.pop().second();            // slot of `a` is released...
+  bool fired = false;
+  q.push(Time::seconds(2), [&] { fired = true; });  // ...and likely reused
+  q.cancel(a);                 // stale handle: must be a no-op
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop().second();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, CancelChurnKeepsOrderAndCount) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(q.push(Time::milliseconds((i * 37) % 500), [] {}));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 2) q.cancel(ids[i]);
+  EXPECT_EQ(q.size(), 500u);
+  Time last = Time::min();
+  std::size_t popped = 0;
+  while (!q.empty()) {
+    auto [t, cb] = q.pop();
+    EXPECT_GE(t, last);
+    last = t;
+    ++popped;
+  }
+  EXPECT_EQ(popped, 500u);
+  // Double-cancel and cancel-after-fire are no-ops.
+  for (EventId id : ids) q.cancel(id);
+  EXPECT_EQ(q.size(), 0u);
+}
+
 TEST(Simulator, NowAdvancesWithEvents) {
   Simulator sim;
   EXPECT_EQ(sim.now(), Time::zero());
