@@ -15,7 +15,7 @@ int main() {
 
   harness::ScenarioConfig base = bench::paper_defaults();
   base.workload.base_rate_hz = 1.0;
-  base.measure_duration = util::Time::seconds(120);
+  base.measure_duration = bench::measure_duration_or(util::Time::seconds(120));
   base.enable_maintenance = true;
 
   std::vector<std::pair<std::string, exp::SweepSpec::Apply>> failure_axis;

@@ -30,13 +30,26 @@ inline const int kRunsPerPoint = runs_per_point();
 // to all cores); results are bit-identical regardless of the value.
 inline const int kJobs = exp::default_jobs();
 
+// Measurement-window override (seconds) for quick looks and the CI smoke
+// targets; unset/invalid keeps the bench's own default.
+inline util::Time measure_duration_or(util::Time fallback) {
+  if (const char* env = std::getenv("ESSAT_BENCH_MEASURE_S")) {
+    const double s = std::atof(env);
+    if (s > 0) return util::Time::from_seconds(s);
+  }
+  return fallback;
+}
+
 inline harness::ScenarioConfig paper_defaults() {
   harness::ScenarioConfig c;
   c.deployment.num_nodes = 80;
   c.deployment.area_m = 500.0;
   c.deployment.range_m = 125.0;
   c.deployment.max_tree_dist_m = 300.0;
-  c.measure_duration = util::Time::seconds(200);  // "experiments last 200s"
+  // "Experiments last 200s"; ESSAT_BENCH_MEASURE_S shortens the window for
+  // quick looks and the CI smoke targets (drivers that override the
+  // default below do so through measure_duration_or as well).
+  c.measure_duration = measure_duration_or(util::Time::seconds(200));
   c.seed = 1;
   return c;
 }

@@ -1,0 +1,53 @@
+// Figure 10 (beyond the paper): loss sensitivity. The paper's evaluation
+// runs on ns-2's lossless unit-disc radio; this bench reruns the protocol
+// comparison under realistic channels — static gray-zone links (log-normal
+// shadowing) and bursty time-varying links (Gilbert-Elliott over the
+// shadowing base) — and additionally thins every model's PRR to probe how
+// ESSAT's shapers and the baselines degrade as links get worse.
+//
+// Grid: protocol x {unit-disc, shadowing, gilbert-elliott} x PRR scale,
+// all points concurrent through the sweep engine; deterministic for any
+// ESSAT_JOBS value.
+#include "bench_common.h"
+
+int main() {
+  using namespace essat;
+  bench::print_header("Figure 10",
+                      "duty / latency / delivery vs channel loss model");
+
+  harness::ScenarioConfig base = bench::paper_defaults();
+  base.measure_duration =
+      bench::measure_duration_or(util::Time::seconds(60));
+
+  std::vector<net::ChannelModelSpec> models(3);
+  models[0].kind = net::LinkModelKind::kUnitDisc;
+  models[1].kind = net::LinkModelKind::kLogNormalShadowing;
+  models[2].kind = net::LinkModelKind::kGilbertElliott;
+  models[2].gilbert_base = net::LinkModelKind::kLogNormalShadowing;
+
+  exp::SweepSpec spec(base);
+  spec.runs(bench::kRunsPerPoint)
+      .axis_protocol({harness::Protocol::kDtsSs, harness::Protocol::kNtsSs,
+                      harness::Protocol::kPsm})
+      .axis_channel(models)
+      .axis("PRR scale", &harness::ScenarioConfig::channel_model,
+            &net::ChannelModelSpec::prr_scale, {1.0, 0.9, 0.75});
+  const auto results = bench::parallel_runner("fig10").run(spec);
+
+  harness::Table table{{"protocol", "channel", "PRR scale", "duty (%)",
+                        "latency (s)", "delivery (%)", "model drops"}};
+  for (const auto& r : results) {
+    table.add_row({r.point.labels[0], r.point.labels[1], r.point.labels[2],
+                   harness::fmt_pct(r.metrics.duty_cycle.mean()),
+                   harness::fmt(r.metrics.latency_s.mean(), 3),
+                   harness::fmt_pct(r.metrics.delivery_ratio.mean()),
+                   harness::fmt(r.metrics.channel_dropped.mean(), 0)});
+  }
+  table.print(std::cout);
+  std::printf("\nExpectation: delivery degrades monotonically with PRR for every\n"
+              "protocol; ESSAT's phase-locked wakeups keep duty low under loss\n"
+              "(retransmissions ride existing active slots) while PSM's beacon\n"
+              "buffering inflates latency fastest on bursty (Gilbert-Elliott)\n"
+              "links.\n\n");
+  return 0;
+}

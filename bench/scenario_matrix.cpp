@@ -14,7 +14,7 @@ int main() {
                       "duty / latency across protocol x topology x rate");
 
   harness::ScenarioConfig base = bench::paper_defaults();
-  base.measure_duration = util::Time::seconds(60);
+  base.measure_duration = bench::measure_duration_or(util::Time::seconds(60));
 
   // Corridor/line deployments keep the node count but stretch the area;
   // the tree cap must cover the whole span.

@@ -1,7 +1,5 @@
 #include "src/energy/radio.h"
 
-#include "src/util/logging.h"
-
 namespace essat::energy {
 
 Radio::Radio(sim::Simulator& sim, RadioParams params)
@@ -68,7 +66,9 @@ void Radio::turn_on() {
   if (failed_) return;
   switch (state_) {
     case RadioState::kOn:
+      return;
     case RadioState::kTurningOn:
+      pending_off_ = false;  // the latest intent wins
       return;
     case RadioState::kTurningOff:
       pending_on_ = true;
@@ -78,6 +78,10 @@ void Radio::turn_on() {
       transition_timer_.arm_in(params_.t_off_on, [this] {
         if (failed_) return;
         enter_(RadioState::kOn);
+        if (pending_off_) {
+          pending_off_ = false;
+          turn_off();
+        }
       });
       return;
   }
@@ -85,25 +89,37 @@ void Radio::turn_on() {
 
 void Radio::turn_off() {
   if (failed_) return;
-  if (state_ != RadioState::kOn) {
-    ESSAT_DEBUG("radio: turn_off ignored in state %d", static_cast<int>(state_));
-    return;
+  switch (state_) {
+    case RadioState::kOff:
+      return;
+    case RadioState::kTurningOff:
+      pending_on_ = false;  // the latest intent wins
+      return;
+    case RadioState::kTurningOn:
+      // Mirror of turn_on() during kTurningOff: latch and complete the
+      // in-flight transition first. Dropping the request here left the
+      // radio stuck ON whenever a policy decided to sleep mid-turn-on.
+      pending_off_ = true;
+      return;
+    case RadioState::kOn:
+      enter_(RadioState::kTurningOff);
+      transition_timer_.arm_in(params_.t_on_off, [this] {
+        if (failed_) return;
+        enter_(RadioState::kOff);
+        if (pending_on_) {
+          pending_on_ = false;
+          turn_on();
+        }
+      });
+      return;
   }
-  enter_(RadioState::kTurningOff);
-  transition_timer_.arm_in(params_.t_on_off, [this] {
-    if (failed_) return;
-    enter_(RadioState::kOff);
-    if (pending_on_) {
-      pending_on_ = false;
-      turn_on();
-    }
-  });
 }
 
 void Radio::fail() {
   if (failed_) return;
   transition_timer_.cancel();
   pending_on_ = false;
+  pending_off_ = false;
   enter_(RadioState::kOff);
   failed_ = true;
   in_off_interval_ = false;  // dead time is not a sleep interval

@@ -51,11 +51,15 @@ class Radio {
   const RadioParams& params() const { return params_; }
 
   // Begins the OFF -> ON transition; completes after t_off_on. If called
-  // while turning off, the turn-on is queued to start when OFF is reached.
-  // No-op when already on/turning on, or failed.
+  // while turning off, the turn-on is queued to start when OFF is reached;
+  // if called while turning on, any queued turn-off is cancelled (the
+  // latest intent wins). No-op when already on, or failed.
   void turn_on();
-  // Begins the ON -> OFF transition; completes after t_on_off. Only legal
-  // from the ON state; calls in other states are ignored.
+  // Begins the ON -> OFF transition; completes after t_on_off. If called
+  // while turning on, the turn-off is queued to start when ON is reached
+  // (a transition is never aborted mid-flight); if called while turning
+  // off, any queued turn-on is cancelled. No-op when already off, or
+  // failed.
   void turn_off();
   // Permanent node death (failure injection): radio drops to OFF and ignores
   // all future turn_on() calls.
@@ -94,7 +98,8 @@ class Radio {
   RadioParams params_;
   RadioState state_ = RadioState::kOn;
   bool failed_ = false;
-  bool pending_on_ = false;  // turn_on() arrived while turning off
+  bool pending_on_ = false;   // turn_on() arrived while turning off
+  bool pending_off_ = false;  // turn_off() arrived while turning on
   bool tx_active_ = false;
   bool rx_active_ = false;
   sim::Timer transition_timer_;

@@ -11,6 +11,7 @@ void Aggregator::add(harness::RunMetrics m) {
   out_.delivery_ratio.add(m.delivery_ratio);
   out_.phase_update_bits.add(m.phase_update_bits_per_report);
   out_.mac_send_failures.add(static_cast<double>(m.mac_send_failures));
+  out_.channel_dropped.add(static_cast<double>(m.channel_dropped_by_model));
   if (m.duty_by_rank.size() > out_.duty_by_rank.size()) {
     out_.duty_by_rank.resize(m.duty_by_rank.size());
   }

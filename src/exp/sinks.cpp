@@ -1,6 +1,9 @@
 #include "src/exp/sinks.h"
 
+#include <unistd.h>
+
 #include <cstdio>
+#include <iostream>
 
 namespace essat::exp {
 namespace {
@@ -9,7 +12,7 @@ namespace {
 const char* const kMetricColumns[] = {
     "runs",          "duty_mean",     "duty_ci90",     "latency_mean",
     "latency_ci90",  "p95_latency",   "delivery_mean", "phase_bits_mean",
-    "send_failures",
+    "send_failures", "model_drops",
 };
 
 std::vector<double> metric_values(const PointResult& r) {
@@ -22,7 +25,8 @@ std::vector<double> metric_values(const PointResult& r) {
           m.p95_latency_s.mean(),
           m.delivery_ratio.mean(),
           m.phase_update_bits.mean(),
-          m.mac_send_failures.mean()};
+          m.mac_send_failures.mean(),
+          m.channel_dropped.mean()};
 }
 
 std::string full_precision(double v) {
@@ -49,7 +53,19 @@ std::string json_escape(const std::string& s) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
       case '\n': out += "\\n"; break;
-      default: out += c;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        // RFC 8259: all other control characters must be \u-escaped.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
     }
   }
   return out;
@@ -124,10 +140,28 @@ void JsonLinesSink::on_point(const PointResult& r) {
 
 // ------------------------------------------------------------ progress
 
+bool ProgressReporter::stream_is_tty(const std::ostream& os) {
+  if (&os == &std::cout) return isatty(STDOUT_FILENO) != 0;
+  if (&os == &std::cerr || &os == &std::clog) return isatty(STDERR_FILENO) != 0;
+  return false;  // string streams, files: never a terminal
+}
+
 void ProgressReporter::on_trial_done(std::size_t done, std::size_t total) {
   std::lock_guard<std::mutex> lock(mu_);
-  os_ << '\r' << '[' << tag_ << "] trials " << done << '/' << total;
-  if (done >= total) os_ << '\n';
+  if (tty_) {
+    os_ << '\r' << '[' << tag_ << "] trials " << done << '/' << total;
+    if (done >= total) os_ << '\n';
+    os_.flush();
+    return;
+  }
+  // Redirected output (CI logs, files): no in-place rewrites — print one
+  // milestone line per completed decile instead.
+  const std::size_t decile = total > 0 ? done * 10 / total : 10;
+  if (decile <= last_decile_ && done < total) return;
+  if (done >= total && last_decile_ >= 10) return;  // completion already shown
+  last_decile_ = done >= total ? 10 : decile;
+  os_ << '[' << tag_ << "] trials " << done << '/' << total << " ("
+      << last_decile_ * 10 << "%)\n";
   os_.flush();
 }
 

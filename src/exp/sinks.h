@@ -76,18 +76,29 @@ class JsonLinesSink : public ResultSink {
 };
 
 // Live trial-completion ticker ("[tag] trials 12/40"), safe to call from
-// worker threads. Writes carriage-return-terminated updates and a final
-// newline so it plays nicely with a following table print.
+// worker threads. On a terminal it rewrites one line in place (carriage
+// returns, final newline); when the stream is redirected (CI logs, files)
+// it prints one milestone line per completed 10% instead, so logs are not
+// flooded with \r rewrites.
 class ProgressReporter {
  public:
+  // Auto-detects terminal-ness: only std::cout/std::cerr/std::clog backed
+  // by a TTY rewrite in place.
   explicit ProgressReporter(std::ostream& os, std::string tag = "sweep")
-      : os_(os), tag_(std::move(tag)) {}
+      : os_(os), tag_(std::move(tag)), tty_(stream_is_tty(os)) {}
+  // Explicit override, for tests and exotic streams.
+  ProgressReporter(std::ostream& os, std::string tag, bool tty)
+      : os_(os), tag_(std::move(tag)), tty_(tty) {}
   void on_trial_done(std::size_t done, std::size_t total);
 
  private:
+  static bool stream_is_tty(const std::ostream& os);
+
   std::mutex mu_;
   std::ostream& os_;
   std::string tag_;
+  bool tty_;
+  std::size_t last_decile_ = 0;  // milestones printed so far (non-TTY mode)
 };
 
 }  // namespace essat::exp

@@ -1,6 +1,22 @@
 #include "src/exp/sweep.h"
 
 namespace essat::exp {
+namespace {
+
+// Disambiguates a label against the options already collected ("kind",
+// "kind#2", "kind#3", ...) so sink rows stay uniquely keyed.
+std::string dedup_label(
+    const std::vector<std::pair<std::string, SweepSpec::Apply>>& options,
+    std::string label) {
+  int dup = 1;
+  for (const auto& [existing, _] : options) {
+    if (existing == label || existing.rfind(label + "#", 0) == 0) ++dup;
+  }
+  if (dup > 1) label += "#" + std::to_string(dup);
+  return label;
+}
+
+}  // namespace
 
 SweepSpec& SweepSpec::axis(std::string name,
                            std::vector<std::pair<std::string, Apply>> options) {
@@ -37,17 +53,8 @@ SweepSpec& SweepSpec::axis_topology(
   std::vector<std::pair<std::string, Apply>> options;
   options.reserve(deployments.size());
   for (const net::DeploymentSpec& d : deployments) {
-    // Disambiguate repeated kinds ("corridor", "corridor#2", ...) so sink
-    // rows stay uniquely keyed.
-    std::string label = axis_label(d.kind);
-    int dup = 1;
-    for (const auto& [existing, _] : options) {
-      if (existing == label || existing.rfind(label + "#", 0) == 0) ++dup;
-    }
-    if (dup > 1) label += "#" + std::to_string(dup);
-    options.emplace_back(std::move(label), [d](harness::ScenarioConfig& c) {
-      c.deployment = d;
-    });
+    options.emplace_back(dedup_label(options, axis_label(d.kind)),
+                         [d](harness::ScenarioConfig& c) { c.deployment = d; });
   }
   return axis("topology", std::move(options));
 }
@@ -62,6 +69,29 @@ SweepSpec& SweepSpec::axis_topology(
     });
   }
   return axis("topology", std::move(options));
+}
+
+SweepSpec& SweepSpec::axis_channel(
+    const std::vector<net::ChannelModelSpec>& models) {
+  std::vector<std::pair<std::string, Apply>> options;
+  options.reserve(models.size());
+  for (const net::ChannelModelSpec& m : models) {
+    options.emplace_back(dedup_label(options, m.label()),
+                         [m](harness::ScenarioConfig& c) { c.channel_model = m; });
+  }
+  return axis("channel", std::move(options));
+}
+
+SweepSpec& SweepSpec::axis_channel(
+    const std::vector<std::pair<std::string, net::ChannelModelSpec>>& models) {
+  std::vector<std::pair<std::string, Apply>> options;
+  options.reserve(models.size());
+  for (const auto& [label, m] : models) {
+    options.emplace_back(label, [m = m](harness::ScenarioConfig& c) {
+      c.channel_model = m;
+    });
+  }
+  return axis("channel", std::move(options));
 }
 
 SweepSpec& SweepSpec::axis_rate(const std::vector<double>& rates_hz) {

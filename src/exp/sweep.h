@@ -86,6 +86,13 @@ class SweepSpec {
   SweepSpec& axis_topology(
       const std::vector<std::pair<std::string, net::DeploymentSpec>>& deployments);
 
+  // Vary the channel's link-loss model (labels from ChannelModelSpec::label,
+  // repeats disambiguated as "kind#2", ...)...
+  SweepSpec& axis_channel(const std::vector<net::ChannelModelSpec>& models);
+  // ...or with explicit labels.
+  SweepSpec& axis_channel(
+      const std::vector<std::pair<std::string, net::ChannelModelSpec>>& models);
+
   // Common workload/deployment axes, pre-labelled.
   SweepSpec& axis_rate(const std::vector<double>& rates_hz);
   SweepSpec& axis_queries(const std::vector<int>& queries_per_class);

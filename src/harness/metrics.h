@@ -56,6 +56,9 @@ struct RunMetrics {
   std::uint64_t mac_transmissions = 0;
   std::uint64_t mac_send_failures = 0;
   std::uint64_t channel_collisions = 0;
+  std::uint64_t channel_delivered = 0;
+  // Frames the link model declared undecodable (0 under the unit disc).
+  std::uint64_t channel_dropped_by_model = 0;
   std::uint64_t pass_through_forwarded = 0;
   int tree_members = 0;
   int max_rank = 0;

@@ -18,6 +18,7 @@ struct AveragedMetrics {
   util::RunningStat delivery_ratio;
   util::RunningStat phase_update_bits;
   util::RunningStat mac_send_failures;
+  util::RunningStat channel_dropped;      // link-model drops per run
   std::vector<util::RunningStat> duty_by_rank;
   RunMetrics last_run;                    // histograms etc. from the final run
 

@@ -62,6 +62,9 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
 
   sim::Simulator sim;
   net::Channel channel{sim, topo};
+  // The loss model draws from its own forked stream, so installing (or
+  // changing) it never perturbs placement/workload/MAC randomness.
+  channel.set_link_model(config.channel_model.build(topo.range(), master.fork(5)));
 
   // Radio: transitions t_be/2 each way so that break-even == t_be.
   energy::RadioParams radio_params;
@@ -297,6 +300,8 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
   }
   out.mac_transmissions = channel.transmissions();
   out.channel_collisions = channel.collisions();
+  out.channel_delivered = channel.delivered();
+  out.channel_dropped_by_model = channel.dropped_by_model();
   return out;
 }
 

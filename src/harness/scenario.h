@@ -20,6 +20,7 @@
 
 #include "src/harness/metrics.h"
 #include "src/mac/mac_params.h"
+#include "src/net/link_model.h"
 #include "src/net/topology.h"
 #include "src/net/types.h"
 #include "src/query/query.h"
@@ -81,6 +82,11 @@ struct ScenarioConfig {
 
   // Workload (§5).
   WorkloadSpec workload;
+
+  // Channel realism: the per-link loss model layered on the unit disc
+  // (default: lossless unit disc, the paper's ns-2 radio). Sweepable via
+  // exp::SweepSpec::axis_channel.
+  net::ChannelModelSpec channel_model;
 
   // Phasing: setup slot, then query starts spread over the start window,
   // then the measurement window.

@@ -7,6 +7,18 @@ namespace essat::net {
 Channel::Channel(sim::Simulator& sim, const Topology& topo, ChannelParams params)
     : sim_{sim}, topo_{topo}, params_{params}, nodes_(topo.num_nodes()) {}
 
+void Channel::set_link_model(std::unique_ptr<LinkModel> model) {
+  link_model_ = std::move(model);
+  // Lossless models are bypassed on the hot path: arrivals cost exactly as
+  // much as with no model installed.
+  model_active_ = link_model_ && !link_model_->always_delivers();
+}
+
+std::uint64_t Channel::dropped_by_model(NodeId src, NodeId dst) const {
+  const auto it = link_drops_.find(link_key(src, dst));
+  return it != link_drops_.end() ? it->second : 0;
+}
+
 void Channel::attach(NodeId node, Attachment attachment) {
   nodes_.at(static_cast<std::size_t>(node)).attachment = std::move(attachment);
 }
@@ -51,12 +63,27 @@ void Channel::begin_arrival_(NodeId receiver, const Packet& p) {
   auto& node = nodes_.at(static_cast<std::size_t>(receiver));
   ++node.arriving_count;
 
+  // The link model decides, once per (directed link, frame), whether this
+  // frame is decodable at `receiver`. An undecodable frame keeps occupying
+  // the air (arriving_count, i.e. carrier sense) but neither starts a
+  // reception nor corrupts one in progress.
+  const double sender_dist =
+      model_active_ || node.rx.active
+          ? distance(topo_.position(p.link_src), topo_.position(receiver))
+          : 0.0;
+  if (model_active_ && !link_model_->deliver(p.link_src, receiver, sender_dist)) {
+    ++dropped_by_model_;
+    ++link_drops_[link_key(p.link_src, receiver)];
+    notify_(receiver);
+    return;
+  }
+
   if (node.rx.active) {
     // Overlap with an in-progress reception corrupts it — unless the new
     // arrival is weak enough for the radio to capture the original frame.
     const bool captured =
         params_.capture_distance_ratio > 0.0 &&
-        distance(topo_.position(receiver), topo_.position(p.link_src)) >=
+        sender_dist >=
             params_.capture_distance_ratio *
                 distance(topo_.position(receiver),
                          topo_.position(node.rx.packet.link_src));

@@ -9,12 +9,19 @@
 //    whole frame, and no other in-range transmission overlaps it (collision).
 //  * Carrier sense at node n reports busy while any in-range transmission is
 //    arriving at n, or while n itself transmits.
+//  * An optional LinkModel (see net/link_model.h) layers probabilistic loss
+//    on the unit disc: it is sampled once per (directed link, frame) and can
+//    declare a frame undecodable at a receiver without removing its energy
+//    from the air.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
+#include "src/net/link_model.h"
 #include "src/net/packet.h"
 #include "src/net/topology.h"
 #include "src/net/types.h"
@@ -53,6 +60,16 @@ class Channel {
 
   Channel(sim::Simulator& sim, const Topology& topo, ChannelParams params = {});
 
+  // Installs the per-link loss model (nullptr = the lossless legacy path;
+  // models reporting always_delivers() are bypassed at the same zero cost).
+  // The model is sampled once per (directed link, frame) at frame-arrival
+  // time; a model-dropped frame still occupies the air for carrier sense
+  // (energy above the detection threshold but below the decoding threshold
+  // — the gray zone) but neither starts a reception nor corrupts one in
+  // progress.
+  void set_link_model(std::unique_ptr<LinkModel> model);
+  const LinkModel* link_model() const { return link_model_.get(); }
+
   void attach(NodeId node, Attachment attachment);
 
   // Puts `p` on the air from `sender` for `duration`. The sender's MAC is
@@ -66,6 +83,14 @@ class Channel {
   std::uint64_t transmissions() const { return transmissions_; }
   std::uint64_t collisions() const { return collisions_; }
   std::uint64_t delivered() const { return delivered_; }
+  // (link, frame) samples the link model declared undecodable, in total and
+  // per directed link (keys from net::link_key). Counted for every in-range
+  // receiver of every transmission, listening or not.
+  std::uint64_t dropped_by_model() const { return dropped_by_model_; }
+  std::uint64_t dropped_by_model(NodeId src, NodeId dst) const;
+  const std::unordered_map<std::uint64_t, std::uint64_t>& link_drops() const {
+    return link_drops_;
+  }
 
  private:
   struct Reception {
@@ -87,10 +112,14 @@ class Channel {
   sim::Simulator& sim_;
   const Topology& topo_;
   ChannelParams params_;
+  std::unique_ptr<LinkModel> link_model_;
+  bool model_active_ = false;  // false also for installed lossless models
   std::vector<PerNode> nodes_;
   std::uint64_t transmissions_ = 0;
   std::uint64_t collisions_ = 0;
   std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_by_model_ = 0;
+  std::unordered_map<std::uint64_t, std::uint64_t> link_drops_;
   std::uint64_t next_tx_id_ = 0;
 };
 

@@ -1,0 +1,168 @@
+#include "src/net/link_model.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+namespace essat::net {
+
+// ------------------------------------------------------- log-normal shadowing
+
+LogNormalShadowingModel::LogNormalShadowingModel(ShadowingParams params,
+                                                 double range_m, util::Rng rng)
+    : params_{params},
+      range_m_{range_m},
+      gain_rng_{rng.fork(1)},
+      frame_rng_{rng.fork(2)} {}
+
+double LogNormalShadowingModel::link_prr(NodeId src, NodeId dst,
+                                         double distance_m) {
+  const std::uint64_t key = link_key(src, dst);
+  const auto it = prr_.find(key);
+  if (it != prr_.end()) return it->second;
+
+  // Static shadowing offset, forked by link key so the draw does not depend
+  // on which link happens to carry traffic first.
+  util::Rng link_rng = gain_rng_.fork(key);
+  const double gain_db = link_rng.normal(0.0, params_.shadowing_sigma_db);
+  // Co-located nodes (distance 0) get an unbounded margin: PRR -> 1.
+  const double d = distance_m > 1e-9 ? distance_m : 1e-9;
+  const double margin_db = params_.range_margin_db +
+                           10.0 * params_.path_loss_exponent *
+                               std::log10(range_m_ / d) +
+                           gain_db;
+  const double prr = 1.0 / (1.0 + std::exp(-margin_db / params_.gray_zone_width_db));
+  prr_.emplace(key, prr);
+  return prr;
+}
+
+bool LogNormalShadowingModel::deliver(NodeId src, NodeId dst,
+                                      double distance_m) {
+  return frame_rng_.bernoulli(link_prr(src, dst, distance_m));
+}
+
+// ----------------------------------------------------------- gilbert-elliott
+
+GilbertElliottModel::GilbertElliottModel(GilbertElliottParams params,
+                                         std::unique_ptr<LinkModel> base,
+                                         util::Rng rng)
+    : params_{params},
+      base_{std::move(base)},
+      init_rng_{rng.fork(1)},
+      frame_rng_{rng.fork(2)} {}
+
+bool& GilbertElliottModel::link_state_(NodeId src, NodeId dst) {
+  const std::uint64_t key = link_key(src, dst);
+  const auto it = bad_.find(key);
+  if (it != bad_.end()) return it->second;
+  // Initial state from the chain's stationary distribution, forked by link
+  // key for traffic-order independence.
+  const double denom = params_.p_good_to_bad + params_.p_bad_to_good;
+  const double stationary_bad = denom > 0.0 ? params_.p_good_to_bad / denom : 0.0;
+  util::Rng link_rng = init_rng_.fork(key);
+  return bad_.emplace(key, link_rng.bernoulli(stationary_bad)).first->second;
+}
+
+bool GilbertElliottModel::deliver(NodeId src, NodeId dst, double distance_m) {
+  bool& bad = link_state_(src, dst);
+  const bool burst_pass =
+      frame_rng_.bernoulli(bad ? params_.prr_bad : params_.prr_good);
+  bad = frame_rng_.bernoulli(bad ? 1.0 - params_.p_bad_to_good
+                                 : params_.p_good_to_bad);
+  // Evaluate the base unconditionally: the burst chain above already
+  // stepped, and stateful bases must see the same per-frame clock.
+  const bool base_pass = !base_ || base_->deliver(src, dst, distance_m);
+  return base_pass && burst_pass;
+}
+
+// ------------------------------------------------------------- PRR thinning
+
+PrrScaledModel::PrrScaledModel(std::unique_ptr<LinkModel> base,
+                               double prr_scale, util::Rng rng)
+    : base_{std::move(base)}, prr_scale_{prr_scale}, rng_{rng} {}
+
+bool PrrScaledModel::deliver(NodeId src, NodeId dst, double distance_m) {
+  // Draw the thinning coin before the base so stateless and stateful bases
+  // alike see one draw per (link, frame) from this layer.
+  const bool thin_pass = rng_.bernoulli(prr_scale_);
+  return base_->deliver(src, dst, distance_m) && thin_pass;
+}
+
+// ----------------------------------------------------------------- the spec
+
+const char* link_model_kind_name(LinkModelKind k) {
+  switch (k) {
+    case LinkModelKind::kNone: return "none";
+    case LinkModelKind::kUnitDisc: return "unit-disc";
+    case LinkModelKind::kLogNormalShadowing: return "shadowing";
+    case LinkModelKind::kGilbertElliott: return "gilbert-elliott";
+  }
+  throw std::invalid_argument{"link_model_kind_name: unknown kind"};
+}
+
+LinkModelKind link_model_kind_from_name(const std::string& name) {
+  for (LinkModelKind k :
+       {LinkModelKind::kNone, LinkModelKind::kUnitDisc,
+        LinkModelKind::kLogNormalShadowing, LinkModelKind::kGilbertElliott}) {
+    if (name == link_model_kind_name(k)) return k;
+  }
+  throw std::invalid_argument{"link_model_kind_from_name: unknown name '" +
+                              name + "'"};
+}
+
+std::unique_ptr<LinkModel> ChannelModelSpec::build(double range_m,
+                                                   util::Rng rng) const {
+  std::unique_ptr<LinkModel> model;
+  switch (kind) {
+    case LinkModelKind::kNone:
+      // Thinning still applies (as a wrapped unit disc): "none@0.9" must
+      // mean what its label says, not silently run lossless.
+      if (prr_scale >= 1.0) return nullptr;
+      model = std::make_unique<UnitDiscModel>();
+      break;
+    case LinkModelKind::kUnitDisc:
+      model = std::make_unique<UnitDiscModel>();
+      break;
+    case LinkModelKind::kLogNormalShadowing:
+      model = std::make_unique<LogNormalShadowingModel>(shadowing, range_m,
+                                                        rng.fork(1));
+      break;
+    case LinkModelKind::kGilbertElliott: {
+      std::unique_ptr<LinkModel> base;
+      switch (gilbert_base) {
+        case LinkModelKind::kNone:
+        case LinkModelKind::kUnitDisc:
+          base = nullptr;  // unit-disc base, no per-frame draw needed
+          break;
+        case LinkModelKind::kLogNormalShadowing:
+          base = std::make_unique<LogNormalShadowingModel>(shadowing, range_m,
+                                                           rng.fork(1));
+          break;
+        case LinkModelKind::kGilbertElliott:
+          throw std::invalid_argument{
+              "ChannelModelSpec: gilbert_base cannot itself be gilbert-elliott"};
+      }
+      model = std::make_unique<GilbertElliottModel>(gilbert, std::move(base),
+                                                    rng.fork(2));
+      break;
+    }
+  }
+  if (prr_scale < 1.0) {
+    model = std::make_unique<PrrScaledModel>(std::move(model), prr_scale,
+                                             rng.fork(3));
+  }
+  return model;
+}
+
+std::string ChannelModelSpec::label() const {
+  std::string out = link_model_kind_name(kind);
+  if (prr_scale < 1.0) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "@%g", prr_scale);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace essat::net

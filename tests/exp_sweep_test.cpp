@@ -67,6 +67,7 @@ void expect_identical(const harness::AveragedMetrics& a,
   expect_stat_identical(a.delivery_ratio, b.delivery_ratio);
   expect_stat_identical(a.phase_update_bits, b.phase_update_bits);
   expect_stat_identical(a.mac_send_failures, b.mac_send_failures);
+  expect_stat_identical(a.channel_dropped, b.channel_dropped);
   ASSERT_EQ(a.duty_by_rank.size(), b.duty_by_rank.size());
   for (std::size_t r = 0; r < a.duty_by_rank.size(); ++r) {
     expect_stat_identical(a.duty_by_rank[r], b.duty_by_rank[r]);
@@ -301,6 +302,7 @@ PointResult known_point() {
   m.delivery_ratio = 0.96875;
   m.phase_update_bits_per_report = 0.75;
   m.mac_send_failures = 3;
+  m.channel_dropped_by_model = 4;
   Aggregator agg;
   agg.add(m);
   m.avg_duty_cycle = 0.09375;
@@ -360,6 +362,7 @@ TEST(CsvSink, RoundTripsKnownAggregate) {
   EXPECT_EQ(col("delivery_mean"), r.metrics.delivery_ratio.mean());
   EXPECT_EQ(col("phase_bits_mean"), r.metrics.phase_update_bits.mean());
   EXPECT_EQ(col("send_failures"), r.metrics.mac_send_failures.mean());
+  EXPECT_EQ(col("model_drops"), 4.0);
 }
 
 TEST(JsonLinesSink, RoundTripsKnownAggregate) {
@@ -400,6 +403,55 @@ TEST(ConsoleTableSink, PrintsAxisAndMetricColumns) {
   EXPECT_NE(out.find("protocol"), std::string::npos);
   EXPECT_NE(out.find("duty (%)"), std::string::npos);
   EXPECT_NE(out.find("DTS-SS"), std::string::npos);
+}
+
+// Regression: tab/CR (and every other control character) in an axis label
+// used to pass through raw, producing invalid JSON.
+TEST(JsonLinesSink, EscapesControlCharactersInLabels) {
+  PointResult r = known_point();
+  r.point.labels = {"a\tb\rc\x01" "d", "e\"f\\g"};
+  std::ostringstream os;
+  JsonLinesSink sink(os);
+  sink.begin({"bad\naxis", "quoted"});
+  sink.on_point(r);
+  sink.finish();
+
+  const std::string line = os.str();
+  // No raw control characters anywhere in the output line.
+  for (char c : line) {
+    if (c == '\n') continue;  // the record separator itself
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+  EXPECT_NE(line.find("\"bad\\naxis\":\"a\\tb\\rc\\u0001d\""), std::string::npos);
+  EXPECT_NE(line.find("\"quoted\":\"e\\\"f\\\\g\""), std::string::npos);
+}
+
+// Regression: the progress ticker used to emit a \r-rewrite line for every
+// trial even when output was redirected, flooding CI logs. Non-TTY streams
+// get one milestone line per completed decile instead.
+TEST(ProgressReporter, NonTtyPrintsMilestonesNotRewrites) {
+  std::ostringstream os;
+  ProgressReporter reporter(os, "tag");  // ostringstream: never a TTY
+  for (std::size_t done = 1; done <= 40; ++done) reporter.on_trial_done(done, 40);
+
+  const std::string out = os.str();
+  EXPECT_EQ(out.find('\r'), std::string::npos);
+  // One line per decile: 10%, 20%, ..., 100%.
+  std::size_t lines = 0;
+  for (char c : out) lines += c == '\n';
+  EXPECT_EQ(lines, 10u);
+  EXPECT_NE(out.find("[tag] trials 4/40 (10%)"), std::string::npos);
+  EXPECT_NE(out.find("[tag] trials 40/40 (100%)"), std::string::npos);
+}
+
+TEST(ProgressReporter, ForcedTtyKeepsInPlaceRewrites) {
+  std::ostringstream os;
+  ProgressReporter reporter(os, "tag", /*tty=*/true);
+  reporter.on_trial_done(1, 2);
+  reporter.on_trial_done(2, 2);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\r[tag] trials 1/2"), std::string::npos);
+  EXPECT_NE(out.find("\r[tag] trials 2/2\n"), std::string::npos);
 }
 
 }  // namespace

@@ -67,6 +67,80 @@ TEST(Radio, TurnOffIgnoredUnlessOn) {
   EXPECT_EQ(r.state(), RadioState::kOff);
 }
 
+// Regression: turn_off() during kTurningOn used to be silently dropped,
+// leaving the radio stuck ON forever when a power manager decided to sleep
+// mid-turn-on (and inflating the measured duty cycle).
+TEST(Radio, TurnOffWhileTurningOnQueues) {
+  sim::Simulator sim;
+  Radio r{sim, fast_params()};
+  r.turn_off();
+  sim.run_until(Time::from_milliseconds(2.0));
+  ASSERT_EQ(r.state(), RadioState::kOff);
+  r.turn_on();
+  r.turn_off();  // queued behind the ON transition
+  EXPECT_EQ(r.state(), RadioState::kTurningOn);
+  // The in-flight transition completes at 3.25 ms, then the latched
+  // turn-off starts immediately and completes one t_on_off later.
+  sim.run_until(Time::from_milliseconds(3.25));
+  EXPECT_EQ(r.state(), RadioState::kTurningOff);
+  sim.run_until(Time::from_milliseconds(4.5));
+  EXPECT_EQ(r.state(), RadioState::kOff);
+}
+
+TEST(Radio, TurnOnWhileTurningOnCancelsQueuedTurnOff) {
+  sim::Simulator sim;
+  Radio r{sim, fast_params()};
+  r.turn_off();
+  sim.run_until(Time::from_milliseconds(2.0));
+  r.turn_on();
+  r.turn_off();  // latched...
+  r.turn_on();   // ...then cancelled: the latest intent wins
+  sim.run_until(Time::from_milliseconds(10.0));
+  EXPECT_EQ(r.state(), RadioState::kOn);
+}
+
+TEST(Radio, TurnOffWhileTurningOffCancelsQueuedTurnOn) {
+  sim::Simulator sim;
+  Radio r{sim, fast_params()};
+  r.turn_off();
+  r.turn_on();   // latched...
+  r.turn_off();  // ...then cancelled: the latest intent wins
+  sim.run_until(Time::from_milliseconds(10.0));
+  EXPECT_EQ(r.state(), RadioState::kOff);
+}
+
+TEST(Radio, FailDuringTurnOnTransitionKillsPendingIntents) {
+  sim::Simulator sim;
+  Radio r{sim, fast_params()};
+  r.turn_off();
+  sim.run_until(Time::from_milliseconds(2.0));
+  r.turn_on();
+  r.turn_off();  // pending_off_ latched
+  sim.schedule_at(Time::from_milliseconds(2.5), [&] { r.fail(); });
+  sim.run_until(Time::from_milliseconds(10.0));
+  EXPECT_TRUE(r.failed());
+  EXPECT_EQ(r.state(), RadioState::kOff);
+  r.turn_on();
+  sim.run_until(Time::from_milliseconds(20.0));
+  EXPECT_EQ(r.state(), RadioState::kOff);
+}
+
+TEST(Radio, FailDuringTurnOffTransitionKillsPendingIntents) {
+  sim::Simulator sim;
+  Radio r{sim, fast_params()};
+  r.turn_off();
+  r.turn_on();  // pending_on_ latched
+  sim.schedule_at(Time::from_milliseconds(0.5), [&] { r.fail(); });
+  sim.run_until(Time::from_milliseconds(10.0));
+  EXPECT_TRUE(r.failed());
+  EXPECT_EQ(r.state(), RadioState::kOff);
+  // The cancelled transition timer must not fire, and the latched turn-on
+  // must not resurrect a dead radio.
+  r.turn_on();
+  sim.run_until(Time::from_milliseconds(20.0));
+  EXPECT_EQ(r.state(), RadioState::kOff);
+}
+
 TEST(Radio, RedundantTurnOnIsNoop) {
   sim::Simulator sim;
   Radio r{sim, fast_params()};

@@ -6,6 +6,7 @@
 
 #include "src/exp/sweep.h"
 #include "src/exp/sweep_runner.h"
+#include "src/net/link_model.h"
 
 namespace essat::exp {
 namespace {
@@ -57,6 +58,92 @@ TEST(SweepMatrix, ProtocolTimesTopologyGridRunsEndToEnd) {
   // is continuous, so distinct geometries cannot coincide).
   EXPECT_NE(results[0].metrics.last_run.avg_duty_cycle,
             results[1].metrics.last_run.avg_duty_cycle);
+}
+
+// Acceptance for the LinkModel layer: with the UnitDisc model installed
+// (hook layer active on every arrival) the full protocol x topology x rate
+// scenario-matrix grid is byte-identical to the legacy no-model channel.
+TEST(ChannelModelMatrix, UnitDiscIdenticalToLegacyChannelOnFullGrid) {
+  auto run_grid = [](net::LinkModelKind kind) {
+    harness::ScenarioConfig base = small_base();
+    base.channel_model.kind = kind;
+    SweepSpec spec(base);
+    spec.runs(1)
+        .axis_protocol({harness::Protocol::kDtsSs, harness::Protocol::kPsm})
+        .axis_topology({net::TopologyKind::kUniform, net::TopologyKind::kGrid,
+                        net::TopologyKind::kClustered,
+                        net::TopologyKind::kCorridor})
+        .axis_rate({1.0, 2.0});
+    SweepRunner::Options opts;
+    opts.jobs = 4;
+    return SweepRunner(opts).run(spec);
+  };
+  const auto legacy = run_grid(net::LinkModelKind::kNone);
+  const auto unit = run_grid(net::LinkModelKind::kUnitDisc);
+  ASSERT_EQ(legacy.size(), 16u);
+  ASSERT_EQ(unit.size(), 16u);
+  for (std::size_t p = 0; p < legacy.size(); ++p) {
+    SCOPED_TRACE(legacy[p].point.labels[0] + " / " + legacy[p].point.labels[1] +
+                 " / " + legacy[p].point.labels[2]);
+    const harness::RunMetrics& a = legacy[p].metrics.last_run;
+    const harness::RunMetrics& b = unit[p].metrics.last_run;
+    EXPECT_EQ(a.avg_duty_cycle, b.avg_duty_cycle);  // exact, not NEAR
+    EXPECT_EQ(a.avg_latency_s, b.avg_latency_s);
+    EXPECT_EQ(a.p95_latency_s, b.p95_latency_s);
+    EXPECT_EQ(a.max_latency_s, b.max_latency_s);
+    EXPECT_EQ(a.delivery_ratio, b.delivery_ratio);
+    EXPECT_EQ(a.epochs_measured, b.epochs_measured);
+    EXPECT_EQ(a.reports_sent, b.reports_sent);
+    EXPECT_EQ(a.mac_transmissions, b.mac_transmissions);
+    EXPECT_EQ(a.mac_send_failures, b.mac_send_failures);
+    EXPECT_EQ(a.channel_collisions, b.channel_collisions);
+    EXPECT_EQ(a.channel_delivered, b.channel_delivered);
+    EXPECT_EQ(a.phase_updates, b.phase_updates);
+    EXPECT_EQ(a.channel_dropped_by_model, 0u);
+    EXPECT_EQ(b.channel_dropped_by_model, 0u);
+  }
+}
+
+// Loss determinism: the same seed and LinkModel produce bit-identical
+// delivered()/dropped_by_model() whether the sweep runs on 1 worker or 8.
+TEST(ChannelModelMatrix, LossyChannelsDeterministicAcrossJobCounts) {
+  auto run_grid = [](int jobs) {
+    std::vector<net::ChannelModelSpec> models(3);
+    models[0].kind = net::LinkModelKind::kLogNormalShadowing;
+    models[1].kind = net::LinkModelKind::kGilbertElliott;
+    models[1].gilbert_base = net::LinkModelKind::kLogNormalShadowing;
+    models[2].kind = net::LinkModelKind::kUnitDisc;
+    models[2].prr_scale = 0.9;
+    SweepSpec spec(small_base());
+    spec.runs(2)
+        .axis_protocol({harness::Protocol::kDtsSs, harness::Protocol::kPsm})
+        .axis_channel(models);
+    SweepRunner::Options opts;
+    opts.jobs = jobs;
+    return SweepRunner(opts).run(spec);
+  };
+  const auto serial = run_grid(1);
+  const auto parallel = run_grid(8);
+  ASSERT_EQ(serial.size(), 6u);
+  ASSERT_EQ(parallel.size(), 6u);
+  EXPECT_EQ(serial[0].point.labels,
+            (std::vector<std::string>{"DTS-SS", "shadowing"}));
+  EXPECT_EQ(serial[2].point.labels,
+            (std::vector<std::string>{"DTS-SS", "unit-disc@0.9"}));
+  for (std::size_t p = 0; p < serial.size(); ++p) {
+    SCOPED_TRACE(serial[p].point.labels[0] + " / " + serial[p].point.labels[1]);
+    const harness::RunMetrics& a = serial[p].metrics.last_run;
+    const harness::RunMetrics& b = parallel[p].metrics.last_run;
+    EXPECT_EQ(a.channel_delivered, b.channel_delivered);
+    EXPECT_EQ(a.channel_dropped_by_model, b.channel_dropped_by_model);
+    EXPECT_EQ(a.avg_duty_cycle, b.avg_duty_cycle);
+    EXPECT_EQ(a.avg_latency_s, b.avg_latency_s);
+    EXPECT_EQ(serial[p].metrics.channel_dropped.mean(),
+              parallel[p].metrics.channel_dropped.mean());
+    // The lossy models actually lost frames, and the stack survived.
+    EXPECT_GT(a.channel_dropped_by_model, 0u);
+    EXPECT_GT(a.reports_sent, 0u);
+  }
 }
 
 // Custom DeploymentSpec axis: full specs (not just kinds) are sweepable.
