@@ -1,0 +1,62 @@
+// Figure 11 (beyond the paper): mobility x routing policy. The paper's
+// evaluation freezes the deployment and routes min-hop; this bench reruns
+// the protocol comparison over a gray-zone shadowing channel while (a) the
+// nodes drift under random-waypoint mobility, stressing tree repair, and
+// (b) parent selection is swept between the paper's min-hop rule and
+// ETX-style link-quality-aware selection fed by the channel's loss
+// statistics.
+//
+// Grid: protocol x {static, waypoint} x {min-hop, etx}, all points
+// concurrent through the sweep engine; deterministic for any ESSAT_JOBS.
+#include "bench_common.h"
+
+int main() {
+  using namespace essat;
+  bench::print_header("Figure 11",
+                      "duty / latency / delivery vs mobility and routing policy");
+
+  harness::ScenarioConfig base = bench::paper_defaults();
+  base.measure_duration = bench::measure_duration_or(util::Time::seconds(60));
+  // Gray-zone links, so parent choice actually matters; maintenance on, so
+  // links broken by motion trigger policy-driven repair.
+  base.channel_model.kind = net::LinkModelKind::kLogNormalShadowing;
+  base.enable_maintenance = true;
+
+  std::vector<net::MobilitySpec> mobility(2);
+  mobility[0].kind = net::MobilityKind::kStatic;
+  mobility[1].kind = net::MobilityKind::kRandomWaypoint;
+  mobility[1].waypoint.speed_min_mps = 0.5;
+  mobility[1].waypoint.speed_max_mps = 2.0;
+  mobility[1].waypoint.pause_s = 20.0;
+  mobility[1].epoch_s = 5.0;
+
+  std::vector<routing::RoutingSpec> routing(2);
+  routing[0].policy = "min-hop";
+  routing[1].policy = "etx";
+
+  exp::SweepSpec spec(base);
+  spec.runs(bench::kRunsPerPoint)
+      .axis_protocol({harness::Protocol::kDtsSs, harness::Protocol::kNtsSs})
+      .axis_mobility(mobility)
+      .axis_routing(routing);
+  const auto results = bench::parallel_runner("fig11").run(spec);
+
+  harness::Table table{{"protocol", "mobility", "routing", "duty (%)",
+                        "latency (s)", "delivery (%)", "retx no-ACK",
+                        "CCA-busy defers"}};
+  for (const auto& r : results) {
+    table.add_row({r.point.labels[0], r.point.labels[1], r.point.labels[2],
+                   harness::fmt_pct(r.metrics.duty_cycle.mean()),
+                   harness::fmt(r.metrics.latency_s.mean(), 3),
+                   harness::fmt_pct(r.metrics.delivery_ratio.mean()),
+                   harness::fmt(r.metrics.retx_no_ack.mean(), 0),
+                   harness::fmt(r.metrics.cca_busy_defers.mean(), 0)});
+  }
+  table.print(std::cout);
+  std::printf("\nExpectation: over gray-zone links ETX routes around marginal\n"
+              "hops, so delivery rises and no-ACK retransmissions fall vs\n"
+              "min-hop at comparable duty; mobility degrades every policy but\n"
+              "ETX keeps the edge as the estimator tracks the drifting links.\n"
+              "CCA-busy defers stay protocol-bound (contention, not loss).\n\n");
+  return 0;
+}

@@ -1,7 +1,8 @@
 // Microbenchmarks of the hot paths: event queue operations (including an
 // A/B against the pre-refactor hash-set implementation), channel broadcast
-// scheduling (batched vs legacy per-neighbor events), Safe Sleep
-// bookkeeping, shaper updates, and a full small-scenario run.
+// scheduling (batched vs legacy per-neighbor events), topology neighbor
+// rebuilds (uniform-grid index vs the pre-mobility all-pairs scan), Safe
+// Sleep bookkeeping, shaper updates, and a full small-scenario run.
 #include <benchmark/benchmark.h>
 
 #include <queue>
@@ -160,6 +161,53 @@ void BM_ChannelBroadcast(benchmark::State& state) {
 BENCHMARK(BM_ChannelBroadcast)
     ->ArgsProduct({{0, 1}, {16, 64}})
     ->ArgNames({"batched", "nodes"});
+
+// Neighbor-set rebuild: the cost mobility pays once per epoch. The grid
+// index inside Topology is measured against the seed's all-pairs scan,
+// reproduced verbatim below. Density is held constant (~12 neighbors/node)
+// as n grows, the regime where the grid is expected O(n).
+std::vector<net::Position> scaled_positions(std::size_t n) {
+  util::Rng rng{7};
+  // Area grows with n so density stays fixed: ~n * pi * 125^2 / area = const.
+  const double area = 500.0 * std::sqrt(static_cast<double>(n) / 80.0);
+  std::vector<net::Position> pos;
+  pos.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pos.push_back(net::Position{rng.uniform(0.0, area), rng.uniform(0.0, area)});
+  }
+  return pos;
+}
+
+void BM_NeighborRebuildGrid(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<net::Position> pos = scaled_positions(n);
+  for (auto _ : state) {
+    net::Topology topo{pos, 125.0};
+    benchmark::DoNotOptimize(topo.neighbors(0).size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_NeighborRebuildGrid)->Arg(80)->Arg(1000)->Arg(4000);
+
+void BM_NeighborRebuildAllPairs(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<net::Position> pos = scaled_positions(n);
+  for (auto _ : state) {
+    // The pre-grid build, verbatim.
+    std::vector<std::vector<net::NodeId>> neighbors(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (net::distance(pos[i], pos[j]) <= 125.0) {
+          neighbors[i].push_back(static_cast<net::NodeId>(j));
+          neighbors[j].push_back(static_cast<net::NodeId>(i));
+        }
+      }
+    }
+    benchmark::DoNotOptimize(neighbors[0].size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_NeighborRebuildAllPairs)->Arg(80)->Arg(1000)->Arg(4000);
 
 void BM_SimulatorTimerChurn(benchmark::State& state) {
   for (auto _ : state) {

@@ -12,6 +12,8 @@ void Aggregator::add(harness::RunMetrics m) {
   out_.phase_update_bits.add(m.phase_update_bits_per_report);
   out_.mac_send_failures.add(static_cast<double>(m.mac_send_failures));
   out_.channel_dropped.add(static_cast<double>(m.channel_dropped_by_model));
+  out_.retx_no_ack.add(static_cast<double>(m.mac_retx_no_ack));
+  out_.cca_busy_defers.add(static_cast<double>(m.mac_cca_busy_defers));
   if (m.duty_by_rank.size() > out_.duty_by_rank.size()) {
     out_.duty_by_rank.resize(m.duty_by_rank.size());
   }

@@ -12,7 +12,7 @@ namespace {
 const char* const kMetricColumns[] = {
     "runs",          "duty_mean",     "duty_ci90",     "latency_mean",
     "latency_ci90",  "p95_latency",   "delivery_mean", "phase_bits_mean",
-    "send_failures", "model_drops",
+    "send_failures", "model_drops",   "retx_no_ack",   "cca_busy_defers",
 };
 
 std::vector<double> metric_values(const PointResult& r) {
@@ -26,7 +26,9 @@ std::vector<double> metric_values(const PointResult& r) {
           m.delivery_ratio.mean(),
           m.phase_update_bits.mean(),
           m.mac_send_failures.mean(),
-          m.channel_dropped.mean()};
+          m.channel_dropped.mean(),
+          m.retx_no_ack.mean(),
+          m.cca_busy_defers.mean()};
 }
 
 std::string full_precision(double v) {

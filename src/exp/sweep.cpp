@@ -16,6 +16,37 @@ std::string dedup_label(
   return label;
 }
 
+// Shared bodies of the spec axes (channel / mobility / routing): each option
+// copies one whole sub-spec into its ScenarioConfig member, labelled by the
+// spec's own label() (deduped) or an explicit caller label.
+template <typename Spec>
+std::vector<std::pair<std::string, SweepSpec::Apply>> spec_options(
+    const std::vector<Spec>& specs, Spec harness::ScenarioConfig::*member) {
+  std::vector<std::pair<std::string, SweepSpec::Apply>> options;
+  options.reserve(specs.size());
+  for (const Spec& s : specs) {
+    options.emplace_back(dedup_label(options, s.label()),
+                         [member, s](harness::ScenarioConfig& c) {
+                           c.*member = s;
+                         });
+  }
+  return options;
+}
+
+template <typename Spec>
+std::vector<std::pair<std::string, SweepSpec::Apply>> spec_options(
+    const std::vector<std::pair<std::string, Spec>>& specs,
+    Spec harness::ScenarioConfig::*member) {
+  std::vector<std::pair<std::string, SweepSpec::Apply>> options;
+  options.reserve(specs.size());
+  for (const auto& [label, s] : specs) {
+    options.emplace_back(label, [member, s = s](harness::ScenarioConfig& c) {
+      c.*member = s;
+    });
+  }
+  return options;
+}
+
 }  // namespace
 
 SweepSpec& SweepSpec::axis(std::string name,
@@ -73,25 +104,32 @@ SweepSpec& SweepSpec::axis_topology(
 
 SweepSpec& SweepSpec::axis_channel(
     const std::vector<net::ChannelModelSpec>& models) {
-  std::vector<std::pair<std::string, Apply>> options;
-  options.reserve(models.size());
-  for (const net::ChannelModelSpec& m : models) {
-    options.emplace_back(dedup_label(options, m.label()),
-                         [m](harness::ScenarioConfig& c) { c.channel_model = m; });
-  }
-  return axis("channel", std::move(options));
+  return axis("channel",
+              spec_options(models, &harness::ScenarioConfig::channel_model));
 }
 
 SweepSpec& SweepSpec::axis_channel(
     const std::vector<std::pair<std::string, net::ChannelModelSpec>>& models) {
-  std::vector<std::pair<std::string, Apply>> options;
-  options.reserve(models.size());
-  for (const auto& [label, m] : models) {
-    options.emplace_back(label, [m = m](harness::ScenarioConfig& c) {
-      c.channel_model = m;
-    });
-  }
-  return axis("channel", std::move(options));
+  return axis("channel",
+              spec_options(models, &harness::ScenarioConfig::channel_model));
+}
+
+SweepSpec& SweepSpec::axis_mobility(const std::vector<net::MobilitySpec>& specs) {
+  return axis("mobility", spec_options(specs, &harness::ScenarioConfig::mobility));
+}
+
+SweepSpec& SweepSpec::axis_mobility(
+    const std::vector<std::pair<std::string, net::MobilitySpec>>& specs) {
+  return axis("mobility", spec_options(specs, &harness::ScenarioConfig::mobility));
+}
+
+SweepSpec& SweepSpec::axis_routing(const std::vector<routing::RoutingSpec>& specs) {
+  return axis("routing", spec_options(specs, &harness::ScenarioConfig::routing));
+}
+
+SweepSpec& SweepSpec::axis_routing(
+    const std::vector<std::pair<std::string, routing::RoutingSpec>>& specs) {
+  return axis("routing", spec_options(specs, &harness::ScenarioConfig::routing));
 }
 
 SweepSpec& SweepSpec::axis_rate(const std::vector<double>& rates_hz) {

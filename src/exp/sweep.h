@@ -93,6 +93,19 @@ class SweepSpec {
   SweepSpec& axis_channel(
       const std::vector<std::pair<std::string, net::ChannelModelSpec>>& models);
 
+  // Vary the mobility model (labels from MobilitySpec::label, repeats
+  // disambiguated as "kind#2", ...)...
+  SweepSpec& axis_mobility(const std::vector<net::MobilitySpec>& specs);
+  // ...or with explicit labels.
+  SweepSpec& axis_mobility(
+      const std::vector<std::pair<std::string, net::MobilitySpec>>& specs);
+
+  // Vary the parent-selection policy (labels are the policy keys)...
+  SweepSpec& axis_routing(const std::vector<routing::RoutingSpec>& specs);
+  // ...or with explicit labels.
+  SweepSpec& axis_routing(
+      const std::vector<std::pair<std::string, routing::RoutingSpec>>& specs);
+
   // Common workload/deployment axes, pre-labelled.
   SweepSpec& axis_rate(const std::vector<double>& rates_hz);
   SweepSpec& axis_queries(const std::vector<int>& queries_per_class);

@@ -48,6 +48,10 @@ struct RunMetrics {
     std::uint64_t send_failures = 0;
     std::uint64_t pass_through = 0;
     std::uint64_t child_timeouts = 0;
+    // MAC retry attribution (see mac::MacStats): retransmissions after a
+    // missing ACK vs carrier-busy access defers (which retransmit nothing).
+    std::uint64_t retx_no_ack = 0;
+    std::uint64_t cca_busy_defers = 0;
   };
   std::vector<NodeDiag> per_node;
 
@@ -55,6 +59,9 @@ struct RunMetrics {
   std::uint64_t reports_sent = 0;
   std::uint64_t mac_transmissions = 0;
   std::uint64_t mac_send_failures = 0;
+  // Totals of the per-node retry attribution over tree members.
+  std::uint64_t mac_retx_no_ack = 0;
+  std::uint64_t mac_cca_busy_defers = 0;
   std::uint64_t channel_collisions = 0;
   std::uint64_t channel_delivered = 0;
   // Frames the link model declared undecodable (0 under the unit disc).

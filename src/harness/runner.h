@@ -19,6 +19,8 @@ struct AveragedMetrics {
   util::RunningStat phase_update_bits;
   util::RunningStat mac_send_failures;
   util::RunningStat channel_dropped;      // link-model drops per run
+  util::RunningStat retx_no_ack;          // no-ACK retransmissions per run
+  util::RunningStat cca_busy_defers;      // carrier-busy access defers per run
   std::vector<util::RunningStat> duty_by_rank;
   RunMetrics last_run;                    // histograms etc. from the final run
 

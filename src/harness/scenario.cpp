@@ -12,6 +12,7 @@
 #include "src/net/channel.h"
 #include "src/query/query_agent.h"
 #include "src/query/workload.h"
+#include "src/routing/link_estimator.h"
 #include "src/routing/repair.h"
 #include "src/routing/tree.h"
 #include "src/routing/tree_protocol.h"
@@ -57,7 +58,15 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
   util::Rng policy_rng = master.fork(3);
   util::Rng setup_rng = master.fork(4);
 
-  const net::Topology topo = config.deployment.build(placement_rng);
+  net::Topology topo = config.deployment.build(placement_rng);
+  // The mobility model (like the loss model below) draws from its own
+  // forked stream, so installing it never perturbs placement/workload/MAC
+  // randomness — and a static spec installs nothing at all.
+  if (auto mobility_model = config.mobility.build(
+          topo.positions(), config.deployment.extent().x,
+          config.deployment.extent().y, master.fork(6))) {
+    topo.set_mobility_model(std::move(mobility_model), config.mobility.epoch());
+  }
   const net::NodeId root = topo.nearest(config.deployment.centre());
 
   sim::Simulator sim;
@@ -65,6 +74,18 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
   // The loss model draws from its own forked stream, so installing (or
   // changing) it never perturbs placement/workload/MAC randomness.
   channel.set_link_model(config.channel_model.build(topo.range(), master.fork(5)));
+
+  // Link-quality feedback for parent selection: the estimator reads the
+  // channel's loss statistics (and the loss model's own curve as a prior),
+  // the policy ranks candidate parents by it. A null policy (the "legacy"
+  // sentinel) leaves every selection site on its original hardwired path.
+  const routing::LinkEstimator link_estimator{channel, topo,
+                                              config.routing.etx};
+  std::unique_ptr<routing::ParentPolicy> parent_policy = config.routing.build(
+      routing::PolicyContext{&topo, &link_estimator, config.routing.etx});
+  // Per-link frame statistics only cost something when a policy reads them.
+  channel.set_link_stats_enabled(parent_policy &&
+                                 parent_policy->uses_link_estimator());
 
   // Radio: transitions t_be/2 each way so that break-even == t_be.
   energy::RadioParams radio_params;
@@ -89,12 +110,14 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
         routing::TreeSetupParams{
             .finalize_after = config.setup_duration * 4 / 5,
             .max_dist_from_root = config.deployment.max_tree_dist_m},
-        setup_rng);
+        setup_rng, parent_policy.get());
     for (std::size_t i = 0; i < n; ++i) {
       setup_protocol->attach_mac(static_cast<net::NodeId>(i), nodes[i].mac.get());
     }
   } else {
-    tree = routing::build_bfs_tree(topo, root, config.deployment.max_tree_dist_m);
+    tree = routing::build_policy_tree(topo, root,
+                                      config.deployment.max_tree_dist_m,
+                                      parent_policy.get());
   }
 
   // --- Power-management policy -------------------------------------------
@@ -156,6 +179,7 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
 
   // --- Maintenance / repair ----------------------------------------------
   routing::RepairService repair{topo, tree, {}};
+  repair.set_policy(parent_policy.get());
   std::unique_ptr<core::MaintenanceService> maintenance;
   auto wire_maintenance = [&] {
     if (!config.enable_maintenance) return;
@@ -204,6 +228,19 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
     build_stacks();
     wire_maintenance();
     sim.schedule_at(setup_end, [&] { register_queries(); });
+  }
+
+  // Mobility epoch ticks: re-sample the position source and rebuild the
+  // neighbor sets once per epoch. Link PRRs then drift through geometry;
+  // broken parent links surface as MAC send failures, which maintenance
+  // (when enabled) turns into policy-driven reparenting.
+  std::function<void()> mobility_tick;
+  if (topo.time_varying()) {
+    mobility_tick = [&] {
+      topo.advance_to(sim.now());
+      sim.schedule_in(topo.mobility_epoch(), mobility_tick);
+    };
+    sim.schedule_in(topo.mobility_epoch(), mobility_tick);
   }
 
   // Measurement window: after all queries have started.
@@ -278,6 +315,10 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
       diag.pass_through = node.agent->stats().pass_through_forwarded;
       diag.child_timeouts = node.agent->stats().child_timeouts;
     }
+    diag.retx_no_ack = node.mac->stats().retries;
+    diag.cca_busy_defers = node.mac->stats().cca_busy_defers;
+    out.mac_retx_no_ack += diag.retx_no_ack;
+    out.mac_cca_busy_defers += diag.cca_busy_defers;
     out.per_node.push_back(diag);
   }
 

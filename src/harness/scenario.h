@@ -21,9 +21,11 @@
 #include "src/harness/metrics.h"
 #include "src/mac/mac_params.h"
 #include "src/net/link_model.h"
+#include "src/net/mobility.h"
 #include "src/net/topology.h"
 #include "src/net/types.h"
 #include "src/query/query.h"
+#include "src/routing/parent_policy.h"
 #include "src/util/time.h"
 
 namespace essat::harness {
@@ -87,6 +89,19 @@ struct ScenarioConfig {
   // (default: lossless unit disc, the paper's ns-2 radio). Sweepable via
   // exp::SweepSpec::axis_channel.
   net::ChannelModelSpec channel_model;
+
+  // Mobility: the position source backing the topology (default: static,
+  // the paper's frozen deployment — the exact legacy code path). Built per
+  // trial from its own forked RNG stream; sweepable via
+  // exp::SweepSpec::axis_mobility. Under mobility, pair with
+  // enable_maintenance so broken links trigger tree repair.
+  net::MobilitySpec mobility;
+
+  // Parent selection for tree construction and repair: "min-hop" (default,
+  // the paper's lowest-level rule), "etx" (link-quality-aware over the
+  // channel's loss statistics), or any key registered in the
+  // ParentPolicyRegistry. Sweepable via exp::SweepSpec::axis_routing.
+  routing::RoutingSpec routing;
 
   // Phasing: setup slot, then query starts spread over the start window,
   // then the measurement window.

@@ -95,7 +95,14 @@ void CsmaMac::try_start_() {
 void CsmaMac::begin_contention_() {
   assert(in_flight_);
   if (!radio_.is_on() || transmitting_ || in_backoff_) return;
-  if (channel_.busy(self_)) return;  // resumes via on_channel_activity_
+  if (channel_.busy(self_)) {
+    // Access wanted while the carrier is already busy (fresh dequeue, retry
+    // after an ACK timeout, ...): a CCA-busy defer like the mid-countdown
+    // freeze below. Resumes via on_channel_activity_, which only re-enters
+    // here once the medium clears, so each defer counts once.
+    ++stats_.cca_busy_defers;
+    return;
+  }
   if (sim_.now() < nav_until_) {
     // Virtual carrier sense: defer to the NAV, then retry.
     nav_timer_.arm_at(nav_until_, [this] {
@@ -120,7 +127,8 @@ void CsmaMac::begin_contention_() {
     if (!medium_free_()) {
       // Busy exactly at expiry (the freeze path normally catches this
       // earlier): redraw to avoid a synchronized rush when the medium
-      // clears.
+      // clears. begin_contention_ counts the defer iff the carrier (not
+      // just the NAV) is what blocks us.
       in_flight_->backoff_slots = -1;
       begin_contention_();
       return;
@@ -283,7 +291,13 @@ void CsmaMac::on_channel_activity_() {
   const bool busy = channel_.busy(self_);
   if (busy) {
     saw_busy_ = true;
-    if (in_backoff_) freeze_backoff_();
+    if (in_backoff_) {
+      // Carrier went busy mid-countdown: a CCA-caused access defer (the
+      // freezes for our own ACK replies or NAV/EIFS are not counted here —
+      // they are self-inflicted pauses, not channel contention).
+      ++stats_.cca_busy_defers;
+      freeze_backoff_();
+    }
     return;
   }
   if (saw_busy_) {

@@ -44,7 +44,16 @@ struct MacStats {
   std::uint64_t frames_sent = 0;      // completed sends (unicast acked / bcast out)
   std::uint64_t frames_failed = 0;    // unicast gave up after max_attempts
   std::uint64_t transmissions = 0;    // individual attempts put on the air
+  // Retransmission cause attribution: this MAC retransmits only after an
+  // ACK timeout (the frame or its ACK was lost/collided — the dominant mode
+  // on gray-zone links), so `retries` *is* the no-ACK retransmission count;
+  // a busy carrier never consumes an attempt. `cca_busy_defers` counts the
+  // times a pending frame's channel access was frozen or redrawn because
+  // carrier sense reported busy (contention — access delay, zero frames
+  // retransmitted). Together they attribute duty/latency inflation under
+  // load vs loss.
   std::uint64_t retries = 0;
+  std::uint64_t cca_busy_defers = 0;
   std::uint64_t frames_received = 0;  // delivered to the upper layer
   std::uint64_t duplicates = 0;
   std::uint64_t acks_sent = 0;

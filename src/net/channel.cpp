@@ -19,6 +19,11 @@ std::uint64_t Channel::dropped_by_model(NodeId src, NodeId dst) const {
   return it != link_drops_.end() ? it->second : 0;
 }
 
+std::uint64_t Channel::frames_on(NodeId src, NodeId dst) const {
+  const auto it = link_frames_.find(link_key(src, dst));
+  return it != link_frames_.end() ? it->second : 0;
+}
+
 void Channel::attach(NodeId node, Attachment attachment) {
   nodes_.at(static_cast<std::size_t>(node)).attachment = std::move(attachment);
 }
@@ -35,7 +40,20 @@ void Channel::start_tx(NodeId sender, Packet p, util::Time duration) {
   notify_(sender);
 
   const util::Time arrive = sim_.now() + params_.propagation_delay;
-  if (params_.batch_arrivals) {
+  if (params_.batch_arrivals && topo_.time_varying()) {
+    // Mobile topology: an epoch tick may rebuild the neighbor lists while
+    // this frame is on the air, so both events must share the receiver set
+    // frozen at transmit time — otherwise a begin without its end corrupts
+    // the carrier-sense counts. The topology's lists are copy-on-rebuild,
+    // so freezing is a refcount bump, not a vector copy.
+    auto nbrs = topo_.neighbors_handle(sender);
+    sim_.schedule_at(arrive, [this, nbrs, p] {
+      for (NodeId m : *nbrs) begin_arrival_(m, p);
+    });
+    sim_.schedule_at(arrive + duration, [this, nbrs, p] {
+      for (NodeId m : *nbrs) end_arrival_(m, p);
+    });
+  } else if (params_.batch_arrivals) {
     // One event pair per transmission: every in-range receiver shares the
     // same begin/end timestamps, so visiting them in neighbor-list order
     // inside a single callback is observably identical to the legacy
@@ -71,11 +89,17 @@ void Channel::begin_arrival_(NodeId receiver, const Packet& p) {
       model_active_ || node.rx.active
           ? distance(topo_.position(p.link_src), topo_.position(receiver))
           : 0.0;
-  if (model_active_ && !link_model_->deliver(p.link_src, receiver, sender_dist)) {
-    ++dropped_by_model_;
-    ++link_drops_[link_key(p.link_src, receiver)];
-    notify_(receiver);
-    return;
+  if (model_active_) {
+    // Per-link sample count, the denominator LinkEstimator pairs with
+    // link_drops() to turn observed losses into a PRR. Skipped when nothing
+    // will read it, so plain lossy runs keep the old hot path.
+    if (link_stats_enabled_) ++link_frames_[link_key(p.link_src, receiver)];
+    if (!link_model_->deliver(p.link_src, receiver, sender_dist)) {
+      ++dropped_by_model_;
+      ++link_drops_[link_key(p.link_src, receiver)];
+      notify_(receiver);
+      return;
+    }
   }
 
   if (node.rx.active) {

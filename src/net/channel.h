@@ -91,6 +91,21 @@ class Channel {
   const std::unordered_map<std::uint64_t, std::uint64_t>& link_drops() const {
     return link_drops_;
   }
+  // (link, frame) samples offered to the link model, per directed link —
+  // the denominator for turning link_drops() into an observed PRR
+  // (routing::LinkEstimator). Zero everywhere under lossless models, and
+  // only accumulated while link stats are enabled.
+  std::uint64_t frames_on(NodeId src, NodeId dst) const;
+  const std::unordered_map<std::uint64_t, std::uint64_t>& link_frames() const {
+    return link_frames_;
+  }
+  // Per-frame link_frames_ accounting costs a hash-map update per in-range
+  // receiver; consumers that never read it (anything but an
+  // estimator-backed routing policy) can switch it off. On by default so a
+  // bare Channel + LinkEstimator works out of the box; the harness disables
+  // it unless the active ParentPolicy declares uses_link_estimator().
+  void set_link_stats_enabled(bool on) { link_stats_enabled_ = on; }
+  bool link_stats_enabled() const { return link_stats_enabled_; }
 
  private:
   struct Reception {
@@ -114,12 +129,14 @@ class Channel {
   ChannelParams params_;
   std::unique_ptr<LinkModel> link_model_;
   bool model_active_ = false;  // false also for installed lossless models
+  bool link_stats_enabled_ = true;
   std::vector<PerNode> nodes_;
   std::uint64_t transmissions_ = 0;
   std::uint64_t collisions_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_by_model_ = 0;
   std::unordered_map<std::uint64_t, std::uint64_t> link_drops_;
+  std::unordered_map<std::uint64_t, std::uint64_t> link_frames_;
   std::uint64_t next_tx_id_ = 0;
 };
 

@@ -17,24 +17,35 @@ LogNormalShadowingModel::LogNormalShadowingModel(ShadowingParams params,
       frame_rng_{rng.fork(2)} {}
 
 double LogNormalShadowingModel::link_prr(NodeId src, NodeId dst,
-                                         double distance_m) {
+                                         double distance_m) const {
   const std::uint64_t key = link_key(src, dst);
-  const auto it = prr_.find(key);
-  if (it != prr_.end()) return it->second;
-
-  // Static shadowing offset, forked by link key so the draw does not depend
-  // on which link happens to carry traffic first.
-  util::Rng link_rng = gain_rng_.fork(key);
-  const double gain_db = link_rng.normal(0.0, params_.shadowing_sigma_db);
-  // Co-located nodes (distance 0) get an unbounded margin: PRR -> 1.
-  const double d = distance_m > 1e-9 ? distance_m : 1e-9;
-  const double margin_db = params_.range_margin_db +
-                           10.0 * params_.path_loss_exponent *
-                               std::log10(range_m_ / d) +
-                           gain_db;
-  const double prr = 1.0 / (1.0 + std::exp(-margin_db / params_.gray_zone_width_db));
-  prr_.emplace(key, prr);
-  return prr;
+  auto it = links_.find(key);
+  if (it == links_.end()) {
+    // Static shadowing offset, forked by link key so the draw does not
+    // depend on which link happens to carry traffic first.
+    util::Rng link_rng = gain_rng_.fork(key);
+    it = links_
+             .emplace(key, LinkState{link_rng.normal(0.0, params_.shadowing_sigma_db),
+                                     -1.0, 0.0})
+             .first;
+  }
+  // The PRR is memoized against the distance it was computed at: on a
+  // frozen topology the curve is evaluated once per link (the hot deliver()
+  // path then only does this lookup), while under mobility a changed
+  // distance — epoch-granular, via the channel's position reads —
+  // recomputes it so the PRR tracks geometry.
+  LinkState& link = it->second;
+  if (link.distance_m != distance_m) {
+    // Co-located nodes (distance 0) get an unbounded margin: PRR -> 1.
+    const double d = distance_m > 1e-9 ? distance_m : 1e-9;
+    const double margin_db = params_.range_margin_db +
+                             10.0 * params_.path_loss_exponent *
+                                 std::log10(range_m_ / d) +
+                             link.gain_db;
+    link.distance_m = distance_m;
+    link.prr = 1.0 / (1.0 + std::exp(-margin_db / params_.gray_zone_width_db));
+  }
+  return link.prr;
 }
 
 bool LogNormalShadowingModel::deliver(NodeId src, NodeId dst,
@@ -62,6 +73,15 @@ bool& GilbertElliottModel::link_state_(NodeId src, NodeId dst) {
   const double stationary_bad = denom > 0.0 ? params_.p_good_to_bad / denom : 0.0;
   util::Rng link_rng = init_rng_.fork(key);
   return bad_.emplace(key, link_rng.bernoulli(stationary_bad)).first->second;
+}
+
+double GilbertElliottModel::expected_prr(NodeId src, NodeId dst,
+                                         double distance_m) const {
+  const double denom = params_.p_good_to_bad + params_.p_bad_to_good;
+  const double stationary_bad = denom > 0.0 ? params_.p_good_to_bad / denom : 0.0;
+  const double own = (1.0 - stationary_bad) * params_.prr_good +
+                     stationary_bad * params_.prr_bad;
+  return own * (base_ ? base_->expected_prr(src, dst, distance_m) : 1.0);
 }
 
 bool GilbertElliottModel::deliver(NodeId src, NodeId dst, double distance_m) {

@@ -55,6 +55,16 @@ class LinkModel {
   // computation and virtual call entirely — the default unit-disc spec
   // must cost exactly as much as no model at all.
   virtual bool always_delivers() const { return false; }
+  // Long-run expected delivery probability of the directed link at the
+  // given distance — the prior link-quality-aware routing starts from
+  // before any traffic has been observed (routing::LinkEstimator). Draws
+  // no randomness beyond per-link statics. 1 for lossless models.
+  virtual double expected_prr(NodeId src, NodeId dst, double distance_m) const {
+    (void)src;
+    (void)dst;
+    (void)distance_m;
+    return 1.0;
+  }
 };
 
 // The seed's lossless in-range channel. Draws no randomness.
@@ -81,27 +91,42 @@ struct ShadowingParams {
   double range_margin_db = 3.0;
 };
 
-// Static per-link PRR from a distance/PRR curve:
+// Per-link PRR from a distance/PRR curve:
 //   margin(d) = range_margin_db + 10 n log10(range/d) + X_link,
 //   PRR = 1 / (1 + exp(-margin / gray_zone_width_db)),
 // with X_link ~ N(0, sigma) drawn once per directed link from a stream
-// forked by link key. Every frame is an independent Bernoulli(PRR) draw.
+// forked by link key. The distance term is evaluated at every call, so the
+// PRR follows the endpoints when mobility moves them; on a frozen topology
+// it is static. Every frame is an independent Bernoulli(PRR) draw.
 class LogNormalShadowingModel : public LinkModel {
  public:
   LogNormalShadowingModel(ShadowingParams params, double range_m, util::Rng rng);
 
   bool deliver(NodeId src, NodeId dst, double distance_m) override;
   const char* name() const override { return "shadowing"; }
+  double expected_prr(NodeId src, NodeId dst, double distance_m) const override {
+    return link_prr(src, dst, distance_m);
+  }
 
-  // The static PRR of a directed link (computed and cached on first use).
-  double link_prr(NodeId src, NodeId dst, double distance_m);
+  // PRR of a directed link at the given distance. The per-link shadowing
+  // offset is drawn once (from a stream forked by link key, so the cache is
+  // a pure memoization and stays const-correct); the PRR is memoized per
+  // link against the last-seen distance, so a frozen topology pays the
+  // curve once per link while mobility-updated distances recompute it.
+  double link_prr(NodeId src, NodeId dst, double distance_m) const;
 
  private:
+  struct LinkState {
+    double gain_db = 0.0;
+    double distance_m = -1.0;  // distance the cached prr was computed at
+    double prr = 0.0;
+  };
+
   ShadowingParams params_;
   double range_m_;
   util::Rng gain_rng_;   // forked per link for the static shadowing offset
   util::Rng frame_rng_;  // per-frame Bernoulli draws
-  std::unordered_map<std::uint64_t, double> prr_;
+  mutable std::unordered_map<std::uint64_t, LinkState> links_;
 };
 
 struct GilbertElliottParams {
@@ -126,6 +151,8 @@ class GilbertElliottModel : public LinkModel {
 
   bool deliver(NodeId src, NodeId dst, double distance_m) override;
   const char* name() const override { return "gilbert-elliott"; }
+  // Stationary-state average reception probability times the base's.
+  double expected_prr(NodeId src, NodeId dst, double distance_m) const override;
 
   const LinkModel* base() const { return base_.get(); }
 
@@ -150,6 +177,9 @@ class PrrScaledModel : public LinkModel {
 
   bool deliver(NodeId src, NodeId dst, double distance_m) override;
   const char* name() const override { return base_->name(); }
+  double expected_prr(NodeId src, NodeId dst, double distance_m) const override {
+    return prr_scale_ * base_->expected_prr(src, dst, distance_m);
+  }
 
  private:
   std::unique_ptr<LinkModel> base_;

@@ -12,13 +12,13 @@ Packet make_data_packet(NodeId src, NodeId dst, DataHeader header) {
   return p;
 }
 
-Packet make_setup_packet(NodeId src, NodeId root, int level) {
+Packet make_setup_packet(NodeId src, NodeId root, int level, double cost) {
   Packet p;
   p.type = PacketType::kSetup;
   p.link_src = src;
   p.link_dst = kBroadcastAddr;
   p.size_bytes = Packet::kControlBytes;
-  p.payload = SetupHeader{root, level};
+  p.payload = SetupHeader{root, level, cost};
   return p;
 }
 

@@ -43,7 +43,11 @@ struct DataHeader {
 
 struct SetupHeader {
   NodeId root = kNoNode;
-  int level = 0;  // hops from root of the sender
+  int level = 0;     // hops from root of the sender
+  // Sender's path cost under the active routing::ParentPolicy (== level for
+  // min-hop; cumulative ETX for etx). Like every header field it is
+  // modelled, not serialized — airtime stays kControlBytes.
+  double cost = 0.0;
 };
 
 struct JoinHeader {};
@@ -104,7 +108,7 @@ struct Packet {
 
 // Factory helpers keep call sites terse and sizes consistent.
 Packet make_data_packet(NodeId src, NodeId dst, DataHeader header);
-Packet make_setup_packet(NodeId src, NodeId root, int level);
+Packet make_setup_packet(NodeId src, NodeId root, int level, double cost = 0.0);
 Packet make_join_packet(NodeId src, NodeId parent);
 Packet make_rank_packet(NodeId src, NodeId parent, int rank);
 Packet make_atim_packet(NodeId src, std::vector<NodeId> destinations);

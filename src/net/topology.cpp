@@ -1,5 +1,6 @@
 #include "src/net/topology.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <queue>
@@ -103,16 +104,110 @@ Topology Topology::corridor(std::size_t num_nodes, double length_m,
   return Topology{std::move(pos), range_m};
 }
 
+void Topology::set_mobility_model(std::shared_ptr<MobilityModel> model,
+                                  util::Time epoch) {
+  if (model && epoch <= util::Time::zero()) {
+    throw std::invalid_argument{"Topology: mobility epoch must be positive"};
+  }
+  mobility_ = std::move(model);
+  epoch_ = epoch;
+  epoch_index_ = 0;  // positions_ already hold the t = 0 snapshot
+}
+
+void Topology::advance_to(util::Time t) {
+  if (!mobility_) return;
+  const std::int64_t e = t.ns() / epoch_.ns();
+  if (e == epoch_index_) return;
+  epoch_index_ = e;
+  const std::size_t n = positions_.size();
+  mobility_->positions_at(t, positions_);
+  if (positions_.size() != n) {
+    // Consumers (channel, trees) size per-node state at construction; a
+    // model for a different node count must not silently resize the world.
+    throw std::logic_error{"Topology::advance_to: mobility model node count mismatch"};
+  }
+  build_neighbor_lists_();
+}
+
 void Topology::build_neighbor_lists_() {
   const auto n = positions_.size();
-  neighbors_.assign(n, {});
+  std::vector<std::vector<NodeId>> lists(n);
+  ++rebuilds_;
+  if (n == 0) {
+    neighbors_.clear();
+    return;
+  }
+
+  // Uniform-grid spatial index: bucket nodes into range-sized cells and
+  // test only the 3x3 block around each node's cell — expected O(n) at
+  // bounded density, against the seed's O(n^2) all-pairs scan (which made
+  // per-epoch mobility rebuilds unaffordable). The exact distance test plus
+  // the final sort keep every list byte-identical to the all-pairs build
+  // (ascending node ids).
+  double min_x = positions_[0].x, max_x = min_x;
+  double min_y = positions_[0].y, max_y = min_y;
+  for (const Position& p : positions_) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  // Cell size starts at the radio range (3x3 block then provably covers
+  // every in-range pair) and doubles until the grid holds O(n) cells, so a
+  // sparse deployment over a huge extent cannot blow up memory — larger
+  // cells only widen buckets, never miss a neighbor.
+  const std::size_t max_cells = std::max<std::size_t>(64, 4 * n);
+  double cell = range_m_;
+  std::size_t cols = 0, rows = 0;
+  const auto dim = [max_cells](double extent, double c) {
+    const double f = extent / c;  // compare as double: the cast is UB out of range
+    return f >= static_cast<double>(max_cells) ? max_cells + 1
+                                               : static_cast<std::size_t>(f) + 1;
+  };
+  for (;;) {
+    cols = dim(max_x - min_x, cell);
+    rows = dim(max_y - min_y, cell);
+    if (cols <= max_cells && rows <= max_cells && cols * rows <= max_cells) break;
+    cell *= 2.0;
+  }
+  const auto cell_x = [&](const Position& p) {
+    const auto c = static_cast<std::size_t>((p.x - min_x) / cell);
+    return c >= cols ? cols - 1 : c;  // FP guard at the max edge
+  };
+  const auto cell_y = [&](const Position& p) {
+    const auto c = static_cast<std::size_t>((p.y - min_y) / cell);
+    return c >= rows ? rows - 1 : c;
+  };
+
+  std::vector<std::vector<std::uint32_t>> buckets(cols * rows);
   for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      if (distance(positions_[i], positions_[j]) <= range_m_) {
-        neighbors_[i].push_back(static_cast<NodeId>(j));
-        neighbors_[j].push_back(static_cast<NodeId>(i));
+    buckets[cell_y(positions_[i]) * cols + cell_x(positions_[i])].push_back(
+        static_cast<std::uint32_t>(i));
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t cx = cell_x(positions_[i]);
+    const std::size_t cy = cell_y(positions_[i]);
+    auto& out = lists[i];
+    for (std::size_t by = cy > 0 ? cy - 1 : 0; by <= std::min(cy + 1, rows - 1); ++by) {
+      for (std::size_t bx = cx > 0 ? cx - 1 : 0; bx <= std::min(cx + 1, cols - 1); ++bx) {
+        for (std::uint32_t j : buckets[by * cols + bx]) {
+          if (j == i) continue;
+          if (distance(positions_[i], positions_[j]) <= range_m_) {
+            out.push_back(static_cast<NodeId>(j));
+          }
+        }
       }
     }
+    std::sort(out.begin(), out.end());
+  }
+
+  // Publish copy-on-rebuild: fresh immutable lists every epoch, so handles
+  // taken before the rebuild stay valid and unchanged.
+  neighbors_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    neighbors_[i] =
+        std::make_shared<const std::vector<NodeId>>(std::move(lists[i]));
   }
 }
 
@@ -203,6 +298,14 @@ Position DeploymentSpec::centre() const {
     case TopologyKind::kCorridor:
       return Position{area_m / 2.0, corridor_width_m / 2.0};
     default: return Position{area_m / 2.0, area_m / 2.0};
+  }
+}
+
+Position DeploymentSpec::extent() const {
+  switch (kind) {
+    case TopologyKind::kLine: return Position{area_m, 0.0};
+    case TopologyKind::kCorridor: return Position{area_m, corridor_width_m};
+    default: return Position{area_m, area_m};
   }
 }
 

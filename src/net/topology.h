@@ -1,18 +1,31 @@
-// Static network topology: node positions and unit-disc connectivity, plus
-// the declarative DeploymentSpec the harness sweeps over.
+// Network topology: node positions and unit-disc connectivity, plus the
+// declarative DeploymentSpec the harness sweeps over.
 //
 // The paper's setup: 80 nodes uniformly random in a 500x500 m^2 area with a
 // 125 m communication range. The extra generators (grid, line, clustered,
 // corridor) open the deployment axis the paper left fixed.
+//
+// Positions are a snapshot, optionally backed by a MobilityModel
+// (net/mobility.h): advance_to(t) re-samples the model and rebuilds the
+// neighbor sets once per epoch, so consumers (channel, tree construction,
+// repair) keep reading through the same accessors while the geometry — and
+// with it every link — drifts over time. Without a model the topology is
+// frozen, exactly the seed's behavior. Neighbor sets are built with a
+// uniform-grid spatial index (expected O(n)), so the per-epoch rebuild
+// stays affordable at thousands of nodes.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "src/net/mobility.h"
 #include "src/net/position.h"
 #include "src/net/types.h"
 #include "src/util/rng.h"
+#include "src/util/time.h"
 
 namespace essat::net {
 
@@ -46,10 +59,19 @@ class Topology {
 
   std::size_t num_nodes() const { return positions_.size(); }
   const Position& position(NodeId n) const { return positions_.at(static_cast<std::size_t>(n)); }
+  const std::vector<Position>& positions() const { return positions_; }
   double range() const { return range_m_; }
 
   bool in_range(NodeId a, NodeId b) const;
   const std::vector<NodeId>& neighbors(NodeId n) const {
+    return *neighbors_.at(static_cast<std::size_t>(n));
+  }
+  // Refcounted handle on a node's current neighbor list. Each epoch rebuild
+  // replaces the lists instead of mutating them (copy-on-rebuild), so a
+  // consumer that must keep one frame's receiver set stable across a
+  // rebuild — the channel, for in-flight transmissions — holds a handle
+  // instead of copying the vector.
+  std::shared_ptr<const std::vector<NodeId>> neighbors_handle(NodeId n) const {
     return neighbors_.at(static_cast<std::size_t>(n));
   }
 
@@ -60,12 +82,33 @@ class Topology {
   // True if every node can reach every other node over in-range hops.
   bool connected() const;
 
+  // --- Time-varying backing (mobility) ----------------------------------
+  // Installs a position source; accessors keep returning the most recent
+  // epoch snapshot, advance_to() refreshes it. Shared so Topology stays
+  // copyable (copies share the model; in practice one topology per trial).
+  void set_mobility_model(std::shared_ptr<MobilityModel> model,
+                          util::Time epoch);
+  bool time_varying() const { return mobility_ != nullptr; }
+  util::Time mobility_epoch() const { return epoch_; }
+  // Re-samples positions from the mobility model and rebuilds the neighbor
+  // sets when `t` has entered a new epoch since the last call. No-op for a
+  // static topology. `t` must be non-decreasing across calls.
+  void advance_to(util::Time t);
+  // Neighbor-set builds so far (1 after construction); introspection for
+  // the epoch-tick tests.
+  std::uint64_t neighbor_rebuilds() const { return rebuilds_; }
+
  private:
   void build_neighbor_lists_();
 
   std::vector<Position> positions_;
   double range_m_;
-  std::vector<std::vector<NodeId>> neighbors_;
+  // Immutable per-node lists, replaced wholesale on every rebuild.
+  std::vector<std::shared_ptr<const std::vector<NodeId>>> neighbors_;
+  std::shared_ptr<MobilityModel> mobility_;
+  util::Time epoch_ = util::Time::seconds(5);
+  std::int64_t epoch_index_ = 0;
+  std::uint64_t rebuilds_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -106,6 +149,10 @@ struct DeploymentSpec {
   // tree at the node nearest the centre). Shape-aware: a corridor's centre
   // sits on its spine, a line's on the chain.
   Position centre() const;
+
+  // Width/height of the deployed rectangle — the bounds mobility models
+  // roam in (a line's height is 0: waypoints stay on the chain).
+  Position extent() const;
 };
 
 }  // namespace essat::net

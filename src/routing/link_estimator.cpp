@@ -1,0 +1,34 @@
+#include "src/routing/link_estimator.h"
+
+#include <algorithm>
+
+namespace essat::routing {
+
+LinkEstimator::LinkEstimator(const net::Channel& channel,
+                             const net::Topology& topo, EtxParams params)
+    : channel_{channel}, topo_{topo}, params_{params} {
+  params_.prior_weight = std::max(params_.prior_weight, 1e-6);
+  params_.min_prr = std::min(std::max(params_.min_prr, 1e-6), 1.0);
+}
+
+double LinkEstimator::prr(net::NodeId src, net::NodeId dst) const {
+  double prior = 1.0;
+  if (const net::LinkModel* model = channel_.link_model()) {
+    prior = model->expected_prr(
+        src, dst, net::distance(topo_.position(src), topo_.position(dst)));
+  }
+  const auto frames = static_cast<double>(channel_.frames_on(src, dst));
+  const auto drops = static_cast<double>(channel_.dropped_by_model(src, dst));
+  // drops can exceed frames if link stats were off for part of the run
+  // (drops are always counted); never let stale drops push delivered < 0.
+  const double delivered = std::max(0.0, frames - drops);
+  const double est = (params_.prior_weight * prior + delivered) /
+                     (params_.prior_weight + frames);
+  return std::min(1.0, std::max(params_.min_prr, est));
+}
+
+double LinkEstimator::etx(net::NodeId src, net::NodeId dst) const {
+  return 1.0 / (prr(src, dst) * prr(dst, src));
+}
+
+}  // namespace essat::routing

@@ -1,0 +1,149 @@
+// Pluggable parent-selection policies for tree construction and repair.
+//
+// The seed hardwired "lowest level wins" into three places: the central BFS
+// build, the distributed setup flood, and the repair service. A
+// ParentPolicy extracts that decision behind two quantities every selection
+// site composes the same way:
+//
+//   score(candidate) = path_cost(candidate) + link_cost(child, candidate)
+//
+// choosing the candidate with the lowest score (ties keep the incumbent /
+// first candidate in ascending-id order, reproducing the legacy rules).
+//
+// Shipping policies, registered by string key (the same pattern as
+// harness::StackRegistry and net::LinkModel's spec):
+//  * "min-hop" — link_cost 1, path_cost = tree level. Provably identical
+//    decisions to the legacy hardwired rule (equivalence-tested).
+//  * "etx"     — link_cost = the hop's bidirectional expected transmission
+//    count from a LinkEstimator over the channel's loss statistics,
+//    path_cost = the candidate's summed link ETX to the root. Routes around
+//    gray-zone links that min-hop happily takes.
+//
+// The sentinel spec key "legacy" builds a null policy: selection sites then
+// run their original pre-policy code paths, kept for the equivalence test
+// (mirrors net::LinkModelKind::kNone).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/net/types.h"
+#include "src/routing/tree.h"
+
+namespace essat::routing {
+
+class LinkEstimator;
+
+class ParentPolicy {
+ public:
+  virtual ~ParentPolicy() = default;
+  virtual const char* name() const = 0;
+  // Cost of the hop child -> parent; lower is better, must be positive.
+  virtual double link_cost(net::NodeId child, net::NodeId parent) = 0;
+  // Cost of member `n`'s current path to the root (0 at the root) — the
+  // quantity candidates advertise and selections compare.
+  virtual double path_cost(const Tree& tree, net::NodeId n) = 0;
+  // True when the policy reads the LinkEstimator: the harness then keeps
+  // the channel's per-link frame statistics on (they cost a hash-map update
+  // per in-range receiver, so estimator-free runs switch them off).
+  virtual bool uses_link_estimator() const { return false; }
+};
+
+// The legacy rule as a policy: every hop costs 1, a member's path cost is
+// its level, so "lowest score" is exactly "lowest level".
+class MinHopPolicy : public ParentPolicy {
+ public:
+  const char* name() const override { return "min-hop"; }
+  double link_cost(net::NodeId, net::NodeId) override { return 1.0; }
+  double path_cost(const Tree& tree, net::NodeId n) override {
+    return static_cast<double>(tree.level(n));
+  }
+};
+
+struct EtxParams {
+  // LinkEstimator smoothing: pseudo-frame weight of the model prior, and
+  // the per-direction PRR floor.
+  double prior_weight = 8.0;
+  double min_prr = 0.05;
+  // Hard cap on a single hop's cost, so one dead link cannot dominate an
+  // entire path sum.
+  double max_link_etx = 16.0;
+};
+
+class EtxPolicy : public ParentPolicy {
+ public:
+  EtxPolicy(const LinkEstimator& estimator, EtxParams params);
+
+  const char* name() const override { return "etx"; }
+  double link_cost(net::NodeId child, net::NodeId parent) override;
+  // Sum of link costs along `n`'s ancestor chain.
+  double path_cost(const Tree& tree, net::NodeId n) override;
+  bool uses_link_estimator() const override { return true; }
+
+ private:
+  const LinkEstimator& estimator_;
+  EtxParams params_;
+};
+
+// Everything a policy factory may need; estimator-free policies ignore the
+// estimator (it is null when the harness has none to offer).
+struct PolicyContext {
+  const net::Topology* topo = nullptr;
+  const LinkEstimator* estimator = nullptr;
+  EtxParams etx;
+};
+
+// String-keyed factory registry of parent policies. "min-hop" and "etx"
+// self-register; external code adds its own with ParentPolicyRegistrar or
+// instance().add().
+class ParentPolicyRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<ParentPolicy>(const PolicyContext&)>;
+
+  static ParentPolicyRegistry& instance();
+
+  // Throws std::invalid_argument on a duplicate name.
+  void add(std::string name, Factory factory);
+  bool contains(const std::string& name) const;
+  // Registered names, sorted (stable sweep-axis ordering).
+  std::vector<std::string> names() const;
+  // Throws std::invalid_argument on an unknown key, listing the known names.
+  std::unique_ptr<ParentPolicy> create(const std::string& name,
+                                       const PolicyContext& ctx) const;
+
+ private:
+  ParentPolicyRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, Factory>> entries_;
+};
+
+// Registers a factory at static-initialization time.
+struct ParentPolicyRegistrar {
+  ParentPolicyRegistrar(std::string name, ParentPolicyRegistry::Factory factory);
+};
+
+// ---------------------------------------------------------------------------
+// Declarative routing description, carried on harness::ScenarioConfig and
+// sweepable as a unit (exp::SweepSpec::axis_routing).
+
+struct RoutingSpec {
+  // Registry key of the parent-selection policy, or the sentinel "legacy"
+  // which builds a null policy (the hardwired pre-policy code paths in
+  // setup/repair/central build, kept for the equivalence test).
+  std::string policy = "min-hop";
+
+  // "etx" knobs.
+  EtxParams etx;
+
+  std::unique_ptr<ParentPolicy> build(const PolicyContext& ctx) const;
+
+  // Sink/axis label: the policy key.
+  std::string label() const { return policy; }
+};
+
+}  // namespace essat::routing

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "src/routing/parent_policy.h"
+
 namespace essat::routing {
 
 RepairService::RepairService(const net::Topology& topo, Tree& tree, Hooks hooks)
@@ -25,21 +27,37 @@ void RepairService::fire_rank_changes_(const std::vector<int>& ranks_before) {
   }
 }
 
-bool RepairService::reparent(net::NodeId n,
-                             const std::function<bool(net::NodeId)>& alive) {
-  if (!tree_.is_member(n)) return false;
+net::NodeId RepairService::pick_parent_(
+    net::NodeId n, net::NodeId exclude, bool subtree_check,
+    const std::function<bool(net::NodeId)>& alive) const {
   net::NodeId best = net::kNoNode;
   int best_level = std::numeric_limits<int>::max();
+  double best_score = std::numeric_limits<double>::infinity();
   for (net::NodeId cand : topo_.neighbors(n)) {
     if (!tree_.is_member(cand)) continue;
-    if (cand == tree_.parent(n)) continue;  // the unreachable parent
-    if (tree_.in_subtree(n, cand)) continue;
+    if (cand == exclude) continue;
+    if (subtree_check && tree_.in_subtree(n, cand)) continue;
     if (alive && !alive(cand)) continue;
-    if (tree_.level(cand) < best_level) {
+    if (policy_ != nullptr) {
+      const double score =
+          policy_->path_cost(tree_, cand) + policy_->link_cost(n, cand);
+      if (score < best_score) {
+        best_score = score;
+        best = cand;
+      }
+    } else if (tree_.level(cand) < best_level) {
       best_level = tree_.level(cand);
       best = cand;
     }
   }
+  return best;
+}
+
+bool RepairService::reparent(net::NodeId n,
+                             const std::function<bool(net::NodeId)>& alive) {
+  if (!tree_.is_member(n)) return false;
+  // Exclude the unreachable parent and n's own subtree.
+  const net::NodeId best = pick_parent_(n, tree_.parent(n), true, alive);
   if (best == net::kNoNode) return false;
 
   const auto ranks_before = snapshot_ranks_();
@@ -72,17 +90,10 @@ std::vector<net::NodeId> RepairService::remove_failed_node(
   std::vector<net::NodeId> stranded;
   for (net::NodeId orphan : orphans) {
     if (!alive || alive(orphan)) {
-      // Orphans lost membership; re-add under the best member neighbor.
-      net::NodeId best = net::kNoNode;
-      int best_level = std::numeric_limits<int>::max();
-      for (net::NodeId cand : topo_.neighbors(orphan)) {
-        if (!tree_.is_member(cand)) continue;
-        if (alive && !alive(cand)) continue;
-        if (tree_.level(cand) < best_level) {
-          best_level = tree_.level(cand);
-          best = cand;
-        }
-      }
+      // Orphans lost membership; re-add under the best member neighbor (no
+      // subtree exclusion needed — the orphan's old subtree lost membership
+      // with it).
+      const net::NodeId best = pick_parent_(orphan, net::kNoNode, false, alive);
       if (best != net::kNoNode) {
         const auto before = snapshot_ranks_();
         tree_.add_node(orphan, best);

@@ -4,6 +4,11 @@
 // the structural changes and reports exactly which nodes' ranks changed so
 // shapers can react per protocol (NTS: nothing; STS: recompute s/r; DTS:
 // one phase update on the first report to the new parent).
+//
+// Candidate parents are ranked by the installed ParentPolicy
+// (path_cost + link_cost, lowest wins, ascending-id first on ties); with no
+// policy installed the original hardwired lowest-level rule runs, which
+// MinHopPolicy reproduces exactly.
 #pragma once
 
 #include <functional>
@@ -13,6 +18,8 @@
 #include "src/routing/tree.h"
 
 namespace essat::routing {
+
+class ParentPolicy;
 
 class RepairService {
  public:
@@ -31,6 +38,10 @@ class RepairService {
   // provides them needs a reference to this object first).
   void set_hooks(Hooks hooks) { hooks_ = std::move(hooks); }
 
+  // Installs the parent-selection policy (non-owning; must outlive this
+  // service). nullptr = the legacy lowest-level rule.
+  void set_policy(ParentPolicy* policy) { policy_ = policy; }
+
   // Child-side recovery: `n` can no longer reach its parent. Re-attaches n
   // (with its subtree) under the best alive neighbor: a tree member, not in
   // n's own subtree, lowest level. Returns false when no candidate exists
@@ -45,10 +56,15 @@ class RepairService {
  private:
   void fire_rank_changes_(const std::vector<int>& ranks_before);
   std::vector<int> snapshot_ranks_() const;
+  // Best alive member neighbor of `n` (excluding `exclude` and, when
+  // `subtree_check`, n's own subtree), by policy score or legacy level.
+  net::NodeId pick_parent_(net::NodeId n, net::NodeId exclude, bool subtree_check,
+                           const std::function<bool(net::NodeId)>& alive) const;
 
   const net::Topology& topo_;
   Tree& tree_;
   Hooks hooks_;
+  ParentPolicy* policy_ = nullptr;
 };
 
 }  // namespace essat::routing

@@ -1,8 +1,13 @@
 #include "src/routing/tree.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <queue>
 #include <stdexcept>
+#include <tuple>
+
+#include "src/routing/parent_policy.h"
 
 namespace essat::routing {
 
@@ -155,6 +160,60 @@ Tree build_bfs_tree(const net::Topology& topo, net::NodeId root,
       tree.add_node(v, u);
       frontier.push(v);
     }
+  }
+  tree.recompute_ranks();
+  return tree;
+}
+
+Tree build_policy_tree(const net::Topology& topo, net::NodeId root,
+                       double max_dist_from_root, ParentPolicy* policy) {
+  if (policy == nullptr) return build_bfs_tree(topo, root, max_dist_from_root);
+
+  const std::size_t n = topo.num_nodes();
+  const net::Position root_pos = topo.position(root);
+  std::vector<double> cost(n, std::numeric_limits<double>::infinity());
+  std::vector<net::NodeId> parent(n, net::kNoNode);
+  std::vector<char> settled(n, 0);
+
+  // Min-heap over (cost, push sequence): the sequence makes the pop order
+  // FIFO-stable among equal costs, which is what makes unit costs settle
+  // nodes in exactly build_bfs_tree's frontier order.
+  using Entry = std::tuple<double, std::uint64_t, net::NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  std::uint64_t next_seq = 0;
+
+  cost[static_cast<std::size_t>(root)] = 0.0;
+  heap.emplace(0.0, next_seq++, root);
+
+  std::vector<net::NodeId> settle_order;
+  while (!heap.empty()) {
+    const auto [c, seq, u] = heap.top();
+    heap.pop();
+    auto& done = settled[static_cast<std::size_t>(u)];
+    if (done || c != cost[static_cast<std::size_t>(u)]) continue;  // stale entry
+    done = 1;
+    if (u != root) settle_order.push_back(u);
+
+    std::vector<net::NodeId> nbrs = topo.neighbors(u);
+    std::sort(nbrs.begin(), nbrs.end());
+    for (net::NodeId v : nbrs) {
+      if (settled[static_cast<std::size_t>(v)]) continue;
+      if (net::distance(topo.position(v), root_pos) > max_dist_from_root) continue;
+      const double offer = c + policy->link_cost(v, u);
+      if (offer < cost[static_cast<std::size_t>(v)]) {
+        cost[static_cast<std::size_t>(v)] = offer;
+        parent[static_cast<std::size_t>(v)] = u;
+        heap.emplace(offer, next_seq++, v);
+      }
+    }
+  }
+
+  // A node always settles after its final parent, so inserting in settle
+  // order keeps add_node's parent-is-a-member invariant.
+  Tree tree{n};
+  tree.set_root(root);
+  for (net::NodeId u : settle_order) {
+    tree.add_node(u, parent[static_cast<std::size_t>(u)]);
   }
   tree.recompute_ranks();
   return tree;

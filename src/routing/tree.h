@@ -76,4 +76,15 @@ class Tree {
 Tree build_bfs_tree(const net::Topology& topo, net::NodeId root,
                     double max_dist_from_root);
 
+class ParentPolicy;
+
+// Policy-driven central construction: a shortest-path (Dijkstra) tree over
+// the policy's link costs, with FIFO-stable tie-breaking and ascending-id
+// neighbor expansion so that unit costs (MinHopPolicy) reproduce
+// build_bfs_tree exactly — structure, child order and all
+// (equivalence-tested). A null policy falls back to build_bfs_tree, the
+// legacy code path.
+Tree build_policy_tree(const net::Topology& topo, net::NodeId root,
+                       double max_dist_from_root, ParentPolicy* policy);
+
 }  // namespace essat::routing

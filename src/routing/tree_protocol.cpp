@@ -7,12 +7,13 @@ namespace essat::routing {
 
 TreeSetupProtocol::TreeSetupProtocol(sim::Simulator& sim, const net::Topology& topo,
                                      net::NodeId root, TreeSetupParams params,
-                                     util::Rng rng)
+                                     util::Rng rng, ParentPolicy* policy)
     : sim_{sim},
       topo_{topo},
       root_{root},
       params_{params},
       rng_{rng},
+      policy_{policy},
       nodes_(topo.num_nodes()),
       macs_(topo.num_nodes(), nullptr) {
   const net::Position root_pos = topo_.position(root_);
@@ -21,7 +22,9 @@ TreeSetupProtocol::TreeSetupProtocol(sim::Simulator& sim, const net::Topology& t
         net::distance(topo_.position(static_cast<net::NodeId>(i)), root_pos) <=
         params_.max_dist_from_root;
   }
-  nodes_.at(static_cast<std::size_t>(root_)).level = 0;
+  auto& root_state = nodes_.at(static_cast<std::size_t>(root_));
+  root_state.level = 0;
+  root_state.cost = 0.0;
 }
 
 void TreeSetupProtocol::attach_mac(net::NodeId node, mac::CsmaMac* mac) {
@@ -57,9 +60,26 @@ void TreeSetupProtocol::handle_packet(net::NodeId self, const net::Packet& p) {
   switch (p.type) {
     case net::PacketType::kSetup: {
       if (self == root_ || !st.participates) return;
-      const int offered = p.setup().level + 1;
-      if (st.level == -1 || offered < st.level) {
-        st.level = offered;
+      const int offered_level = p.setup().level + 1;
+      if (policy_ == nullptr) {
+        // Legacy hardwired rule: lowest advertised level wins, first heard
+        // keeps ties.
+        if (st.level == -1 || offered_level < st.level) {
+          st.level = offered_level;
+          st.cost = offered_level;
+          st.parent = p.link_src;
+          schedule_rebroadcast_(self);
+        }
+        return;
+      }
+      // Policy rule: the sender advertises its path cost; adopt when the
+      // resulting cost strictly beats the current one (min-hop costs make
+      // this the exact legacy comparison).
+      const double offered_cost =
+          p.setup().cost + policy_->link_cost(self, p.link_src);
+      if (st.parent == net::kNoNode || offered_cost < st.cost) {
+        st.cost = offered_cost;
+        st.level = offered_level;
         st.parent = p.link_src;
         schedule_rebroadcast_(self);
       }
@@ -83,7 +103,8 @@ void TreeSetupProtocol::schedule_rebroadcast_(net::NodeId n) {
     auto& s = nodes_.at(static_cast<std::size_t>(n));
     s.rebroadcast_pending = false;
     ++s.rebroadcasts;
-    macs_.at(static_cast<std::size_t>(n))->send(net::make_setup_packet(n, root_, s.level));
+    macs_.at(static_cast<std::size_t>(n))
+        ->send(net::make_setup_packet(n, root_, s.level, s.cost));
   });
 }
 
@@ -103,9 +124,28 @@ Tree TreeSetupProtocol::assemble_() const {
     const int lb = nodes_[static_cast<std::size_t>(b)].level;
     return la != lb ? la < lb : a < b;
   });
-  for (net::NodeId n : order) {
-    const net::NodeId parent = nodes_[static_cast<std::size_t>(n)].parent;
-    if (tree.is_member(parent)) tree.add_node(n, parent);
+  // Under the legacy/min-hop rules levels only ever decrease, so one pass
+  // in level order inserts every member. A cost-based policy can adopt a
+  // *higher*-level parent, leaving stale child levels that break the
+  // parent-first ordering — keep sweeping until a fixpoint. With positive
+  // link costs a parent cycle cannot form (every adoption strictly lowers
+  // the adopter's cost, and a node's advertised cost never understates its
+  // final one), so the fixpoint inserts every participant; a policy that
+  // broke that invariant would leave the cycle's nodes out permanently —
+  // repair cannot re-attach non-members.
+  std::vector<char> inserted(nodes_.size(), 0);
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (net::NodeId n : order) {
+      if (inserted[static_cast<std::size_t>(n)]) continue;
+      const net::NodeId parent = nodes_[static_cast<std::size_t>(n)].parent;
+      if (tree.is_member(parent)) {
+        tree.add_node(n, parent);
+        inserted[static_cast<std::size_t>(n)] = 1;
+        progress = true;
+      }
+    }
   }
   tree.recompute_ranks();
   return tree;

@@ -3,24 +3,30 @@
 // may receive setup requests from multiple nodes and selects the node with
 // the lowest level as its parent."
 //
-// Operation: the root broadcasts SETUP(level 0); every node adopts the
-// lowest-level sender heard as its parent and rebroadcasts its own level
-// after a random jitter (re-broadcasting when its level improves, up to a
-// cap). Nodes farther than the configured distance from the root do not
-// participate (the paper's 300 m tree span). Each member then unicasts a
-// JOIN to its parent so parents learn their children. At `finalize_after`
-// the converged parent choices are assembled into a Tree and ranks are
-// computed — the paper likewise completes setup "before the start of the
-// experiments".
+// Operation: the root broadcasts SETUP(level 0, cost 0); every node adopts
+// the best-scoring sender heard as its parent and rebroadcasts its own
+// level/cost after a random jitter (re-broadcasting whenever it adopts, up
+// to a cap). "Best" comes from the pluggable ParentPolicy: each SETUP
+// advertises the sender's path cost, a node adopts when
+// advertised + link_cost beats its current cost (min-hop costs reproduce
+// the paper's lowest-level rule exactly; a null policy runs the original
+// hardwired comparison). Nodes farther than the configured distance from
+// the root do not participate (the paper's 300 m tree span). Each member
+// then unicasts a JOIN to its parent so parents learn their children. At
+// `finalize_after` the converged parent choices are assembled into a Tree
+// and ranks are computed — the paper likewise completes setup "before the
+// start of the experiments".
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <vector>
 
 #include "src/mac/csma.h"
 #include "src/net/packet.h"
 #include "src/net/topology.h"
+#include "src/routing/parent_policy.h"
 #include "src/routing/tree.h"
 #include "src/sim/timer.h"
 #include "src/util/rng.h"
@@ -37,8 +43,11 @@ struct TreeSetupParams {
 
 class TreeSetupProtocol {
  public:
+  // `policy` selects parents (non-owning, may outlive setup); nullptr runs
+  // the legacy lowest-level comparison.
   TreeSetupProtocol(sim::Simulator& sim, const net::Topology& topo,
-                    net::NodeId root, TreeSetupParams params, util::Rng rng);
+                    net::NodeId root, TreeSetupParams params, util::Rng rng,
+                    ParentPolicy* policy = nullptr);
 
   // All node MACs must be attached before start().
   void attach_mac(net::NodeId node, mac::CsmaMac* mac);
@@ -63,6 +72,8 @@ class TreeSetupProtocol {
   struct NodeState {
     net::NodeId parent = net::kNoNode;
     int level = -1;
+    // Path cost under the active policy (== level for min-hop/legacy).
+    double cost = std::numeric_limits<double>::infinity();
     int rebroadcasts = 0;
     bool participates = true;
     bool rebroadcast_pending = false;
@@ -76,6 +87,7 @@ class TreeSetupProtocol {
   net::NodeId root_;
   TreeSetupParams params_;
   util::Rng rng_;
+  ParentPolicy* policy_;
   std::vector<NodeState> nodes_;
   std::vector<mac::CsmaMac*> macs_;
   std::uint64_t joins_received_ = 0;

@@ -85,8 +85,22 @@ TEST(LinkModel, ShadowingLinksAreAsymmetric) {
   ShadowingParams p;  // sigma 4 dB: per-direction gains draw independently
   LogNormalShadowingModel m{p, 125.0, util::Rng{42}};
   EXPECT_NE(m.link_prr(0, 1, 100.0), m.link_prr(1, 0, 100.0));
-  // Cached: repeated queries return the identical value.
+  // Deterministic: repeated queries at the same distance return the
+  // identical value.
   EXPECT_EQ(m.link_prr(0, 1, 100.0), m.link_prr(0, 1, 100.0));
+}
+
+TEST(LinkModel, ShadowingPrrTracksDistanceOfTheSameLink) {
+  // Mobility regression: the per-link gain is cached, the distance term is
+  // not — when the endpoints move, the same link's PRR must move too.
+  ShadowingParams p;
+  LogNormalShadowingModel m{p, 125.0, util::Rng{42}};
+  const double near = m.link_prr(0, 1, 30.0);
+  const double far = m.link_prr(0, 1, 124.0);
+  EXPECT_GT(near, far);
+  // And back: returning to the original distance reproduces the original
+  // PRR exactly (same cached gain, same curve).
+  EXPECT_EQ(m.link_prr(0, 1, 30.0), near);
 }
 
 TEST(LinkModel, ShadowingPerLinkGainIndependentOfQueryOrder) {

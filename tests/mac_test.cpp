@@ -82,6 +82,42 @@ TEST(CsmaMac, FailsAfterMaxAttemptsWhenReceiverOff) {
   EXPECT_EQ(rig.macs[0]->stats().retries, 3u);
 }
 
+TEST(CsmaMac, RetryAttributionNoAck) {
+  // A sleeping receiver never ACKs: every retry is a no-ACK retransmission
+  // (in this MAC, `retries` counts nothing else), and with nobody else
+  // transmitting the carrier is never busy.
+  MacParams params;
+  params.max_attempts = 4;
+  MacRig rig{2, params};
+  rig.radios[1]->turn_off();
+  rig.sim.run_until(Time::milliseconds(5));
+  rig.macs[0]->send(data(1));
+  rig.sim.run_until(Time::seconds(2));
+  EXPECT_EQ(rig.macs[0]->stats().retries, 3u);
+  EXPECT_EQ(rig.macs[0]->stats().cca_busy_defers, 0u);
+}
+
+TEST(CsmaMac, RetryAttributionCcaBusy) {
+  // Two mutually-in-range senders firing at the same instants: whoever
+  // loses the backoff draw carrier-senses the winner's transmission and
+  // freezes — a CCA-busy defer, not a retransmission.
+  MacRig rig{2};
+  int delivered = 0;
+  rig.macs[0]->set_rx_handler([&](const net::Packet&) { ++delivered; });
+  rig.macs[1]->set_rx_handler([&](const net::Packet&) { ++delivered; });
+  for (int burst = 0; burst < 10; ++burst) {
+    rig.sim.schedule_at(Time::milliseconds(burst * 10), [&] {
+      rig.macs[0]->send(data(1));
+      rig.macs[1]->send(data(0));
+    });
+  }
+  rig.sim.run_until(Time::seconds(2));
+  EXPECT_EQ(delivered, 20);
+  EXPECT_GT(rig.macs[0]->stats().cca_busy_defers +
+                rig.macs[1]->stats().cca_busy_defers,
+            0u);
+}
+
 TEST(CsmaMac, RetrySucceedsWhenReceiverWakes) {
   MacRig rig{2};
   rig.radios[1]->turn_off();

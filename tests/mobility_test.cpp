@@ -1,0 +1,327 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "src/net/channel.h"
+#include "src/net/mobility.h"
+#include "src/net/topology.h"
+#include "src/sim/simulator.h"
+
+namespace essat::net {
+namespace {
+
+using util::Time;
+
+// Brute-force all-pairs reference (the pre-grid neighbor build).
+std::vector<std::vector<NodeId>> all_pairs_neighbors(
+    const std::vector<Position>& pos, double range) {
+  std::vector<std::vector<NodeId>> out(pos.size());
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    for (std::size_t j = i + 1; j < pos.size(); ++j) {
+      if (distance(pos[i], pos[j]) <= range) {
+        out[i].push_back(static_cast<NodeId>(j));
+        out[j].push_back(static_cast<NodeId>(i));
+      }
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------ grid spatial index
+
+TEST(TopologyGrid, NeighborListsIdenticalToAllPairsScan) {
+  util::Rng rng{11};
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t n = 20 + static_cast<std::size_t>(trial) * 60;
+    const Topology topo = Topology::uniform_random(n, 400.0, 125.0, rng);
+    const auto reference = all_pairs_neighbors(topo.positions(), topo.range());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(topo.neighbors(static_cast<NodeId>(i)), reference[i])
+          << "node " << i << " trial " << trial;
+    }
+  }
+}
+
+TEST(TopologyGrid, MatchesAllPairsOnEverySpecKind) {
+  util::Rng rng{5};
+  for (TopologyKind kind :
+       {TopologyKind::kUniform, TopologyKind::kGrid, TopologyKind::kLine,
+        TopologyKind::kClustered, TopologyKind::kCorridor}) {
+    DeploymentSpec spec;
+    spec.kind = kind;
+    spec.num_nodes = 60;
+    const Topology topo = spec.build(rng);
+    const auto reference = all_pairs_neighbors(topo.positions(), topo.range());
+    for (std::size_t i = 0; i < topo.num_nodes(); ++i) {
+      EXPECT_EQ(topo.neighbors(static_cast<NodeId>(i)), reference[i])
+          << topology_kind_name(kind) << " node " << i;
+    }
+  }
+}
+
+TEST(TopologyGrid, DegenerateCases) {
+  // Empty and single-node topologies, plus co-located nodes.
+  const Topology empty{{}, 100.0};
+  EXPECT_EQ(empty.num_nodes(), 0u);
+  const Topology one{{Position{3.0, 4.0}}, 100.0};
+  EXPECT_TRUE(one.neighbors(0).empty());
+  const Topology same{{Position{1.0, 1.0}, Position{1.0, 1.0}}, 100.0};
+  EXPECT_EQ(same.neighbors(0), std::vector<NodeId>{1});
+  EXPECT_EQ(same.neighbors(1), std::vector<NodeId>{0});
+}
+
+TEST(TopologyGrid, SparseHugeExtentStaysExact) {
+  // Two clusters separated by an extent vastly larger than the range: the
+  // cell-capping fallback must not change results (or blow up memory).
+  std::vector<Position> pos;
+  for (int i = 0; i < 10; ++i) pos.push_back(Position{i * 10.0, 0.0});
+  for (int i = 0; i < 10; ++i) pos.push_back(Position{1e7 + i * 10.0, 5.0});
+  const Topology topo{pos, 125.0};
+  const auto reference = all_pairs_neighbors(pos, 125.0);
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    EXPECT_EQ(topo.neighbors(static_cast<NodeId>(i)), reference[i]);
+  }
+}
+
+// ----------------------------------------------------------- static model
+
+TEST(Mobility, StaticModelNeverMoves) {
+  util::Rng rng{3};
+  Topology topo = Topology::uniform_random(30, 300.0, 125.0, rng);
+  const std::vector<Position> before = topo.positions();
+  const auto neighbors_before = topo.neighbors(0);
+
+  topo.set_mobility_model(std::make_shared<StaticMobility>(before),
+                          Time::seconds(5));
+  EXPECT_TRUE(topo.time_varying());
+  topo.advance_to(Time::seconds(5));
+  topo.advance_to(Time::seconds(123));
+  EXPECT_EQ(topo.positions(), before);
+  EXPECT_EQ(topo.neighbors(0), neighbors_before);
+}
+
+TEST(Mobility, AdvanceRebuildsOncePerEpoch) {
+  util::Rng rng{3};
+  Topology topo = Topology::uniform_random(10, 300.0, 125.0, rng);
+  topo.set_mobility_model(std::make_shared<StaticMobility>(topo.positions()),
+                          Time::seconds(5));
+  const auto base = topo.neighbor_rebuilds();
+  topo.advance_to(Time::seconds(2));           // still epoch 0
+  EXPECT_EQ(topo.neighbor_rebuilds(), base);
+  topo.advance_to(Time::seconds(5));           // epoch 1
+  EXPECT_EQ(topo.neighbor_rebuilds(), base + 1);
+  topo.advance_to(Time::seconds(7));           // still epoch 1
+  EXPECT_EQ(topo.neighbor_rebuilds(), base + 1);
+  topo.advance_to(Time::seconds(15));          // epoch 3 (lazy: one rebuild)
+  EXPECT_EQ(topo.neighbor_rebuilds(), base + 2);
+}
+
+TEST(Mobility, NoModelAdvanceIsNoOp) {
+  util::Rng rng{3};
+  Topology topo = Topology::uniform_random(10, 300.0, 125.0, rng);
+  EXPECT_FALSE(topo.time_varying());
+  const auto base = topo.neighbor_rebuilds();
+  topo.advance_to(Time::seconds(100));
+  EXPECT_EQ(topo.neighbor_rebuilds(), base);
+}
+
+// -------------------------------------------------------- random waypoint
+
+TEST(Mobility, RandomWaypointStaysInBoundsAndMoves) {
+  std::vector<Position> initial(20, Position{250.0, 250.0});
+  RandomWaypointParams params;
+  params.speed_min_mps = 1.0;
+  params.speed_max_mps = 2.0;
+  params.pause_s = 1.0;
+  RandomWaypointMobility model{initial, 500.0, 500.0, params, util::Rng{9}};
+
+  std::vector<Position> pos;
+  bool moved = false;
+  for (int s = 0; s <= 600; s += 5) {
+    model.positions_at(Time::seconds(s), pos);
+    ASSERT_EQ(pos.size(), initial.size());
+    for (const Position& p : pos) {
+      EXPECT_GE(p.x, 0.0);
+      EXPECT_LE(p.x, 500.0);
+      EXPECT_GE(p.y, 0.0);
+      EXPECT_LE(p.y, 500.0);
+    }
+    if (distance(pos[0], initial[0]) > 1.0) moved = true;
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(Mobility, RandomWaypointRespectsSpeedBound) {
+  std::vector<Position> initial(8, Position{100.0, 100.0});
+  RandomWaypointParams params;
+  params.speed_min_mps = 1.0;
+  params.speed_max_mps = 2.0;
+  params.pause_s = 0.0;
+  RandomWaypointMobility model{initial, 200.0, 200.0, params, util::Rng{4}};
+
+  std::vector<Position> prev, cur;
+  model.positions_at(Time::zero(), prev);
+  for (int s = 1; s <= 200; ++s) {
+    model.positions_at(Time::seconds(s), cur);
+    for (std::size_t i = 0; i < cur.size(); ++i) {
+      // One second at top speed 2 m/s; small slack for a turn mid-interval
+      // (the displacement chord is at most the path length).
+      EXPECT_LE(distance(prev[i], cur[i]), 2.0 + 1e-9);
+    }
+    prev = cur;
+  }
+}
+
+TEST(Mobility, RandomWaypointDeterministicPerSeedAndNode) {
+  std::vector<Position> initial;
+  for (int i = 0; i < 6; ++i) initial.push_back(Position{i * 10.0, 0.0});
+  RandomWaypointParams params;
+  auto run = [&](std::uint64_t seed) {
+    RandomWaypointMobility m{initial, 300.0, 300.0, params, util::Rng{seed}};
+    std::vector<Position> out;
+    m.positions_at(Time::seconds(97), out);
+    return out;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+// --------------------------------------------------------- trace playback
+
+TEST(Mobility, TraceInterpolatesAndHolds) {
+  std::vector<Position> initial{Position{0.0, 0.0}, Position{50.0, 0.0}};
+  WaypointTrace tr;
+  tr.node = 0;
+  tr.points = {{Time::seconds(10), Position{100.0, 0.0}},
+               {Time::seconds(20), Position{100.0, 40.0}}};
+  WaypointTraceMobility model{initial, {tr}};
+
+  std::vector<Position> pos;
+  model.positions_at(Time::zero(), pos);
+  EXPECT_EQ(pos[0], (Position{0.0, 0.0}));
+  model.positions_at(Time::seconds(5), pos);  // halfway to the first point
+  EXPECT_NEAR(pos[0].x, 50.0, 1e-9);
+  model.positions_at(Time::seconds(15), pos);  // halfway between checkpoints
+  EXPECT_NEAR(pos[0].x, 100.0, 1e-9);
+  EXPECT_NEAR(pos[0].y, 20.0, 1e-9);
+  model.positions_at(Time::seconds(60), pos);  // past the last: hold
+  EXPECT_EQ(pos[0], (Position{100.0, 40.0}));
+  // Node 1 has no trace and never moves.
+  EXPECT_EQ(pos[1], (Position{50.0, 0.0}));
+}
+
+TEST(Mobility, TraceValidation) {
+  std::vector<Position> initial{Position{0.0, 0.0}};
+  WaypointTrace unknown;
+  unknown.node = 5;
+  EXPECT_THROW((WaypointTraceMobility{initial, {unknown}}), std::invalid_argument);
+  WaypointTrace unordered;
+  unordered.node = 0;
+  unordered.points = {{Time::seconds(10), Position{}}, {Time::seconds(10), Position{}}};
+  EXPECT_THROW((WaypointTraceMobility{initial, {unordered}}), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- neighbors
+// track motion through advance_to
+
+TEST(Mobility, AdvanceUpdatesNeighborSets) {
+  // Node 1 starts out of range of node 0 and walks into range by t = 10 s.
+  std::vector<Position> initial{Position{0.0, 0.0}, Position{200.0, 0.0}};
+  Topology topo{initial, 125.0};
+  EXPECT_TRUE(topo.neighbors(0).empty());
+
+  WaypointTrace tr;
+  tr.node = 1;
+  tr.points = {{Time::seconds(10), Position{100.0, 0.0}}};
+  topo.set_mobility_model(
+      std::make_shared<WaypointTraceMobility>(initial, std::vector<WaypointTrace>{tr}),
+      Time::seconds(5));
+
+  topo.advance_to(Time::seconds(5));  // halfway: still 150 m apart
+  EXPECT_TRUE(topo.neighbors(0).empty());
+  topo.advance_to(Time::seconds(10));
+  EXPECT_EQ(topo.neighbors(0), std::vector<NodeId>{1});
+  EXPECT_EQ(topo.neighbors(1), std::vector<NodeId>{0});
+  EXPECT_TRUE(topo.in_range(0, 1));
+}
+
+// A neighbor rebuild landing mid-frame must not corrupt the channel's
+// carrier-sense bookkeeping: the receiver set is frozen at transmit time.
+TEST(Mobility, ChannelSurvivesEpochTickMidFrame) {
+  std::vector<Position> initial{Position{0.0, 0.0}, Position{100.0, 0.0}};
+  Topology topo{initial, 125.0};
+  WaypointTrace tr;
+  tr.node = 1;  // walks out of range while the frame is on the air
+  tr.points = {{Time::from_milliseconds(1.0), Position{1000.0, 0.0}}};
+  topo.set_mobility_model(
+      std::make_shared<WaypointTraceMobility>(initial, std::vector<WaypointTrace>{tr}),
+      Time::from_milliseconds(0.5));
+
+  sim::Simulator sim;
+  Channel ch{sim, topo};
+  int completions = 0;
+  ch.attach(1, Channel::Attachment{
+                   [] { return true; },
+                   [&completions](const Packet&, bool ok) {
+                     ++completions;
+                     EXPECT_TRUE(ok);
+                   },
+                   nullptr,
+               });
+
+  DataHeader h;
+  ch.start_tx(0, make_data_packet(0, 1, h), Time::from_milliseconds(2.0));
+  // Rebuild neighbors mid-frame: node 1 leaves node 0's range.
+  sim.schedule_at(Time::from_milliseconds(1.0),
+                  [&] { topo.advance_to(Time::from_milliseconds(1.0)); });
+  sim.run();
+
+  EXPECT_EQ(completions, 1);
+  EXPECT_FALSE(ch.busy(1));  // arriving_count drained cleanly
+  EXPECT_TRUE(topo.neighbors(0).empty());
+}
+
+// ------------------------------------------------------------------ spec
+
+TEST(MobilitySpec, KindNamesRoundTrip) {
+  for (MobilityKind k : {MobilityKind::kStatic, MobilityKind::kRandomWaypoint,
+                         MobilityKind::kWaypoints}) {
+    EXPECT_EQ(mobility_kind_from_name(mobility_kind_name(k)), k);
+  }
+  EXPECT_THROW(mobility_kind_from_name("brownian"), std::invalid_argument);
+}
+
+TEST(MobilitySpec, StaticBuildsNothingOthersBuild) {
+  std::vector<Position> initial{Position{0.0, 0.0}};
+  MobilitySpec spec;
+  EXPECT_EQ(spec.build(initial, 100.0, 100.0, util::Rng{1}), nullptr);
+  EXPECT_EQ(spec.label(), "static");
+
+  spec.kind = MobilityKind::kRandomWaypoint;
+  auto waypoint = spec.build(initial, 100.0, 100.0, util::Rng{1});
+  ASSERT_NE(waypoint, nullptr);
+  EXPECT_STREQ(waypoint->name(), "waypoint");
+  EXPECT_EQ(spec.label(), "waypoint@1.5mps");
+
+  spec.kind = MobilityKind::kWaypoints;
+  auto trace = spec.build(initial, 100.0, 100.0, util::Rng{1});
+  ASSERT_NE(trace, nullptr);
+  EXPECT_STREQ(trace->name(), "trace");
+  EXPECT_EQ(spec.label(), "trace");
+}
+
+TEST(MobilitySpec, DeploymentExtentIsShapeAware) {
+  DeploymentSpec d;
+  d.area_m = 400.0;
+  EXPECT_EQ(d.extent(), (Position{400.0, 400.0}));
+  d.kind = TopologyKind::kLine;
+  EXPECT_EQ(d.extent(), (Position{400.0, 0.0}));
+  d.kind = TopologyKind::kCorridor;
+  d.corridor_width_m = 60.0;
+  EXPECT_EQ(d.extent(), (Position{400.0, 60.0}));
+}
+
+}  // namespace
+}  // namespace essat::net
