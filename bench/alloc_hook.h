@@ -1,0 +1,64 @@
+// Counting replacement of the global allocation operators — the tracking
+// hook behind the steady-state allocation metrics.
+//
+// Include this header in exactly ONE translation unit of a binary (it
+// defines the replaceable global operators); read `essat::bench_alloc::
+// allocations()` or use `AllocationCounter` to measure a scoped region.
+// Shared by bench/perf_report.cpp (allocs/event trajectory metric) and
+// tests/perf_alloc_test.cpp (zero-alloc hot-path assertions) so the
+// overload set — including the aligned forms — stays complete in both.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace essat::bench_alloc {
+
+inline std::atomic<std::uint64_t> g_allocations{0};
+
+inline std::uint64_t allocations() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+// Snapshot-based scoped counter: no global gating, so the hook itself
+// stays branch-free and the region's count is simply (now - start).
+class AllocationCounter {
+ public:
+  AllocationCounter() : start_{allocations()} {}
+  std::uint64_t count() const { return allocations() - start_; }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace essat::bench_alloc
+
+void* operator new(std::size_t size) {
+  essat::bench_alloc::g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  essat::bench_alloc::g_allocations.fetch_add(1, std::memory_order_relaxed);
+  const auto a = static_cast<std::size_t>(align);
+  if (void* p = std::aligned_alloc(a, (size + a - 1) & ~(a - 1))) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}

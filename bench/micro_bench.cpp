@@ -1,10 +1,13 @@
-// Microbenchmarks of the hot paths: event queue operations (including an
-// A/B against the pre-refactor hash-set implementation), channel broadcast
+// Microbenchmarks of the hot paths: event queue operations (A/B against
+// both pre-refactor generations: the PR-1 hash-set queue and the PR-2..4
+// std::function slot queue), broadcast packet delivery (zero-copy shared
+// frames vs the legacy per-receiver Packet copies), channel broadcast
 // scheduling (batched vs legacy per-neighbor events), topology neighbor
 // rebuilds (uniform-grid index vs the pre-mobility all-pairs scan), Safe
 // Sleep bookkeeping, shaper updates, and a full small-scenario run.
 #include <benchmark/benchmark.h>
 
+#include <functional>
 #include <queue>
 #include <unordered_set>
 
@@ -71,6 +74,85 @@ class LegacyEventQueue {
   sim::EventId next_id_ = 1;
 };
 
+// The PR-2..4 EventQueue, verbatim: slot-indexed with O(1) cancel, but the
+// callback is a std::function (heap-allocated past 16 captured bytes) and
+// the heap is a binary std::priority_queue. This is the immediate pre-PR-5
+// baseline for the inline-callback/calendar-wheel core.
+class StdFunctionSlotQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  sim::EventId push(Time t, Callback cb) {
+    std::uint32_t slot;
+    if (free_slots_.empty()) {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    } else {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    }
+    Slot& s = slots_[slot];
+    s.cb = std::move(cb);
+    s.pending = true;
+    heap_.push(Entry{t, next_seq_++, slot});
+    return (static_cast<sim::EventId>(slot) + 1) << 32 | s.generation;
+  }
+  void cancel(sim::EventId id) {
+    if (id == sim::kInvalidEventId) return;
+    const std::uint64_t slot_plus_1 = id >> 32;
+    if (slot_plus_1 == 0 || slot_plus_1 > slots_.size()) return;
+    Slot& s = slots_[static_cast<std::uint32_t>(slot_plus_1 - 1)];
+    if (!s.pending || s.generation != static_cast<std::uint32_t>(id)) return;
+    s.pending = false;
+    s.cb = nullptr;
+  }
+  bool empty() const {
+    drop_cancelled_();
+    return heap_.empty();
+  }
+  std::pair<Time, Callback> pop() {
+    drop_cancelled_();
+    const Entry top = heap_.top();
+    Slot& s = slots_[top.slot];
+    std::pair<Time, Callback> out{top.time, std::move(s.cb)};
+    s.cb = nullptr;
+    s.pending = false;
+    release_slot_(top.slot);
+    heap_.pop();
+    return out;
+  }
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq = 0;
+    std::uint32_t slot = 0;
+    bool operator<(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+  struct Slot {
+    Callback cb;
+    std::uint32_t generation = 0;
+    bool pending = false;
+  };
+  void release_slot_(std::uint32_t slot) const {
+    ++slots_[slot].generation;
+    free_slots_.push_back(slot);
+  }
+  void drop_cancelled_() const {
+    while (!heap_.empty() && !slots_[heap_.top().slot].pending) {
+      release_slot_(heap_.top().slot);
+      heap_.pop();
+    }
+  }
+  mutable std::priority_queue<Entry> heap_;
+  mutable std::vector<Slot> slots_;
+  mutable std::vector<std::uint32_t> free_slots_;
+  std::uint64_t next_seq_ = 0;
+};
+
 template <typename Queue>
 void queue_push_pop(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -130,6 +212,159 @@ void BM_LegacyEventQueueCancelChurn(benchmark::State& state) {
   queue_cancel_churn<LegacyEventQueue>(state);
 }
 BENCHMARK(BM_LegacyEventQueueCancelChurn)->Arg(256)->Arg(4096);
+
+// The PR-5 satellite A/B: push/pop with the capture size the simulator
+// actually carries on the hot path (a Timer's thunk plus its stored
+// callback state is ~40 bytes). The std::function baselines pay a heap
+// allocation per push for any capture past libstdc++'s 16 inline bytes;
+// the InlineCallback queue stores it in the slot.
+struct RealisticCapture {
+  void* a = nullptr;
+  void* b = nullptr;
+  void* c = nullptr;
+  std::uint64_t k = 0;
+  std::uint64_t j = 0;
+};
+
+template <typename Queue>
+void event_push_pop(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng{1};
+  RealisticCapture payload;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    Queue q;
+    for (int i = 0; i < n; ++i) {
+      payload.k = static_cast<std::uint64_t>(i);
+      q.push(Time::nanoseconds(rng.uniform_int(0, 1'000'000)),
+             [payload, &sink] { sink += payload.k; });
+    }
+    while (!q.empty()) q.pop().second();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_EventPushPop(benchmark::State& state) {
+  event_push_pop<sim::EventQueue>(state);
+}
+BENCHMARK(BM_EventPushPop)->Arg(256)->Arg(4096);
+
+// Immediate pre-PR-5 core (std::function slot queue, binary heap).
+void BM_EventPushPopStdFunction(benchmark::State& state) {
+  event_push_pop<StdFunctionSlotQueue>(state);
+}
+BENCHMARK(BM_EventPushPopStdFunction)->Arg(256)->Arg(4096);
+
+// The PR-5 satellite A/B: broadcast packet delivery end-to-end through
+// the event core, at realistic MAC timing (one frame every 120 us). Both
+// sides schedule one begin and one end event per transmission and fan the
+// frame out to `receivers` nodes. Legacy (pre-PR-5): the events capture
+// the frame by value inside a std::function (heap allocation per event),
+// the ATIM destination list is a std::vector (heap allocation per copy),
+// and every receiver copies the frame into its reception state and again
+// out of it on delivery — exactly the old Channel's shape. Zero-copy: the
+// events hold a 16-byte PacketRef from the recycling pool, the
+// destinations live inline in the header, and receivers bump a refcount.
+constexpr int kDeliveryTxs = 64;
+constexpr int kAtimDests = 6;
+
+void BM_BroadcastDelivery(benchmark::State& state) {
+  const int receivers = static_cast<int>(state.range(0));
+  std::uint64_t sink = 0;
+  net::AtimDestinations dests;
+  for (net::NodeId d = 1; d <= kAtimDests; ++d) dests.push_back(d);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    net::PacketPool pool;
+    std::vector<net::PacketRef> rx_state(static_cast<std::size_t>(receivers));
+    for (int i = 0; i < kDeliveryTxs; ++i) {
+      net::Packet p = net::make_atim_packet(0, dests);
+      p.channel_tx_id = static_cast<std::uint64_t>(i) + 1;
+      net::PacketRef frame = pool.acquire(std::move(p));
+      q.push(Time::microseconds(i * 120), [&rx_state, frame] {
+        for (auto& rx : rx_state) rx = frame;  // refcount bump per receiver
+      });
+      q.push(Time::microseconds(i * 120 + 100), [&rx_state, &sink, frame] {
+        for (auto& rx : rx_state) {
+          const net::PacketRef delivered = std::move(rx);
+          sink += static_cast<std::uint64_t>(delivered->atim().destinations.size());
+        }
+      });
+    }
+    while (!q.empty()) q.pop().second();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * kDeliveryTxs *
+                          static_cast<std::int64_t>(state.range(0)));
+}
+BENCHMARK(BM_BroadcastDelivery)->Arg(12)->Arg(32)->ArgNames({"receivers"});
+
+// The pre-PR frame, verbatim shape: ATIM destinations in a std::vector, so
+// every copy heap-allocates.
+struct LegacyAtimFrame {
+  net::NodeId link_src = 0;
+  net::NodeId link_dst = net::kBroadcastAddr;
+  int size_bytes = net::Packet::kControlBytes;
+  std::uint64_t channel_tx_id = 0;
+  std::vector<net::NodeId> destinations;
+};
+
+void BM_BroadcastDeliveryLegacyCopy(benchmark::State& state) {
+  const int receivers = static_cast<int>(state.range(0));
+  std::uint64_t sink = 0;
+  std::vector<net::NodeId> dests;
+  for (net::NodeId d = 1; d <= kAtimDests; ++d) dests.push_back(d);
+  for (auto _ : state) {
+    StdFunctionSlotQueue q;
+    std::vector<LegacyAtimFrame> rx_state(static_cast<std::size_t>(receivers));
+    for (int i = 0; i < kDeliveryTxs; ++i) {
+      LegacyAtimFrame p;
+      p.channel_tx_id = static_cast<std::uint64_t>(i) + 1;
+      p.destinations = dests;
+      q.push(Time::microseconds(i * 120), [&rx_state, p] {
+        for (auto& rx : rx_state) rx = p;  // full frame copy per receiver
+      });
+      q.push(Time::microseconds(i * 120 + 100), [&rx_state, &sink, p] {
+        for (auto& rx : rx_state) {
+          const LegacyAtimFrame delivered = rx;  // copy out, as end_arrival_ did
+          sink += delivered.destinations.size();
+        }
+      });
+    }
+    while (!q.empty()) q.pop().second();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * kDeliveryTxs *
+                          static_cast<std::int64_t>(state.range(0)));
+}
+BENCHMARK(BM_BroadcastDeliveryLegacyCopy)
+    ->Arg(12)
+    ->Arg(32)
+    ->ArgNames({"receivers"});
+
+// Timer re-arm fast path: the nav/wake-timer pattern (re-arm while armed)
+// against the cancel+push it replaces, on the same queue.
+void BM_TimerRearm(benchmark::State& state) {
+  const bool fast_path = state.range(0) == 1;
+  for (auto _ : state) {
+    sim::EventQueue q;
+    const Time far = Time::seconds(1000);
+    sim::EventId id = q.push(far, [] {});
+    for (int i = 0; i < 1024; ++i) {
+      const Time t = far + Time::microseconds(i);
+      if (fast_path) {
+        q.rearm(id, t);
+      } else {
+        q.cancel(id);
+        id = q.push(t, [] {});
+      }
+    }
+    while (!q.empty()) q.pop().second();
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_TimerRearm)->Arg(0)->Arg(1)->ArgNames({"fast"});
 
 // Channel broadcast scheduling: a dense clique (every node hears every
 // transmission) is the worst case for the legacy two-events-per-neighbor

@@ -70,6 +70,11 @@ struct RunMetrics {
   int tree_members = 0;
   int max_rank = 0;
   int backbone_size = 0;  // SPAN coordinators
+
+  // Simulation-core counters (the perf-report harness turns these plus
+  // wall time into events/sec and ns/event; see bench/perf_report.cpp).
+  std::uint64_t sim_events = 0;            // events executed by this run
+  std::uint64_t peak_pending_events = 0;   // event-queue high-water mark
 };
 
 // Accumulates data-report arrivals at the root and turns them into the

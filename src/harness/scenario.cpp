@@ -70,6 +70,10 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
   const net::NodeId root = topo.nearest(config.deployment.centre());
 
   sim::Simulator sim;
+  // Pre-size the event queue for the expected concurrently-live event
+  // population (a handful of timers and in-flight frames per node), so
+  // steady-state scheduling never reallocates slot/heap storage mid-run.
+  sim.reserve_events(topo.num_nodes() * 8 + 64);
   net::Channel channel{sim, topo};
   // The loss model draws from its own forked stream, so installing (or
   // changing) it never perturbs placement/workload/MAC randomness.
@@ -343,6 +347,8 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
   out.channel_collisions = channel.collisions();
   out.channel_delivered = channel.delivered();
   out.channel_dropped_by_model = channel.dropped_by_model();
+  out.sim_events = sim.executed_events();
+  out.peak_pending_events = sim.peak_pending_events();
   return out;
 }
 

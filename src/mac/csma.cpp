@@ -18,7 +18,8 @@ CsmaMac::CsmaMac(sim::Simulator& sim, net::Channel& channel, energy::Radio& radi
       backoff_timer_{sim},
       ack_timer_{sim},
       tx_end_timer_{sim},
-      nav_timer_{sim} {
+      nav_timer_{sim},
+      last_delivered_seq_(channel.num_nodes(), kNoSeq) {
   channel_.attach(self_, net::Channel::Attachment{
                              [this] { return is_listening_(); },
                              [this](const net::Packet& p, bool ok) { on_rx_complete_(p, ok); },
@@ -51,8 +52,8 @@ void CsmaMac::check_idle_() {
   if (idle() && idle_cb_) idle_cb_();
 }
 
-std::vector<net::NodeId> CsmaMac::pending_destinations() const {
-  std::vector<net::NodeId> out;
+net::AtimDestinations CsmaMac::pending_destinations() const {
+  net::AtimDestinations out;
   auto add = [&out](net::NodeId d) {
     if (d != net::kBroadcastAddr &&
         std::find(out.begin(), out.end(), d) == out.end()) {
@@ -227,14 +228,12 @@ void CsmaMac::on_rx_complete_(const net::Packet& p, bool ok) {
   if (p.link_dst == self_) {
     // Unicast to us: always acknowledge (retransmissions too), deliver once.
     send_ack_(p.link_src);
-    auto [it, inserted] = last_delivered_seq_.try_emplace(p.link_src, p.mac_seq);
-    if (!inserted) {
-      if (it->second == p.mac_seq) {
-        ++stats_.duplicates;
-        return;
-      }
-      it->second = p.mac_seq;
+    std::uint32_t& last = last_delivered_seq_[static_cast<std::size_t>(p.link_src)];
+    if (last == p.mac_seq) {
+      ++stats_.duplicates;
+      return;
     }
+    last = p.mac_seq;
     ++stats_.frames_received;
     if (rx_handler_) rx_handler_(p);
     return;

@@ -29,7 +29,7 @@
 #include <deque>
 #include <functional>
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
 #include "src/energy/radio.h"
 #include "src/mac/mac_params.h"
@@ -93,8 +93,9 @@ class CsmaMac {
   void set_idle_callback(std::function<void()> cb) { idle_cb_ = std::move(cb); }
 
   // Destinations of currently queued unicast frames (PSM uses this to build
-  // its ATIM announcements).
-  std::vector<net::NodeId> pending_destinations() const;
+  // its ATIM announcements; the inline-capacity type feeds straight into
+  // make_atim_packet without an allocation in the common case).
+  net::AtimDestinations pending_destinations() const;
   bool has_pending() const { return !queue_.empty() || in_flight_.has_value(); }
 
   const MacStats& stats() const { return stats_; }
@@ -151,8 +152,11 @@ class CsmaMac {
   std::function<void()> idle_cb_;
 
   std::uint32_t next_mac_seq_ = 1;
-  // Duplicate suppression: last mac_seq delivered per sender.
-  std::unordered_map<net::NodeId, std::uint32_t> last_delivered_seq_;
+  // Duplicate suppression: last mac_seq delivered per sender, in a dense
+  // per-node table (indexed by sender id, sized from the channel's node
+  // count) instead of a hash map — one predictable load per delivery.
+  static constexpr std::uint32_t kNoSeq = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> last_delivered_seq_;
 
   MacStats stats_;
 };

@@ -14,14 +14,46 @@ void Channel::set_link_model(std::unique_ptr<LinkModel> model) {
   model_active_ = link_model_ && !link_model_->always_delivers();
 }
 
+Channel::LinkStat& Channel::link_stat_(NodeId src, NodeId dst) {
+  if (link_stats_.empty()) link_stats_.resize(nodes_.size());
+  auto& row = link_stats_[static_cast<std::size_t>(src)];
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (row[i].dst == dst) {
+      // Transpose-on-hit: under mobility a row accumulates every receiver
+      // the sender has EVER reached, but only the current neighborhood is
+      // hot — one adjacent swap per hit keeps those entries at the front,
+      // so the scan stays O(current degree) even when the row grows.
+      // Counter placement is unobservable, so determinism is untouched.
+      if (i > 0) {
+        std::swap(row[i - 1], row[i]);
+        return row[i - 1];
+      }
+      return row[i];
+    }
+  }
+  row.push_back(LinkStat{dst, 0, 0});
+  return row.back();
+}
+
+const Channel::LinkStat* Channel::find_link_stat_(NodeId src, NodeId dst) const {
+  if (link_stats_.empty() || src < 0 ||
+      static_cast<std::size_t>(src) >= link_stats_.size()) {
+    return nullptr;
+  }
+  for (const LinkStat& s : link_stats_[static_cast<std::size_t>(src)]) {
+    if (s.dst == dst) return &s;
+  }
+  return nullptr;
+}
+
 std::uint64_t Channel::dropped_by_model(NodeId src, NodeId dst) const {
-  const auto it = link_drops_.find(link_key(src, dst));
-  return it != link_drops_.end() ? it->second : 0;
+  const LinkStat* s = find_link_stat_(src, dst);
+  return s != nullptr ? s->drops : 0;
 }
 
 std::uint64_t Channel::frames_on(NodeId src, NodeId dst) const {
-  const auto it = link_frames_.find(link_key(src, dst));
-  return it != link_frames_.end() ? it->second : 0;
+  const LinkStat* s = find_link_stat_(src, dst);
+  return s != nullptr ? s->frames : 0;
 }
 
 void Channel::attach(NodeId node, Attachment attachment) {
@@ -32,12 +64,22 @@ void Channel::start_tx(NodeId sender, Packet p, util::Time duration) {
   ++transmissions_;
   p.channel_tx_id = ++next_tx_id_;
   auto& s = nodes_.at(static_cast<std::size_t>(sender));
+  // Carrier-sense notifications fire only on busy<->idle edges: a notify
+  // that does not change busy() is a no-op in every attached MAC (the busy
+  // branch is idempotent and contention only resumes on the idle edge), so
+  // skipping it is observably identical and avoids the dominant share of
+  // activity callbacks on dense neighborhoods.
+  const bool was_busy = s.arriving_count > 0 || s.transmitting;
   s.transmitting = true;
   // A node cannot hear while it talks: abandon any in-progress reception.
   if (s.rx.active) {
     s.rx.corrupted = true;
   }
-  notify_(sender);
+  if (!was_busy) notify_(sender);
+
+  // One shared immutable copy of the frame for the whole transmission: the
+  // arrival events and every receiver's reception state hold refs into it.
+  PacketRef frame = pool_.acquire(std::move(p));
 
   const util::Time arrive = sim_.now() + params_.propagation_delay;
   if (params_.batch_arrivals && topo_.time_varying()) {
@@ -47,11 +89,11 @@ void Channel::start_tx(NodeId sender, Packet p, util::Time duration) {
     // the carrier-sense counts. The topology's lists are copy-on-rebuild,
     // so freezing is a refcount bump, not a vector copy.
     auto nbrs = topo_.neighbors_handle(sender);
-    sim_.schedule_at(arrive, [this, nbrs, p] {
-      for (NodeId m : *nbrs) begin_arrival_(m, p);
+    sim_.schedule_at(arrive, [this, nbrs, frame] {
+      for (NodeId m : *nbrs) begin_arrival_(m, frame);
     });
-    sim_.schedule_at(arrive + duration, [this, nbrs, p] {
-      for (NodeId m : *nbrs) end_arrival_(m, p);
+    sim_.schedule_at(arrive + duration, [this, nbrs, frame] {
+      for (NodeId m : *nbrs) end_arrival_(m, frame);
     });
   } else if (params_.batch_arrivals) {
     // One event pair per transmission: every in-range receiver shares the
@@ -59,26 +101,31 @@ void Channel::start_tx(NodeId sender, Packet p, util::Time duration) {
     // inside a single callback is observably identical to the legacy
     // per-neighbor events (which occupied consecutive queue slots anyway)
     // while scheduling O(1) instead of O(neighbors) events.
-    sim_.schedule_at(arrive, [this, sender, p] {
-      for (NodeId m : topo_.neighbors(sender)) begin_arrival_(m, p);
+    sim_.schedule_at(arrive, [this, sender, frame] {
+      for (NodeId m : topo_.neighbors(sender)) begin_arrival_(m, frame);
     });
-    sim_.schedule_at(arrive + duration, [this, sender, p] {
-      for (NodeId m : topo_.neighbors(sender)) end_arrival_(m, p);
+    sim_.schedule_at(arrive + duration, [this, sender, frame] {
+      for (NodeId m : topo_.neighbors(sender)) end_arrival_(m, frame);
     });
   } else {
     for (NodeId m : topo_.neighbors(sender)) {
-      sim_.schedule_at(arrive, [this, m, p] { begin_arrival_(m, p); });
-      sim_.schedule_at(arrive + duration, [this, m, p] { end_arrival_(m, p); });
+      sim_.schedule_at(arrive, [this, m, frame] { begin_arrival_(m, frame); });
+      sim_.schedule_at(arrive + duration,
+                       [this, m, frame] { end_arrival_(m, frame); });
     }
   }
   sim_.schedule_at(sim_.now() + duration, [this, sender] {
-    nodes_.at(static_cast<std::size_t>(sender)).transmitting = false;
-    notify_(sender);
+    auto& node = node_(sender);
+    node.transmitting = false;
+    if (node.arriving_count == 0) notify_(sender);  // busy -> idle edge
   });
 }
 
-void Channel::begin_arrival_(NodeId receiver, const Packet& p) {
-  auto& node = nodes_.at(static_cast<std::size_t>(receiver));
+void Channel::begin_arrival_(NodeId receiver, const PacketRef& p) {
+  auto& node = node_(receiver);
+  // Idle -> busy edge iff this is the first arriving frame at a silent
+  // node; otherwise busy() was already true and the notify is skipped.
+  const bool busy_edge = node.arriving_count == 0 && !node.transmitting;
   ++node.arriving_count;
 
   // The link model decides, once per (directed link, frame), whether this
@@ -87,17 +134,22 @@ void Channel::begin_arrival_(NodeId receiver, const Packet& p) {
   // reception nor corrupts one in progress.
   const double sender_dist =
       model_active_ || node.rx.active
-          ? distance(topo_.position(p.link_src), topo_.position(receiver))
+          ? distance(topo_.position(p->link_src), topo_.position(receiver))
           : 0.0;
   if (model_active_) {
     // Per-link sample count, the denominator LinkEstimator pairs with
-    // link_drops() to turn observed losses into a PRR. Skipped when nothing
-    // will read it, so plain lossy runs keep the old hot path.
-    if (link_stats_enabled_) ++link_frames_[link_key(p.link_src, receiver)];
-    if (!link_model_->deliver(p.link_src, receiver, sender_dist)) {
+    // dropped_by_model(src, dst) to turn observed losses into a PRR.
+    // Skipped when nothing will read it, so plain lossy runs keep the old
+    // hot path and never materialize the per-link rows.
+    LinkStat* stat = nullptr;
+    if (link_stats_enabled_) {
+      stat = &link_stat_(p->link_src, receiver);
+      ++stat->frames;
+    }
+    if (!link_model_->deliver(p->link_src, receiver, sender_dist)) {
       ++dropped_by_model_;
-      ++link_drops_[link_key(p.link_src, receiver)];
-      notify_(receiver);
+      if (stat != nullptr) ++stat->drops;
+      if (busy_edge) notify_(receiver);
       return;
     }
   }
@@ -110,7 +162,7 @@ void Channel::begin_arrival_(NodeId receiver, const Packet& p) {
         sender_dist >=
             params_.capture_distance_ratio *
                 distance(topo_.position(receiver),
-                         topo_.position(node.rx.packet.link_src));
+                         topo_.position(node.rx.frame->link_src));
     if (!captured) {
       node.rx.corrupted = true;
       ++collisions_;
@@ -119,36 +171,37 @@ void Channel::begin_arrival_(NodeId receiver, const Packet& p) {
              node.attachment.is_listening && node.attachment.is_listening()) {
     node.rx.active = true;
     node.rx.corrupted = false;
-    node.rx.packet = p;
+    node.rx.frame = p;  // refcount bump, not a Packet copy
   }
-  notify_(receiver);
+  if (busy_edge) notify_(receiver);
 }
 
-void Channel::end_arrival_(NodeId receiver, const Packet& p) {
-  auto& node = nodes_.at(static_cast<std::size_t>(receiver));
+void Channel::end_arrival_(NodeId receiver, const PacketRef& p) {
+  auto& node = node_(receiver);
   --node.arriving_count;
   assert(node.arriving_count >= 0);
+  // Busy -> idle edge iff the air just went quiet at a non-transmitting
+  // node; the MAC's contention resume (and its EIFS bookkeeping) hangs off
+  // exactly this edge.
+  const bool idle_edge = node.arriving_count == 0 && !node.transmitting;
 
-  if (node.rx.active && node.rx.packet.channel_tx_id == p.channel_tx_id) {
+  if (node.rx.active && node.rx.frame->channel_tx_id == p->channel_tx_id) {
     const bool listening = node.attachment.is_listening && node.attachment.is_listening();
     const bool ok = !node.rx.corrupted && listening && !node.transmitting;
-    const Packet delivered_packet = node.rx.packet;
+    // Detach the ref before the callback: on_rx_complete may re-enter the
+    // channel (ACK replies start transmissions that clobber rx state).
+    const PacketRef delivered_frame = std::move(node.rx.frame);
     node.rx.active = false;
     if (ok) ++delivered_;
     if (node.attachment.on_rx_complete) {
-      node.attachment.on_rx_complete(delivered_packet, ok);
+      node.attachment.on_rx_complete(*delivered_frame, ok);
     }
   }
-  notify_(receiver);
-}
-
-bool Channel::busy(NodeId node) const {
-  const auto& n = nodes_.at(static_cast<std::size_t>(node));
-  return n.arriving_count > 0 || n.transmitting;
+  if (idle_edge) notify_(receiver);
 }
 
 void Channel::notify_(NodeId node) {
-  const auto& cb = nodes_.at(static_cast<std::size_t>(node)).attachment.on_channel_activity;
+  const auto& cb = node_(node).attachment.on_channel_activity;
   if (cb) cb();
 }
 

@@ -13,16 +13,24 @@
 //    on the unit disc: it is sampled once per (directed link, frame) and can
 //    declare a frame undecodable at a receiver without removing its energy
 //    from the air.
+//
+// Hot-path shape (see README "Performance"): each transmission is moved
+// once into a pooled shared slot (net/packet_pool.h); the begin/end arrival
+// events and every receiver's in-progress-reception state hold 16-byte
+// PacketRefs into that slot, so broadcast delivery copies no Packet and —
+// once the pool is warm — allocates nothing. Per-link statistics live in a
+// dense node*node matrix instead of hash maps.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "src/net/link_model.h"
 #include "src/net/packet.h"
+#include "src/net/packet_pool.h"
 #include "src/net/topology.h"
 #include "src/net/types.h"
 #include "src/sim/simulator.h"
@@ -53,6 +61,7 @@ class Channel {
     std::function<bool()> is_listening;
     // Frame fully arrived. `ok` is false for collisions or receptions that
     // the radio abandoned (turned off / started transmitting mid-frame).
+    // The Packet reference is shared and immutable; copy what you keep.
     std::function<void(const Packet&, bool ok)> on_rx_complete;
     // Fired whenever the carrier-sense state at this node may have changed.
     std::function<void()> on_channel_activity;
@@ -72,38 +81,41 @@ class Channel {
 
   void attach(NodeId node, Attachment attachment);
 
+  std::size_t num_nodes() const { return nodes_.size(); }
+
   // Puts `p` on the air from `sender` for `duration`. The sender's MAC is
   // responsible for serializing its own transmissions.
   void start_tx(NodeId sender, Packet p, util::Time duration);
 
-  // Carrier sense at `node`.
-  bool busy(NodeId node) const;
+  // Carrier sense at `node`. Inline: the MAC consults it on every channel
+  // event and contention step.
+  bool busy(NodeId node) const {
+    const PerNode& n = node_(node);
+    return n.arriving_count > 0 || n.transmitting;
+  }
 
   // Statistics.
   std::uint64_t transmissions() const { return transmissions_; }
   std::uint64_t collisions() const { return collisions_; }
   std::uint64_t delivered() const { return delivered_; }
-  // (link, frame) samples the link model declared undecodable, in total and
-  // per directed link (keys from net::link_key). Counted for every in-range
-  // receiver of every transmission, listening or not.
+  // (link, frame) samples the link model declared undecodable, in total.
+  // Counted for every in-range receiver of every transmission, listening
+  // or not.
   std::uint64_t dropped_by_model() const { return dropped_by_model_; }
+  // Per-directed-link drop/offer counters, the numerator/denominator
+  // routing::LinkEstimator turns into an observed PRR. Stored flat: a
+  // src-indexed table (sized by node count, lazily allocated) of
+  // contiguous degree-sized rows scanned linearly — no hash probes on the
+  // delivery path, and memory stays O(observed links), not O(n^2). Only
+  // accumulated while link stats are enabled (below); zero everywhere
+  // otherwise.
   std::uint64_t dropped_by_model(NodeId src, NodeId dst) const;
-  const std::unordered_map<std::uint64_t, std::uint64_t>& link_drops() const {
-    return link_drops_;
-  }
-  // (link, frame) samples offered to the link model, per directed link —
-  // the denominator for turning link_drops() into an observed PRR
-  // (routing::LinkEstimator). Zero everywhere under lossless models, and
-  // only accumulated while link stats are enabled.
   std::uint64_t frames_on(NodeId src, NodeId dst) const;
-  const std::unordered_map<std::uint64_t, std::uint64_t>& link_frames() const {
-    return link_frames_;
-  }
-  // Per-frame link_frames_ accounting costs a hash-map update per in-range
-  // receiver; consumers that never read it (anything but an
-  // estimator-backed routing policy) can switch it off. On by default so a
-  // bare Channel + LinkEstimator works out of the box; the harness disables
-  // it unless the active ParentPolicy declares uses_link_estimator().
+  // Per-frame link accounting costs a row scan per in-range receiver;
+  // consumers that never read it (anything but an estimator-backed routing
+  // policy) can switch it off. On by default so a bare Channel +
+  // LinkEstimator works out of the box; the harness disables it unless the
+  // active ParentPolicy declares uses_link_estimator().
   void set_link_stats_enabled(bool on) { link_stats_enabled_ = on; }
   bool link_stats_enabled() const { return link_stats_enabled_; }
 
@@ -111,7 +123,7 @@ class Channel {
   struct Reception {
     bool active = false;
     bool corrupted = false;
-    Packet packet;
+    PacketRef frame;  // shared with the arrival events; never copied
   };
   struct PerNode {
     Attachment attachment;
@@ -120,10 +132,28 @@ class Channel {
     Reception rx;
   };
 
-  void begin_arrival_(NodeId receiver, const Packet& p);
-  void end_arrival_(NodeId receiver, const Packet& p);
+  void begin_arrival_(NodeId receiver, const PacketRef& p);
+  void end_arrival_(NodeId receiver, const PacketRef& p);
   void notify_(NodeId node);
-
+  // Unchecked per-node access for the per-arrival hot path (ids come from
+  // the topology's neighbor lists, which are in range by construction).
+  PerNode& node_(NodeId n) {
+    assert(n >= 0 && static_cast<std::size_t>(n) < nodes_.size());
+    return nodes_[static_cast<std::size_t>(n)];
+  }
+  const PerNode& node_(NodeId n) const {
+    return const_cast<Channel*>(this)->node_(n);
+  }
+  // One directed link's counters; rows hold a sender's observed receivers
+  // (its in-range neighborhood), so a linear scan is a dozen contiguous
+  // entries.
+  struct LinkStat {
+    NodeId dst = kNoNode;
+    std::uint64_t frames = 0;
+    std::uint64_t drops = 0;
+  };
+  LinkStat& link_stat_(NodeId src, NodeId dst);
+  const LinkStat* find_link_stat_(NodeId src, NodeId dst) const;
   sim::Simulator& sim_;
   const Topology& topo_;
   ChannelParams params_;
@@ -131,12 +161,14 @@ class Channel {
   bool model_active_ = false;  // false also for installed lossless models
   bool link_stats_enabled_ = true;
   std::vector<PerNode> nodes_;
+  PacketPool pool_;
   std::uint64_t transmissions_ = 0;
   std::uint64_t collisions_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_by_model_ = 0;
-  std::unordered_map<std::uint64_t, std::uint64_t> link_drops_;
-  std::unordered_map<std::uint64_t, std::uint64_t> link_frames_;
+  // Per-directed-link counters: src-indexed rows of observed receivers;
+  // empty until the first accumulation under link_stats_enabled_.
+  std::vector<std::vector<LinkStat>> link_stats_;
   std::uint64_t next_tx_id_ = 0;
 };
 

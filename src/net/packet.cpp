@@ -42,7 +42,7 @@ Packet make_rank_packet(NodeId src, NodeId parent, int rank) {
   return p;
 }
 
-Packet make_atim_packet(NodeId src, std::vector<NodeId> destinations) {
+Packet make_atim_packet(NodeId src, AtimDestinations destinations) {
   Packet p;
   p.type = PacketType::kAtim;
   p.link_src = src;

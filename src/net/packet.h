@@ -9,9 +9,9 @@
 #include <optional>
 #include <string>
 #include <variant>
-#include <vector>
 
 #include "src/net/types.h"
+#include "src/util/small_vector.h"
 #include "src/util/time.h"
 
 namespace essat::net {
@@ -56,8 +56,13 @@ struct RankHeader {
   int rank = 0;  // sender's rank (max hop count to any of its descendants)
 };
 
+// ATIM destination lists are usually a few pending-traffic neighbors;
+// inline storage keeps the whole Packet allocation-free to copy/move, so
+// the zero-copy delivery path and the event queue's inline captures hold.
+using AtimDestinations = util::SmallVector<NodeId, 8>;
+
 struct AtimHeader {
-  std::vector<NodeId> destinations;  // neighbors with buffered traffic
+  AtimDestinations destinations;  // neighbors with buffered traffic
 };
 
 struct PhaseRequestHeader {
@@ -111,7 +116,7 @@ Packet make_data_packet(NodeId src, NodeId dst, DataHeader header);
 Packet make_setup_packet(NodeId src, NodeId root, int level, double cost = 0.0);
 Packet make_join_packet(NodeId src, NodeId parent);
 Packet make_rank_packet(NodeId src, NodeId parent, int rank);
-Packet make_atim_packet(NodeId src, std::vector<NodeId> destinations);
+Packet make_atim_packet(NodeId src, AtimDestinations destinations);
 Packet make_phase_request_packet(NodeId src, NodeId dst, QueryId query);
 Packet make_dissemination_packet(NodeId src, NodeId dst, DisseminationHeader header);
 

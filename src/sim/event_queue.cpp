@@ -1,75 +1,228 @@
 #include "src/sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
+#include <limits>
 
 namespace essat::sim {
+
+void EventQueue::file_(Entry e) const {
+  const std::int64_t g = bucket_of_(e.time);
+  if (g <= cur_g_) {
+    // At or behind the drain cursor: keep the current bucket's undrained
+    // tail sorted so the entry fires in (time, seq) order. When the bucket
+    // is awaiting its deferred bulk sort, appending is enough.
+    auto& b = buckets_[cur_slot_()];
+    // Fast path: most cursor-bucket pushes (propagation-delay events a few
+    // microseconds out) land at or past the bucket's current tail.
+    if (!cur_sorted_ || b.size() == drain_ || !e.before(b.back())) {
+      b.push_back(e);
+      return;
+    }
+    const auto it = std::upper_bound(
+        b.begin() + static_cast<std::ptrdiff_t>(drain_), b.end(), e,
+        [](const Entry& a, const Entry& c) { return a.before(c); });
+    b.insert(it, e);
+    return;
+  }
+  if (epoch_of_(g) == epoch_of_(cur_g_)) {
+    const std::size_t slot = static_cast<std::size_t>(g) & (kBuckets - 1);
+    buckets_[slot].push_back(e);
+    bitmap_set_(slot);
+    return;
+  }
+  far_.push_back(e);
+}
+
+std::size_t EventQueue::bitmap_find_from_(std::size_t from) const {
+  if (from >= kBuckets) return kBuckets;
+  std::size_t word = from >> 6;
+  std::uint64_t bits = occupancy_[word] & (~0ull << (from & 63));
+  for (;;) {
+    if (bits != 0) {
+      return (word << 6) + static_cast<std::size_t>(__builtin_ctzll(bits));
+    }
+    if (++word == kBitmapWords) return kBuckets;
+    bits = occupancy_[word];
+  }
+}
+
+bool EventQueue::ensure_head_() const {
+  for (;;) {
+    auto& b = buckets_[cur_slot_()];
+    if (drain_ < b.size()) {
+      if (!cur_sorted_) {
+        std::sort(b.begin() + static_cast<std::ptrdiff_t>(drain_), b.end(),
+                  [](const Entry& a, const Entry& c) { return a.before(c); });
+        cur_sorted_ = true;
+      }
+      return true;
+    }
+    // Current bucket exhausted: recycle it (capacity is kept, so the wheel
+    // stops allocating once warm) and hop to the next occupied bucket.
+    b.clear();
+    drain_ = 0;
+    bitmap_clear_(cur_slot_());
+    const std::size_t next = bitmap_find_from_(cur_slot_() + 1);
+    if (next < kBuckets) {
+      cur_g_ += static_cast<std::int64_t>(next - cur_slot_());
+      cur_sorted_ = false;
+      continue;
+    }
+    // Epoch drained. Jump straight to the earliest overflow epoch and pull
+    // its entries wheel-ward; everything later keeps waiting in far_.
+    if (far_.empty()) return false;
+    std::int64_t min_epoch = std::numeric_limits<std::int64_t>::max();
+    for (const Entry& e : far_) {
+      min_epoch = std::min(min_epoch, epoch_of_(bucket_of_(e.time)));
+    }
+    cur_g_ = min_epoch << kBucketsLog2;
+    cur_sorted_ = false;
+    for (std::size_t i = 0; i < far_.size();) {
+      const std::int64_t g = bucket_of_(far_[i].time);
+      if (epoch_of_(g) == min_epoch) {
+        const std::size_t slot = static_cast<std::size_t>(g) & (kBuckets - 1);
+        buckets_[slot].push_back(far_[i]);
+        bitmap_set_(slot);
+        far_[i] = far_.back();
+        far_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+}
+
+void EventQueue::reserve(std::size_t expected_events) {
+  meta_.reserve(expected_events);
+  cbs_.reserve(expected_events);
+  free_slots_.reserve(expected_events);
+  far_.reserve(expected_events);
+  // Seed every wheel bucket with a little capacity: bucket vectors keep
+  // their storage across epochs, so this one-time 64 KiB spend makes the
+  // first epoch as allocation-free as every later one (buckets only grow
+  // past it where the workload genuinely clusters, and then stay grown).
+  for (auto& b : buckets_) {
+    if (b.capacity() < 4) b.reserve(4);
+  }
+}
 
 EventId EventQueue::push(util::Time t, Callback cb) {
   std::uint32_t slot;
   if (free_slots_.empty()) {
-    slot = static_cast<std::uint32_t>(slots_.size());
-    slots_.emplace_back();
+    slot = static_cast<std::uint32_t>(meta_.size());
+    meta_.emplace_back();
+    cbs_.emplace_back();
   } else {
     slot = free_slots_.back();
     free_slots_.pop_back();
   }
-  Slot& s = slots_[slot];
-  s.cb = std::move(cb);
-  s.pending = true;
-  heap_.push(Entry{t, next_seq_++, slot});
+  assert(slot <= Entry::kSlotMask && "live-event population exceeds 2^24");
+  // Entry packs seq into 64 - kSlotBits bits; past that the liveness
+  // compare in drop_dead_ would treat every entry as a tombstone.
+  assert(next_seq_ < (1ull << (64 - Entry::kSlotBits)) &&
+         "event seq space exhausted (~1.1e12 pushes per queue)");
+  SlotMeta& s = meta_[slot];
+  cbs_[slot] = std::move(cb);
+  s.live_seq = next_seq_;
+  assert(s.entries() == 0);
+  s.entries_pending = 1 | SlotMeta::kPendingBit;
+  file_(Entry::make(t, next_seq_++, slot));
   ++live_;
+  peak_live_ = std::max(peak_live_, live_);
   return encode_(slot, s.generation);
 }
 
 void EventQueue::cancel(EventId id) {
   if (id == kInvalidEventId) return;
-  const std::uint64_t slot_plus_1 = id >> 32;
-  if (slot_plus_1 == 0 || slot_plus_1 > slots_.size()) return;
-  const auto slot = static_cast<std::uint32_t>(slot_plus_1 - 1);
-  Slot& s = slots_[slot];
+  const std::uint32_t slot = decode_slot_(id);
+  if (slot >= meta_.size()) return;
+  SlotMeta& s = meta_[slot];
   // Only a pending event of the matching generation gets cancelled; a
   // recycled slot (different generation) or an already-fired id is a no-op.
-  if (!s.pending || s.generation != static_cast<std::uint32_t>(id)) return;
-  s.pending = false;
-  s.cb = nullptr;  // free the closure eagerly; the heap entry is a tombstone
+  if (!s.pending() || s.generation != static_cast<std::uint32_t>(id)) return;
+  s.set_pending(false);
+  cbs_[slot] = nullptr;  // free the closure eagerly; wheel entries are tombstones
   --live_;
+}
+
+bool EventQueue::rearm(EventId id, util::Time t) {
+  if (id == kInvalidEventId) return false;
+  const std::uint32_t slot = decode_slot_(id);
+  if (slot >= meta_.size()) return false;
+  SlotMeta& s = meta_[slot];
+  if (!s.pending() || s.generation != static_cast<std::uint32_t>(id)) {
+    return false;
+  }
+  // The previous wheel entry's seq stops matching live_seq, turning it
+  // into a tombstone that drop_dead_ skims when it surfaces. The slot (and
+  // its callback) stay exactly where they are.
+  s.live_seq = next_seq_;
+  ++s.entries_pending;  // pending bit unchanged, entry count +1
+  file_(Entry::make(t, next_seq_++, slot));
+  return true;
+}
+
+void EventQueue::entry_surfaced_(std::uint32_t slot) const {
+  SlotMeta& s = meta_[slot];
+  assert(s.entries() > 0);
+  --s.entries_pending;
+  if (s.entries_pending == 0) release_slot_(slot);  // no entries, not pending
 }
 
 void EventQueue::release_slot_(std::uint32_t slot) const {
-  ++slots_[slot].generation;
+  ++meta_[slot].generation;
   free_slots_.push_back(slot);
 }
 
-void EventQueue::drop_cancelled_() const {
-  while (!heap_.empty() && !slots_[heap_.top().slot].pending) {
-    release_slot_(heap_.top().slot);
-    heap_.pop();
+bool EventQueue::drop_dead_() const {
+  while (ensure_head_()) {
+    const Entry& top = head_();
+    const SlotMeta& s = meta_[top.slot()];
+    if (s.pending() && s.live_seq == top.seq()) return true;  // live head
+    entry_surfaced_(top.slot());
+    pop_head_();
   }
+  return false;
 }
 
-bool EventQueue::empty() const {
-  drop_cancelled_();
-  return heap_.empty();
-}
+bool EventQueue::empty() const { return !drop_dead_(); }
 
 util::Time EventQueue::next_time() const {
-  drop_cancelled_();
-  assert(!heap_.empty());
-  return heap_.top().time;
+  const bool live = drop_dead_();
+  assert(live);
+  (void)live;
+  return head_().time;
 }
 
 std::pair<util::Time, EventQueue::Callback> EventQueue::pop() {
-  drop_cancelled_();
-  assert(!heap_.empty());
-  const Entry top = heap_.top();  // POD copy; the callback lives in the slot
-  Slot& s = slots_[top.slot];
-  std::pair<util::Time, Callback> out{top.time, std::move(s.cb)};
-  s.cb = nullptr;
-  s.pending = false;
-  release_slot_(top.slot);
-  heap_.pop();
+  const bool live = drop_dead_();
+  assert(live);
+  (void)live;
+  const Entry top = head_();  // POD copy; the callback lives in the slot
+  SlotMeta& s = meta_[top.slot()];
+  // Moving out leaves the slot's callback null — no copy, no destructor
+  // work beyond the moved-from shell.
+  std::pair<util::Time, Callback> out{top.time, std::move(cbs_[top.slot()])};
+  s.set_pending(false);
+  entry_surfaced_(top.slot());
+  pop_head_();
   --live_;
   return out;
+}
+
+bool EventQueue::pop_until(util::Time limit, util::Time& t, Callback& cb) {
+  if (!drop_dead_()) return false;
+  const Entry top = head_();
+  if (top.time > limit) return false;
+  SlotMeta& s = meta_[top.slot()];
+  t = top.time;
+  cb = std::move(cbs_[top.slot()]);
+  s.set_pending(false);
+  entry_surfaced_(top.slot());
+  pop_head_();
+  --live_;
+  return true;
 }
 
 }  // namespace essat::sim

@@ -12,23 +12,31 @@ EventId Simulator::schedule_in(util::Time delay, Callback cb) {
   return schedule_at(now_ + std::max(delay, util::Time::zero()), std::move(cb));
 }
 
+bool Simulator::rearm(EventId id, util::Time t) {
+  return queue_.rearm(id, std::max(t, now_));
+}
+
 void Simulator::run() {
   stopped_ = false;
-  while (!stopped_ && !queue_.empty()) {
-    auto [t, cb] = queue_.pop();
+  util::Time t;
+  Callback cb;
+  while (!stopped_ && queue_.pop_until(util::Time::max(), t, cb)) {
     now_ = t;
     ++executed_;
     cb();
+    cb = nullptr;  // release the capture before the next pop overwrites it
   }
 }
 
 void Simulator::run_until(util::Time end) {
   stopped_ = false;
-  while (!stopped_ && !queue_.empty() && queue_.next_time() <= end) {
-    auto [t, cb] = queue_.pop();
+  util::Time t;
+  Callback cb;
+  while (!stopped_ && queue_.pop_until(end, t, cb)) {
     now_ = t;
     ++executed_;
     cb();
+    cb = nullptr;
   }
   if (!stopped_) now_ = std::max(now_, end);
 }

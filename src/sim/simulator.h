@@ -2,10 +2,10 @@
 //
 // All substrates (channel, MAC, radio, query service, Safe Sleep) schedule
 // callbacks against one Simulator instance; there is no wall-clock anywhere
-// in the library.
+// in the library. Callbacks are sim::InlineCallback — captures live in a
+// 48-byte in-object buffer, so scheduling never heap-allocates (see
+// inline_callback.h for the SBO contract).
 #pragma once
-
-#include <functional>
 
 #include "src/sim/event_queue.h"
 #include "src/util/time.h"
@@ -24,6 +24,9 @@ class Simulator {
   // Schedules `cb` after `delay` (clamped to 0 if negative).
   EventId schedule_in(util::Time delay, Callback cb);
   void cancel(EventId id) { queue_.cancel(id); }
+  // Re-times a pending event in place (see EventQueue::rearm); `t` is
+  // clamped to `now()` so a stale re-arm can never fire in the past.
+  bool rearm(EventId id, util::Time t);
 
   // Runs events until the queue empties or `stop()` is called.
   void run();
@@ -33,7 +36,15 @@ class Simulator {
   void stop() { stopped_ = true; }
 
   std::size_t pending_events() const { return queue_.size(); }
+  // High-water mark of concurrently pending events over the whole run.
+  std::size_t peak_pending_events() const { return queue_.peak_live(); }
   std::uint64_t executed_events() const { return executed_; }
+
+  // Pre-sizes the event queue for the expected concurrently-live event
+  // population so steady-state scheduling never reallocates.
+  void reserve_events(std::size_t expected_events) {
+    queue_.reserve(expected_events);
+  }
 
  private:
   util::Time now_ = util::Time::zero();

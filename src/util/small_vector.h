@@ -1,0 +1,152 @@
+// Minimal small-size-optimized vector for hot-path value lists.
+//
+// The first N elements live inline in the object; only growth past N heap-
+// allocates. Designed for the packet headers and MAC bookkeeping where the
+// common case is "a handful of NodeIds" (e.g. AtimHeader::destinations):
+// with inline storage those packets copy, move, and destroy without
+// touching the allocator, which keeps them eligible for the zero-copy
+// delivery path and the event queue's inline captures.
+//
+// Deliberately minimal: trivially-copyable element types only (NodeIds,
+// PODs). That keeps relocation a memcpy and the move constructor noexcept
+// — a requirement for callables stored in sim::InlineCallback.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <initializer_list>
+#include <type_traits>
+
+namespace essat::util {
+
+template <typename T, std::size_t N>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector is restricted to trivially copyable elements");
+  static_assert(N > 0, "inline capacity must be at least 1");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() = default;
+  SmallVector(std::initializer_list<T> init) { assign_(init.begin(), init.size()); }
+  template <typename InputIt>
+  SmallVector(InputIt first, InputIt last) {
+    for (; first != last; ++first) push_back(*first);
+  }
+
+  SmallVector(const SmallVector& other) { assign_(other.data(), other.size_); }
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      clear_storage_();
+      assign_(other.data(), other.size_);
+    }
+    return *this;
+  }
+
+  SmallVector(SmallVector&& other) noexcept { steal_(other); }
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      clear_storage_();
+      steal_(other);
+    }
+    return *this;
+  }
+
+  ~SmallVector() { clear_storage_(); }
+
+  // By value: T is trivially copyable and small, and taking a copy first
+  // makes `sv.push_back(sv[0])` safe across the reallocation in grow_()
+  // (the std::vector guarantee callers assume).
+  void push_back(T v) {
+    if (size_ == capacity_) grow_(capacity_ * 2);
+    data()[size_++] = v;
+  }
+  void pop_back() {
+    assert(size_ > 0);
+    --size_;
+  }
+  void clear() { size_ = 0; }  // keeps capacity, like std::vector
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  static constexpr std::size_t inline_capacity() { return N; }
+  std::size_t capacity() const { return capacity_; }
+
+  T* data() { return heap_ != nullptr ? heap_ : inline_; }
+  const T* data() const { return heap_ != nullptr ? heap_ : inline_; }
+
+  T& operator[](std::size_t i) {
+    assert(i < size_);
+    return data()[i];
+  }
+  const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return data()[i];
+  }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  iterator begin() { return data(); }
+  iterator end() { return data() + size_; }
+  const_iterator begin() const { return data(); }
+  const_iterator end() const { return data() + size_; }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    return a.size_ == b.size_ &&
+           std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator!=(const SmallVector& a, const SmallVector& b) {
+    return !(a == b);
+  }
+
+ private:
+  void assign_(const T* src, std::size_t n) {
+    if (n > capacity_) grow_(n);
+    std::memcpy(data(), src, n * sizeof(T));
+    size_ = n;
+  }
+
+  void grow_(std::size_t at_least) {
+    const std::size_t new_cap = std::max(at_least, capacity_ * 2);
+    T* fresh = new T[new_cap];
+    std::memcpy(fresh, data(), size_ * sizeof(T));
+    delete[] heap_;
+    heap_ = fresh;
+    capacity_ = new_cap;
+  }
+
+  void clear_storage_() {
+    delete[] heap_;
+    heap_ = nullptr;
+    capacity_ = N;
+    size_ = 0;
+  }
+
+  // Move: spilled storage changes hands; inline storage is memcpy'd. The
+  // source is left empty (inline) either way.
+  void steal_(SmallVector& other) noexcept {
+    if (other.heap_ != nullptr) {
+      heap_ = other.heap_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.heap_ = nullptr;
+    } else {
+      std::memcpy(inline_, other.inline_, other.size_ * sizeof(T));
+      size_ = other.size_;
+    }
+    other.capacity_ = N;
+    other.size_ = 0;
+  }
+
+  T inline_[N];
+  T* heap_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+};
+
+}  // namespace essat::util

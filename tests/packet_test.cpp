@@ -53,7 +53,27 @@ TEST(Packet, RankPacket) {
 TEST(Packet, AtimListsDestinations) {
   const Packet p = make_atim_packet(1, {2, 3, 4});
   EXPECT_TRUE(p.is_broadcast());
-  EXPECT_EQ(p.atim().destinations, (std::vector<NodeId>{2, 3, 4}));
+  EXPECT_EQ(p.atim().destinations, (AtimDestinations{2, 3, 4}));
+}
+
+// The common ATIM case (a handful of pending neighbors) must stay within
+// the header's inline storage: a spill would re-introduce a heap
+// allocation per Packet copy on the zero-copy delivery path.
+TEST(Packet, AtimInlineStorageCoversCommonCase) {
+  AtimDestinations dests;
+  for (NodeId d = 0; d < static_cast<NodeId>(AtimDestinations::inline_capacity());
+       ++d) {
+    dests.push_back(d);
+  }
+  const Packet p = make_atim_packet(1, dests);
+  EXPECT_EQ(p.atim().destinations.size(), AtimDestinations::inline_capacity());
+  EXPECT_EQ(p.atim().destinations.capacity(), AtimDestinations::inline_capacity());
+  // Past the inline capacity the list spills but stays correct.
+  AtimDestinations big;
+  for (NodeId d = 0; d < 20; ++d) big.push_back(d);
+  const Packet q = make_atim_packet(1, big);
+  EXPECT_EQ(q.atim().destinations.size(), 20u);
+  EXPECT_EQ(q.atim().destinations[19], 19);
 }
 
 TEST(Packet, PhaseRequest) {

@@ -141,10 +141,10 @@ TEST(LinkEstimator, ObservedLossesPullEstimateBelowPrior) {
   sim::Simulator sim;
   net::Channel ch{sim, topo};
   ch.set_link_model(std::make_unique<DropForward>());
-  net::DataHeader h;
   for (int i = 0; i < 100; ++i) {
-    sim.schedule_at(Time::milliseconds(2 * i), [&ch, h] {
-      ch.start_tx(0, net::make_data_packet(0, 1, h), Time::microseconds(400));
+    sim.schedule_at(Time::milliseconds(2 * i), [&ch] {
+      ch.start_tx(0, net::make_data_packet(0, 1, net::DataHeader{}),
+                  Time::microseconds(400));
     });
   }
   sim.run();

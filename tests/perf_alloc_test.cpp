@@ -1,0 +1,127 @@
+// Steady-state allocation tests for the simulation hot path: after
+// warm-up, event push/pop, timer re-arms, and broadcast delivery must not
+// touch the heap at all. A counting global operator new/delete is the
+// tracking hook; counting is scoped so gtest's own bookkeeping stays out
+// of the numbers.
+#include <gtest/gtest.h>
+
+#include "bench/alloc_hook.h"
+#include "src/essat.h"
+
+namespace essat {
+namespace {
+
+using CountScope = bench_alloc::AllocationCounter;
+using util::Time;
+
+// A capture the size the simulator actually schedules (five words — wider
+// than libstdc++'s std::function SBO, the case that used to allocate).
+struct WideCapture {
+  void* a = nullptr;
+  void* b = nullptr;
+  void* c = nullptr;
+  std::uint64_t k = 0;
+  std::uint64_t j = 0;
+};
+
+TEST(SteadyStateAlloc, EventPushPopIsAllocationFree) {
+  sim::EventQueue q;
+  q.reserve(256);
+  WideCapture w;
+  std::uint64_t sink = 0;
+  // Warm-up: populate slots, bucket capacity, and the overflow list.
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 128; ++i) {
+      w.k = static_cast<std::uint64_t>(i);
+      q.push(Time::microseconds(137 * i), [w, &sink] { sink += w.k; });
+    }
+    while (!q.empty()) q.pop().second();
+  }
+  {
+    CountScope scope;
+    for (int i = 0; i < 128; ++i) {
+      w.k = static_cast<std::uint64_t>(i);
+      q.push(Time::microseconds(137 * i), [w, &sink] { sink += w.k; });
+    }
+    while (!q.empty()) q.pop().second();
+    EXPECT_EQ(scope.count(), 0u) << "event push/pop allocated after warm-up";
+  }
+  EXPECT_GT(sink, 0u);
+}
+
+TEST(SteadyStateAlloc, TimerRearmIsAllocationFree) {
+  sim::Simulator sim;
+  sim.reserve_events(16);
+  sim::Timer t{sim};
+  int fired = 0;
+  // Warm-up one arm/fire cycle plus re-arms.
+  t.arm_in(Time::microseconds(5), [&fired] { ++fired; });
+  t.arm_in(Time::microseconds(7), [&fired] { ++fired; });
+  sim.run();
+  {
+    CountScope scope;
+    t.arm_in(Time::microseconds(5), [&fired] { ++fired; });
+    t.arm_in(Time::microseconds(9), [&fired] { ++fired; });  // rearm fast path
+    t.arm_in(Time::microseconds(3), [&fired] { ++fired; });  // rearm earlier
+    sim.run();
+    EXPECT_EQ(scope.count(), 0u) << "timer re-arm allocated after warm-up";
+  }
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SteadyStateAlloc, BroadcastDeliveryIsAllocationFree) {
+  sim::Simulator sim;
+  sim.reserve_events(64);
+  const net::Topology topo = net::Topology::line(3, 100.0, 125.0);
+  net::Channel ch{sim, topo};
+  int delivered = 0;
+  for (net::NodeId n = 0; n < 3; ++n) {
+    ch.attach(n, net::Channel::Attachment{
+                     [] { return true; },
+                     [&delivered](const net::Packet&, bool ok) {
+                       if (ok) ++delivered;
+                     },
+                     nullptr,
+                 });
+  }
+  net::AtimDestinations dests{1, 2};
+  auto broadcast = [&](int rounds) {
+    for (int i = 0; i < rounds; ++i) {
+      sim.schedule_in(Time::microseconds(1 + 700 * i), [&ch, &dests] {
+        ch.start_tx(0, net::make_atim_packet(0, dests),
+                    Time::microseconds(400));
+      });
+    }
+    sim.run();
+  };
+  broadcast(8);  // warm-up: packet pool, event slots, bucket capacity
+  const int before = delivered;
+  {
+    CountScope scope;
+    broadcast(8);
+    EXPECT_EQ(scope.count(), 0u) << "broadcast delivery allocated after warm-up";
+  }
+  EXPECT_GT(delivered, before);
+}
+
+// The packet pool recycles its control blocks: a long tx sequence keeps a
+// bounded pool instead of allocating per frame.
+TEST(SteadyStateAlloc, PacketPoolRecyclesBlocks) {
+  net::PacketPool pool;
+  {
+    net::PacketRef a = pool.acquire(net::Packet{});
+    net::PacketRef b = pool.acquire(net::Packet{});
+  }
+  EXPECT_EQ(pool.recycled_blocks(), 2u);
+  {
+    CountScope scope;
+    for (int i = 0; i < 100; ++i) {
+      net::PacketRef r = pool.acquire(net::Packet{});
+    }
+    EXPECT_EQ(scope.count(), 0u) << "pool acquire allocated with free blocks";
+  }
+  EXPECT_EQ(pool.recycled_blocks(), 2u);
+}
+
+}  // namespace
+}  // namespace essat

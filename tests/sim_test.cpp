@@ -5,6 +5,7 @@
 #include "src/sim/event_queue.h"
 #include "src/sim/simulator.h"
 #include "src/sim/timer.h"
+#include "src/util/rng.h"
 
 namespace essat::sim {
 namespace {
@@ -96,6 +97,187 @@ TEST(EventQueue, CancelChurnKeepsOrderAndCount) {
   // Double-cancel and cancel-after-fire are no-ops.
   for (EventId id : ids) q.cancel(id);
   EXPECT_EQ(q.size(), 0u);
+}
+
+// rearm() must behave exactly like cancel+push with the same callback: the
+// retimed event keeps its id, fires at the new time, and takes a fresh
+// same-timestamp FIFO position.
+TEST(EventQueue, RearmRetimesWithoutNewId) {
+  EventQueue q;
+  std::vector<int> fired;
+  const EventId id = q.push(Time::seconds(1), [&] { fired.push_back(1); });
+  EXPECT_TRUE(q.rearm(id, Time::seconds(3)));
+  q.push(Time::seconds(2), [&] { fired.push_back(2); });
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, (std::vector<int>{2, 1}));
+}
+
+TEST(EventQueue, RearmKeepsSameTimestampFifoOrder) {
+  // a is re-armed to the same time as b AFTER b was pushed: like
+  // cancel+push, a must now fire after b.
+  EventQueue q;
+  std::vector<int> fired;
+  const EventId a = q.push(Time::seconds(1), [&] { fired.push_back(1); });
+  q.push(Time::seconds(1), [&] { fired.push_back(2); });
+  EXPECT_TRUE(q.rearm(a, Time::seconds(1)));
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, (std::vector<int>{2, 1}));
+}
+
+TEST(EventQueue, RearmedEventCanStillBeCancelled) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.push(Time::seconds(1), [&] { fired = true; });
+  EXPECT_TRUE(q.rearm(id, Time::seconds(5)));
+  q.cancel(id);  // the original id stays valid across rearms
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, RearmStaleIdIsRejected) {
+  EventQueue q;
+  const EventId id = q.push(Time::seconds(1), [] {});
+  q.pop().second();
+  EXPECT_FALSE(q.rearm(id, Time::seconds(2)));  // already fired
+  EXPECT_FALSE(q.rearm(kInvalidEventId, Time::seconds(2)));
+  const EventId c = q.push(Time::seconds(1), [] {});
+  q.cancel(c);
+  EXPECT_FALSE(q.rearm(c, Time::seconds(2)));  // cancelled
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ManyRearmsLeaveNoResidue) {
+  EventQueue q;
+  int fired = 0;
+  const EventId id = q.push(Time::seconds(1), [&] { ++fired; });
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(q.rearm(id, Time::milliseconds(900 + i)));
+  }
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PeakLiveTracksHighWaterMark) {
+  EventQueue q;
+  for (int i = 0; i < 10; ++i) q.push(Time::seconds(i + 1), [] {});
+  while (!q.empty()) q.pop().second();
+  q.push(Time::seconds(1), [] {});
+  EXPECT_EQ(q.peak_live(), 10u);
+}
+
+TEST(EventQueue, ReserveDoesNotDisturbBehavior) {
+  EventQueue q;
+  q.reserve(1024);
+  std::vector<int> fired;
+  for (int i = 0; i < 100; ++i) {
+    q.push(Time::milliseconds((i * 37) % 50), [&fired, i] { fired.push_back(i); });
+  }
+  std::size_t popped = 0;
+  Time last = Time::min();
+  while (!q.empty()) {
+    auto [t, cb] = q.pop();
+    EXPECT_GE(t, last);
+    last = t;
+    cb();
+    ++popped;
+  }
+  EXPECT_EQ(popped, 100u);
+}
+
+// Randomized A/B against a reference model (sorted (time, seq) list with
+// the same cancel/rearm semantics): the calendar-wheel queue must pop the
+// exact same sequence for arbitrary interleavings of push, cancel, rearm,
+// and pop across bucket and epoch boundaries.
+TEST(EventQueue, MatchesReferenceModelOnRandomOps) {
+  struct RefEvent {
+    std::int64_t time_ns;
+    std::uint64_t seq;
+    int tag;
+  };
+  util::Rng rng{1234};
+  for (int trial = 0; trial < 20; ++trial) {
+    EventQueue q;
+    std::vector<RefEvent> ref;  // live reference events
+    std::vector<std::pair<EventId, int>> handles;
+    std::uint64_t ref_seq = 0;
+    std::vector<int> got, want;
+    int next_tag = 0;
+    std::int64_t now_ns = 0;
+
+    auto ref_pop_min = [&]() -> int {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < ref.size(); ++i) {
+        if (ref[i].time_ns < ref[best].time_ns ||
+            (ref[i].time_ns == ref[best].time_ns &&
+             ref[i].seq < ref[best].seq)) {
+          best = i;
+        }
+      }
+      const RefEvent e = ref[best];
+      ref.erase(ref.begin() + static_cast<std::ptrdiff_t>(best));
+      return e.tag;
+    };
+
+    for (int op = 0; op < 400; ++op) {
+      const int kind = static_cast<int>(rng.uniform_int(0, 9));
+      if (kind <= 4 || ref.empty()) {
+        // Push at a time spread across buckets and epochs (0..200 ms),
+        // never in the past.
+        const std::int64_t t =
+            now_ns + rng.uniform_int(0, 200'000'000);
+        const int tag = next_tag++;
+        const EventId id =
+            q.push(Time::nanoseconds(t), [tag, &got] { got.push_back(tag); });
+        ref.push_back(RefEvent{t, ref_seq++, tag});
+        handles.emplace_back(id, tag);
+      } else if (kind <= 6) {
+        // Cancel a random (possibly stale) handle.
+        const auto& [id, tag] =
+            handles[static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(handles.size()) - 1))];
+        q.cancel(id);
+        for (std::size_t i = 0; i < ref.size(); ++i) {
+          if (ref[i].tag == tag) {
+            ref.erase(ref.begin() + static_cast<std::ptrdiff_t>(i));
+            break;
+          }
+        }
+      } else if (kind == 7) {
+        // Rearm a random handle; mirrors cancel+push with a fresh seq.
+        const auto& [id, tag] =
+            handles[static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(handles.size()) - 1))];
+        const std::int64_t t =
+            now_ns + rng.uniform_int(0, 200'000'000);
+        if (q.rearm(id, Time::nanoseconds(t))) {
+          for (auto& e : ref) {
+            if (e.tag == tag) {
+              e.time_ns = t;
+              e.seq = ref_seq;
+              break;
+            }
+          }
+          ++ref_seq;
+        }
+      } else {
+        // Pop one event; virtual time advances to it.
+        ASSERT_FALSE(q.empty());
+        auto [t, cb] = q.pop();
+        now_ns = t.ns();
+        cb();
+        want.push_back(ref_pop_min());
+      }
+    }
+    while (!q.empty()) {
+      q.pop().second();
+      want.push_back(ref_pop_min());
+    }
+    EXPECT_TRUE(ref.empty());
+    EXPECT_EQ(got, want) << "trial " << trial;
+  }
 }
 
 TEST(Simulator, NowAdvancesWithEvents) {
@@ -237,6 +419,50 @@ TEST(Timer, DestructionCancels) {
   }
   sim.run();
   EXPECT_FALSE(fired);
+}
+
+// Arming with a stale (past) fire time clamps to now(): the callback runs
+// at the current virtual time, never "before" events already executed. In
+// debug builds the same call additionally trips an assert to surface the
+// buggy caller (see the death test below).
+TEST(Timer, PastArmClampsToNow) {
+  Simulator sim;
+  Timer timer{sim};
+  Time fired_at = Time::min();
+  sim.schedule_at(Time::seconds(5), [&] {
+    // Arming exactly at now() is legal in every build mode.
+    timer.arm_at(sim.now(), [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, Time::seconds(5));
+}
+
+TEST(TimerDeathTest, ArmStrictlyInPastAssertsInDebug) {
+  EXPECT_DEBUG_DEATH(
+      {
+        Simulator sim;
+        Timer timer{sim};
+        sim.schedule_at(Time::seconds(5), [] {});
+        sim.run();
+        timer.arm_at(Time::seconds(1), [] {});  // 4 s in the past
+        sim.run();
+      },
+      "Timer armed in the past");
+}
+
+TEST(Simulator, RearmClampsToNow) {
+  // A Timer re-armed from inside an event with a stale target must fire at
+  // now(), not violate the clock's monotonicity.
+  Simulator sim;
+  Timer timer{sim};
+  Time fired_at = Time::min();
+  timer.arm_at(Time::seconds(10), [&] { fired_at = sim.now(); });
+  sim.schedule_at(Time::seconds(3), [&] {
+    // Retime the pending arm to "now" (the earliest legal target).
+    timer.arm_at(sim.now(), [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, Time::seconds(3));
 }
 
 TEST(Timer, ArmInsideCallback) {

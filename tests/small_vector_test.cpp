@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "src/util/small_vector.h"
+
+namespace essat::util {
+namespace {
+
+using Vec = SmallVector<int, 4>;
+
+TEST(SmallVector, StartsEmptyInline) {
+  Vec v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), 4u);
+}
+
+TEST(SmallVector, PushBackWithinInlineCapacity) {
+  Vec v;
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.capacity(), 4u);  // still inline
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVector, SpillsToHeapPastInlineCapacity) {
+  Vec v;
+  for (int i = 0; i < 20; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 20u);
+  EXPECT_GT(v.capacity(), 4u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVector, InitializerListAndEquality) {
+  const Vec a{1, 2, 3};
+  const Vec b{1, 2, 3};
+  const Vec c{1, 2, 4};
+  const Vec d{1, 2};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+}
+
+TEST(SmallVector, CopyInlineAndSpilled) {
+  Vec small{1, 2};
+  Vec big;
+  for (int i = 0; i < 10; ++i) big.push_back(i);
+  Vec small_copy = small;
+  Vec big_copy = big;
+  EXPECT_EQ(small_copy, small);
+  EXPECT_EQ(big_copy, big);
+  small.push_back(3);  // copies are independent
+  EXPECT_EQ(small_copy.size(), 2u);
+  Vec reassigned{9};
+  reassigned = big;
+  EXPECT_EQ(reassigned, big);
+}
+
+TEST(SmallVector, MoveStealsHeapAndCopiesInline) {
+  Vec big;
+  for (int i = 0; i < 10; ++i) big.push_back(i);
+  const int* heap_data = big.data();
+  Vec stolen = std::move(big);
+  EXPECT_EQ(stolen.data(), heap_data);  // spilled storage changed hands
+  EXPECT_EQ(stolen.size(), 10u);
+  EXPECT_TRUE(big.empty());  // NOLINT: moved-from is specified empty
+
+  Vec small{1, 2, 3};
+  Vec moved = std::move(small);
+  EXPECT_EQ(moved, (Vec{1, 2, 3}));
+  EXPECT_TRUE(small.empty());  // NOLINT
+}
+
+TEST(SmallVector, ClearKeepsCapacity) {
+  Vec v;
+  for (int i = 0; i < 10; ++i) v.push_back(i);
+  const std::size_t cap = v.capacity();
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), cap);
+  v.push_back(7);
+  EXPECT_EQ(v.back(), 7);
+}
+
+TEST(SmallVector, IteratorConstructionFromRange) {
+  const int raw[] = {5, 6, 7, 8, 9, 10};
+  const SmallVector<int, 4> v(raw, raw + 6);
+  EXPECT_EQ(v.size(), 6u);
+  EXPECT_EQ(v[0], 5);
+  EXPECT_EQ(v[5], 10);
+}
+
+TEST(SmallVector, PopBack) {
+  Vec v{1, 2, 3};
+  v.pop_back();
+  EXPECT_EQ(v, (Vec{1, 2}));
+}
+
+}  // namespace
+}  // namespace essat::util

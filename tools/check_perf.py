@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Gate perf regressions: compare a fresh perf_report JSON against the
+committed baseline.
+
+Raw events/sec is meaningless across heterogeneous CI machines, so the
+comparison uses normalized_events_per_calib — events/sec divided by the
+same binary's fixed integer-loop calibration score — which cancels the
+host's clock rate to first order. Fails (exit 1) when the fresh value is
+more than --tolerance below the baseline; improvements never fail, and the
+operator is told to refresh the baseline when the gain is real.
+
+Usage: check_perf.py <fresh.json> <baseline.json> [--tolerance 0.20]
+"""
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("fresh")
+    parser.add_argument("baseline")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional regression (default 0.20)")
+    args = parser.parse_args()
+
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+    with open(args.baseline) as f:
+        base = json.load(f)
+
+    # Throughput is only comparable on the identical workload: a shorter
+    # measurement window shifts the setup/run ratio and silently skews the
+    # number in either direction.
+    if fresh.get("workload") != base.get("workload"):
+        print("FAIL: workload mismatch — fresh and baseline perf reports "
+              "were produced with different settings:")
+        print(f"  fresh:    {fresh.get('workload')}")
+        print(f"  baseline: {base.get('workload')}")
+        return 1
+
+    key = "normalized_events_per_calib"
+    fresh_v, base_v = fresh[key], base[key]
+    ratio = fresh_v / base_v
+    print(f"perf check: {key} fresh={fresh_v:.0f} baseline={base_v:.0f} "
+          f"ratio={ratio:.3f} (tolerance -{args.tolerance:.0%})")
+    print(f"  fresh:    {fresh['events_per_sec']:.0f} ev/s, "
+          f"{fresh['ns_per_event']:.1f} ns/event, "
+          f"calib {fresh['calibration_score']:.1f}")
+    print(f"  baseline: {base['events_per_sec']:.0f} ev/s, "
+          f"{base['ns_per_event']:.1f} ns/event, "
+          f"calib {base['calibration_score']:.1f}")
+
+    if ratio < 1.0 - args.tolerance:
+        print(f"FAIL: normalized throughput regressed by {1 - ratio:.1%} "
+              f"(> {args.tolerance:.0%} budget)")
+        return 1
+    if ratio > 1.0 + args.tolerance:
+        print("NOTE: throughput improved past the tolerance band — refresh "
+              "the committed baseline to lock in the gain")
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
