@@ -14,10 +14,17 @@
 //   * calibration_score — a fixed integer-arithmetic loop, so CI can
 //     normalize events_per_sec across machines before comparing against
 //     the committed baseline (tools/check_perf.py)
+//   * bytes_per_node_{160,1000} / marginal_bytes_per_node — allocation
+//     volume of a short trial divided by node count, plus the marginal
+//     per-node cost isolated by differencing the two sizes (fixed harness
+//     overhead cancels)
+//   * peak_rss_bytes — getrusage high-water mark for the whole process
 //
 // Knobs: ESSAT_BENCH_MEASURE_S (measurement window, default 20),
 // ESSAT_BENCH_RUNS (runs per rate point, default 5), ESSAT_BENCH_JSON or
-// argv[1] (output path, default BENCH_5.json).
+// argv[1] (output path, default BENCH_6.json).
+#include <sys/resource.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -64,6 +71,25 @@ double calibration_score() {
   return 1e8 / wall / 1e6;  // mega-steps per second
 }
 
+// Allocation volume of one short trial at the given node count. Divided by
+// the node count this upper-bounds the per-node footprint; differencing two
+// counts cancels the fixed harness overhead and isolates the marginal cost
+// of one stack (radio + MAC + tree state + agent + channel slot).
+std::uint64_t trial_alloc_bytes(int num_nodes) {
+  auto c = workload_config(1.0, util::Time::seconds(1), 1);
+  c.deployment.num_nodes = num_nodes;
+  bench_alloc::AllocationCounter counter;
+  const auto m = harness::run_scenario(c);
+  (void)m;
+  return counter.bytes();
+}
+
+std::uint64_t peak_rss_bytes() {
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // Linux: KiB
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -74,11 +100,18 @@ int main(int argc, char** argv) {
 
   const char* out_path = argc > 1 ? argv[1] : nullptr;
   if (out_path == nullptr) out_path = std::getenv("ESSAT_BENCH_JSON");
-  if (out_path == nullptr) out_path = "BENCH_5.json";
+  if (out_path == nullptr) out_path = "BENCH_6.json";
 
   std::printf("perf_report: DTS-SS x uniform-160 x {1,2,4} Hz, %gs window, "
               "%d runs/rate, serial\n",
               measure.to_seconds(), runs);
+
+  // --- Per-node memory footprint (before the throughput loop, so the
+  // probes run against a cold allocator) ----------------------------------
+  const std::uint64_t bytes_160 = trial_alloc_bytes(160);
+  const std::uint64_t bytes_1000 = trial_alloc_bytes(1000);
+  const double marginal_bytes_per_node =
+      static_cast<double>(bytes_1000 - bytes_160) / (1000.0 - 160.0);
 
   // --- End-to-end throughput over the fixed grid -------------------------
   std::uint64_t events = 0;
@@ -126,7 +159,7 @@ int main(int argc, char** argv) {
   std::fprintf(f,
                "{\n"
                "  \"bench\": \"perf_report\",\n"
-               "  \"pr\": 5,\n"
+               "  \"pr\": 6,\n"
                "  \"workload\": {\"protocol\": \"DTS-SS\", \"topology\": "
                "\"uniform-160\", \"rates_hz\": [1, 2, 4], "
                "\"measure_s\": %g, \"runs_per_rate\": %d},\n"
@@ -138,6 +171,10 @@ int main(int argc, char** argv) {
                "  \"runs_per_sec\": %.3f,\n"
                "  \"peak_live_events\": %llu,\n"
                "  \"steady_state_allocs_per_event\": %.4f,\n"
+               "  \"bytes_per_node_160\": %.0f,\n"
+               "  \"bytes_per_node_1000\": %.0f,\n"
+               "  \"marginal_bytes_per_node\": %.0f,\n"
+               "  \"peak_rss_bytes\": %llu,\n"
                "  \"calibration_score\": %.1f,\n"
                "  \"normalized_events_per_calib\": %.0f\n"
                "}\n",
@@ -145,7 +182,11 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(events), events_per_sec,
                1e9 / events_per_sec, trials / wall,
                static_cast<unsigned long long>(peak_live), allocs_per_event,
-               calib, events_per_sec / calib);
+               static_cast<double>(bytes_160) / 160.0,
+               static_cast<double>(bytes_1000) / 1000.0,
+               marginal_bytes_per_node,
+               static_cast<unsigned long long>(peak_rss_bytes()), calib,
+               events_per_sec / calib);
   std::fclose(f);
 
   std::printf(
@@ -155,5 +196,9 @@ int main(int argc, char** argv) {
       1e9 / events_per_sec, trials / wall,
       static_cast<unsigned long long>(peak_live), allocs_per_event, calib,
       out_path);
+  std::printf("bytes/node: n160=%.0f n1000=%.0f marginal=%.0f peak_rss=%.1f MiB\n",
+              static_cast<double>(bytes_160) / 160.0,
+              static_cast<double>(bytes_1000) / 1000.0, marginal_bytes_per_node,
+              static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0));
   return 0;
 }

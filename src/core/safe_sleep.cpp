@@ -86,6 +86,7 @@ void SafeSleep::check_state() {
   if (t_wakeup == util::Time::max()) {
     // Nothing is ever expected (no queries routed through this node):
     // sleep with no wake-up scheduled; a future registration re-checks.
+    ESSAT_TRACE(sim_, obs::TraceType::kSleepStart, mac_.self(), 0, 0, 0);
     radio_.turn_off();
     ++sleeps_;
     wake_timer_.cancel();
@@ -95,8 +96,13 @@ void SafeSleep::check_state() {
   const util::Time t_sleep = t_wakeup - now;
   if (t_sleep <= params_.t_be) {
     ++short_skips_;  // not worth the transition cost
+    ESSAT_TRACE(sim_, obs::TraceType::kSleepSkip, mac_.self(), 0, 0,
+                static_cast<std::uint64_t>(t_sleep.ns()));
     return;
   }
+  ESSAT_TRACE(sim_, obs::TraceType::kSleepStart, mac_.self(), 0,
+              static_cast<std::uint64_t>(t_wakeup.ns()),
+              static_cast<std::uint64_t>(t_sleep.ns()));
   radio_.turn_off();
   ++sleeps_;
   // Wake early enough that the OFF->ON transition completes at t_wakeup.

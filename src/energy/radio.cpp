@@ -46,6 +46,10 @@ void Radio::enter_(RadioState next) {
   account_to_now_();
   const RadioState prev = state_;
   state_ = next;
+  ESSAT_TRACE(sim_, obs::TraceType::kRadioState, trace_id_,
+              static_cast<std::uint16_t>(static_cast<std::uint16_t>(prev) << 8 |
+                                         static_cast<std::uint16_t>(next)),
+              0, 0);
 
   // Sleep-interval bookkeeping: an OFF interval spans entering OFF to
   // leaving OFF.

@@ -69,6 +69,10 @@ class Radio {
   // Multiple observers are supported (Safe Sleep, MAC, protocols).
   void add_state_observer(std::function<void(RadioState)> observer);
 
+  // Node id stamped on kRadioState trace records. The radio itself is
+  // node-agnostic; the harness labels it at assembly time (-1 = unlabelled).
+  void set_trace_id(std::int32_t node) { trace_id_ = node; }
+
   // Energy-accounting hints from the MAC: while flagged, ON time is charged
   // at TX/RX power instead of idle-listen power.
   void note_tx(bool active);
@@ -96,6 +100,7 @@ class Radio {
 
   sim::Simulator& sim_;
   RadioParams params_;
+  std::int32_t trace_id_ = -1;
   RadioState state_ = RadioState::kOn;
   bool failed_ = false;
   bool pending_on_ = false;   // turn_on() arrived while turning off

@@ -2,6 +2,9 @@
 //
 // Layering (bottom to top):
 //   util    — time, RNG, statistics
+//   obs     — tracing & metrics: ring tracer, samplers, lifecycle oracle,
+//             Perfetto/JSONL exporters (record layer sits below sim; the
+//             sampler rides on it)
 //   sim     — discrete-event kernel
 //   net     — topology, packets, wireless channel
 //   energy  — radio power-state machine and accounting
@@ -46,6 +49,10 @@
 #include "src/net/channel.h"
 #include "src/net/packet.h"
 #include "src/net/topology.h"
+#include "src/obs/lifecycle.h"
+#include "src/obs/sampler.h"
+#include "src/obs/trace_export.h"
+#include "src/obs/tracer.h"
 #include "src/query/query.h"
 #include "src/query/query_agent.h"
 #include "src/query/traffic_shaper.h"

@@ -108,6 +108,7 @@ void CsvSink::begin(const std::vector<std::string>& axis_names) {
   for (const auto& name : axis_names) os_ << ',' << csv_escape(name);
   for (const char* col : kMetricColumns) os_ << ',' << col;
   os_ << '\n';
+  os_.flush();
 }
 
 void CsvSink::on_point(const PointResult& r) {
@@ -115,6 +116,7 @@ void CsvSink::on_point(const PointResult& r) {
   for (const auto& label : r.point.labels) os_ << ',' << csv_escape(label);
   for (double v : metric_values(r)) os_ << ',' << full_precision(v);
   os_ << '\n';
+  os_.flush();
 }
 
 // ------------------------------------------------------------ json lines
@@ -138,6 +140,7 @@ void JsonLinesSink::on_point(const PointResult& r) {
     os_ << ",\"" << kMetricColumns[i] << "\":" << full_precision(values[i]);
   }
   os_ << "}\n";
+  os_.flush();
 }
 
 // ------------------------------------------------------------ progress

@@ -52,9 +52,12 @@ class ConsoleTableSink : public ResultSink {
 };
 
 // CSV with a header row; numbers at %.17g so doubles round-trip exactly.
+// Flushes after every row and on destruction so an aborted sweep leaves
+// complete, parseable output behind.
 class CsvSink : public ResultSink {
  public:
   explicit CsvSink(std::ostream& os) : os_(os) {}
+  ~CsvSink() override { os_.flush(); }
   void begin(const std::vector<std::string>& axis_names) override;
   void on_point(const PointResult& r) override;
 
@@ -63,10 +66,13 @@ class CsvSink : public ResultSink {
   std::size_t num_axes_ = 0;
 };
 
-// One JSON object per line per point; numbers at %.17g.
+// One JSON object per line per point; numbers at %.17g. Flushes after
+// every line and on destruction so an aborted sweep leaves complete,
+// parseable output behind.
 class JsonLinesSink : public ResultSink {
  public:
   explicit JsonLinesSink(std::ostream& os) : os_(os) {}
+  ~JsonLinesSink() override { os_.flush(); }
   void begin(const std::vector<std::string>& axis_names) override;
   void on_point(const PointResult& r) override;
 

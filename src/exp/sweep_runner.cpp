@@ -24,6 +24,10 @@ std::vector<PointResult> SweepRunner::run(const SweepSpec& spec,
   // order cannot influence anything downstream.
   std::vector<std::vector<harness::RunMetrics>> results(points.size());
   for (auto& slot : results) slot.resize(static_cast<std::size_t>(runs));
+  // Per-trial completion flags: on abort, points whose every repetition
+  // finished are still aggregated and flushed to the sinks.
+  std::vector<std::vector<char>> trial_ok(points.size());
+  for (auto& slot : trial_ok) slot.assign(static_cast<std::size_t>(runs), 0);
 
   std::size_t done = 0;
   std::mutex done_mu;  // guards `done` AND orders the progress callbacks
@@ -35,6 +39,7 @@ std::vector<PointResult> SweepRunner::run(const SweepSpec& spec,
       harness::ScenarioConfig config = points[p].config;
       config.seed = config.seed + static_cast<std::uint64_t>(rep);
       results[p][static_cast<std::size_t>(rep)] = run_fn(config);
+      trial_ok[p][static_cast<std::size_t>(rep)] = 1;
     } catch (...) {
       std::lock_guard<std::mutex> lock(error_mu);
       if (!first_error) first_error = std::current_exception();
@@ -61,21 +66,37 @@ std::vector<PointResult> SweepRunner::run(const SweepSpec& spec,
     }
     pool.wait_idle();
   }
-  if (first_error) std::rethrow_exception(first_error);
+  auto aggregate_point = [&](std::size_t p) {
+    Aggregator agg;
+    for (auto& m : results[p]) agg.add(std::move(m));
+    return PointResult{points[p], agg.take()};
+  };
+  auto emit = [&](const std::vector<PointResult>& out) {
+    for (ResultSink* sink : sinks) sink->begin(spec.axis_names());
+    for (const PointResult& r : out) {
+      for (ResultSink* sink : sinks) sink->on_point(r);
+    }
+    for (ResultSink* sink : sinks) sink->finish();
+  };
+
+  if (first_error) {
+    // Abort path: don't silently discard finished work. Every point whose
+    // repetitions all completed is aggregated and flushed to the sinks
+    // before the error propagates.
+    std::vector<PointResult> partial;
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      bool complete = true;
+      for (char ok : trial_ok[p]) complete = complete && ok != 0;
+      if (complete) partial.push_back(aggregate_point(p));
+    }
+    if (!partial.empty()) emit(partial);
+    std::rethrow_exception(first_error);
+  }
 
   std::vector<PointResult> out;
   out.reserve(points.size());
-  for (std::size_t p = 0; p < points.size(); ++p) {
-    Aggregator agg;
-    for (auto& m : results[p]) agg.add(std::move(m));
-    out.push_back(PointResult{points[p], agg.take()});
-  }
-
-  for (ResultSink* sink : sinks) sink->begin(spec.axis_names());
-  for (const PointResult& r : out) {
-    for (ResultSink* sink : sinks) sink->on_point(r);
-  }
-  for (ResultSink* sink : sinks) sink->finish();
+  for (std::size_t p = 0; p < points.size(); ++p) out.push_back(aggregate_point(p));
+  emit(out);
   return out;
 }
 

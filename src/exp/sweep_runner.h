@@ -36,7 +36,9 @@ class SweepRunner {
   // Runs the full grid (points * runs_per_point trials), then feeds each
   // aggregated point to every sink (begin / on_point in order / finish)
   // and returns the results in point order. Rethrows the first trial
-  // exception after all workers have drained.
+  // exception after all workers have drained — but first flushes every
+  // fully-completed point to the sinks, so a partially-failed sweep still
+  // leaves its finished results on disk.
   std::vector<PointResult> run(const SweepSpec& spec,
                                const std::vector<ResultSink*>& sinks = {});
 

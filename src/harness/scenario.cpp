@@ -1,5 +1,6 @@
 #include "src/harness/scenario.h"
 
+#include <fstream>
 #include <memory>
 #include <ostream>
 #include <stdexcept>
@@ -10,6 +11,8 @@
 #include "src/harness/stack_registry.h"
 #include "src/mac/csma.h"
 #include "src/net/channel.h"
+#include "src/obs/sampler.h"
+#include "src/obs/trace_export.h"
 #include "src/query/query_agent.h"
 #include "src/query/workload.h"
 #include "src/routing/link_estimator.h"
@@ -17,6 +20,7 @@
 #include "src/routing/tree.h"
 #include "src/routing/tree_protocol.h"
 #include "src/sim/simulator.h"
+#include "src/util/logging.h"
 #include "src/util/rng.h"
 
 namespace essat::harness {
@@ -49,6 +53,17 @@ struct NodeStack {
   std::unique_ptr<query::QueryAgent> agent;
 };
 
+// "{seed}" substitution for TraceSpec export paths, so a sweep's one traced
+// trial names its files after the trial.
+std::string substitute_seed(std::string path, std::uint64_t seed) {
+  const std::string token = "{seed}";
+  for (std::size_t at = path.find(token); at != std::string::npos;
+       at = path.find(token, at)) {
+    path.replace(at, token.size(), std::to_string(seed));
+  }
+  return path;
+}
+
 }  // namespace
 
 RunMetrics run_scenario(const ScenarioConfig& config) {
@@ -70,10 +85,26 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
   const net::NodeId root = topo.nearest(config.deployment.centre());
 
   sim::Simulator sim;
+  // Per-run log context: lines emitted during this run carry the sim time.
+  util::ScopedLogClock log_clock{[&sim] { return sim.now().ns(); }};
   // Pre-size the event queue for the expected concurrently-live event
   // population (a handful of timers and in-flight frames per node), so
   // steady-state scheduling never reallocates slot/heap storage mid-run.
   sim.reserve_events(topo.num_nodes() * 8 + 64);
+
+  // --- Observability -------------------------------------------------------
+  std::unique_ptr<obs::Tracer> tracer;
+  std::unique_ptr<obs::NodeSampler> sampler;
+  if (config.trace.active_for(config.seed)) {
+    if (!obs::kTracingCompiledIn) {
+      ESSAT_WARN(
+          "TraceSpec.enabled but the library was built with "
+          "-DESSAT_TRACING=OFF; the run proceeds untraced");
+    } else {
+      tracer = std::make_unique<obs::Tracer>(config.trace);
+      sim.set_tracer(tracer.get());
+    }
+  }
   net::Channel channel{sim, topo};
   // The loss model draws from its own forked stream, so installing (or
   // changing) it never perturbs placement/workload/MAC randomness.
@@ -101,8 +132,34 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
   for (std::size_t i = 0; i < n; ++i) {
     const auto id = static_cast<net::NodeId>(i);
     nodes[i].radio = std::make_unique<energy::Radio>(sim, radio_params);
+    nodes[i].radio->set_trace_id(id);
     nodes[i].mac = std::make_unique<mac::CsmaMac>(
         sim, channel, *nodes[i].radio, id, config.mac_params, master.fork(100 + i));
+  }
+
+  // Per-node time-series sampling (duty cycle, send-queue depth, radio
+  // state) plus the run-global pending-event count. The sampler schedules
+  // its own probe events, so it runs only when the trial is traced AND a
+  // period was requested; untraced trials keep the exact legacy event
+  // stream.
+  if (tracer && config.trace.sample_period > util::Time::zero()) {
+    sampler = std::make_unique<obs::NodeSampler>(config.trace.series_cap);
+    sampler->add_channel("pending_events", -1,
+                         [&sim] { return static_cast<double>(sim.pending_events()); });
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto id = static_cast<std::int32_t>(i);
+      energy::Radio* radio = nodes[i].radio.get();
+      mac::CsmaMac* mac = nodes[i].mac.get();
+      sampler->add_channel("duty_cycle", id,
+                           [radio] { return radio->duty_cycle(); });
+      sampler->add_channel("queue_depth", id, [mac] {
+        return static_cast<double>(mac->queue_depth());
+      });
+      sampler->add_channel("radio_state", id, [radio] {
+        return static_cast<double>(static_cast<int>(radio->state()));
+      });
+    }
+    sampler->start(sim, config.trace.sample_period);
   }
 
   // --- Routing tree -------------------------------------------------------
@@ -163,6 +220,7 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
     const auto id = static_cast<net::NodeId>(i);
     nodes[i].mac->set_rx_handler(
         [&nodes, &setup_protocol, policy = policy.get(), id](const net::Packet& p) {
+          const util::ScopedNodeContext log_node{id};
           auto& node = nodes[static_cast<std::size_t>(id)];
           switch (p.type) {
             case net::PacketType::kData:
@@ -184,6 +242,7 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
   // --- Maintenance / repair ----------------------------------------------
   routing::RepairService repair{topo, tree, {}};
   repair.set_policy(parent_policy.get());
+  repair.set_tracer(&sim);
   std::unique_ptr<core::MaintenanceService> maintenance;
   auto wire_maintenance = [&] {
     if (!config.enable_maintenance) return;
@@ -266,6 +325,32 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
   }
 
   sim.run_until(measure_end);
+
+  // --- Export traces -------------------------------------------------------
+  if (tracer) {
+    if (!config.trace.perfetto_path.empty()) {
+      const std::string path =
+          substitute_seed(config.trace.perfetto_path, config.seed);
+      std::ofstream f{path};
+      if (f) {
+        obs::export_perfetto_json(*tracer, sampler.get(), f);
+      } else {
+        ESSAT_WARN("trace export: cannot open %s", path.c_str());
+      }
+    }
+    if (!config.trace.jsonl_path.empty()) {
+      const std::string path =
+          substitute_seed(config.trace.jsonl_path, config.seed);
+      std::ofstream f{path};
+      if (f) {
+        obs::export_jsonl(*tracer, f);
+      } else {
+        ESSAT_WARN("trace export: cannot open %s", path.c_str());
+      }
+    }
+    if (config.trace.sink) config.trace.sink(*tracer);
+    sim.set_tracer(nullptr);  // teardown events stay out of the snapshot
+  }
 
   // --- Collect metrics -------------------------------------------------------
   RunMetrics out;

@@ -24,6 +24,7 @@
 #include "src/net/mobility.h"
 #include "src/net/topology.h"
 #include "src/net/types.h"
+#include "src/obs/tracer.h"
 #include "src/query/query.h"
 #include "src/routing/parent_policy.h"
 #include "src/util/time.h"
@@ -130,6 +131,12 @@ struct ScenarioConfig {
   bool enable_maintenance = false;
   // Nodes killed at the given offsets after the setup slot ends.
   std::vector<std::pair<net::NodeId, util::Time>> failures;
+
+  // Observability (src/obs): when trace.active_for(seed), the run gets a
+  // Tracer + optional per-node samplers and drives the configured exporters
+  // after the run. Off by default — the disabled path costs one predictable
+  // branch per instrumentation site.
+  obs::TraceSpec trace;
 
   std::uint64_t seed = 1;
 };

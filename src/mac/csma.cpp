@@ -40,6 +40,9 @@ bool CsmaMac::is_listening_() const { return radio_.is_on() && !transmitting_; }
 
 void CsmaMac::send(net::Packet p, TxCallback cb) {
   p.link_src = self_;
+  ESSAT_TRACE(sim_, obs::TraceType::kMacEnqueue, self_,
+              static_cast<std::uint16_t>(p.type), p.prov,
+              static_cast<std::uint64_t>(p.link_dst));
   queue_.push_back(Outgoing{std::move(p), std::move(cb), 0, params_.cw_min, -1});
   try_start_();
 }
@@ -102,6 +105,8 @@ void CsmaMac::begin_contention_() {
     // freeze below. Resumes via on_channel_activity_, which only re-enters
     // here once the medium clears, so each defer counts once.
     ++stats_.cca_busy_defers;
+    ESSAT_TRACE(sim_, obs::TraceType::kMacCcaDefer, self_, 0,
+                in_flight_->packet.prov, 0);
     return;
   }
   if (sim_.now() < nav_until_) {
@@ -121,6 +126,10 @@ void CsmaMac::begin_contention_() {
   countdown_start_ = sim_.now();
   const util::Time countdown =
       params_.difs + params_.slot * in_flight_->backoff_slots;
+  ESSAT_TRACE(sim_, obs::TraceType::kMacBackoffStart, self_,
+              static_cast<std::uint16_t>(in_flight_->backoff_slots),
+              in_flight_->packet.prov,
+              static_cast<std::uint64_t>(countdown.ns()));
   backoff_timer_.arm_in(countdown, [this] {
     in_backoff_ = false;
     if (!in_flight_) return;
@@ -160,6 +169,10 @@ void CsmaMac::transmit_head_() {
   }
   ++in_flight_->attempts;
   ++stats_.transmissions;
+  ESSAT_TRACE(sim_, obs::TraceType::kMacTxAttempt, self_,
+              static_cast<std::uint16_t>(in_flight_->attempts),
+              in_flight_->packet.prov,
+              static_cast<std::uint64_t>(in_flight_->packet.link_dst));
 
   transmitting_ = true;
   radio_.note_tx(true);
@@ -186,6 +199,9 @@ void CsmaMac::on_ack_timeout_() {
     return;
   }
   ++stats_.retries;
+  ESSAT_TRACE(sim_, obs::TraceType::kMacRetry, self_,
+              static_cast<std::uint16_t>(in_flight_->attempts),
+              in_flight_->packet.prov, 0);
   in_flight_->cw = std::min(in_flight_->cw * 2 + 1, params_.cw_max);
   in_flight_->backoff_slots = -1;  // redraw from the doubled window
   begin_contention_();
@@ -195,8 +211,13 @@ void CsmaMac::finish_head_(bool success) {
   assert(in_flight_);
   if (success) {
     ++stats_.frames_sent;
+    ESSAT_TRACE(sim_, obs::TraceType::kMacSendOk, self_, 0,
+                in_flight_->packet.prov, 0);
   } else {
     ++stats_.frames_failed;
+    ESSAT_TRACE(sim_, obs::TraceType::kMacSendFail, self_,
+                static_cast<std::uint16_t>(in_flight_->attempts),
+                in_flight_->packet.prov, 0);
   }
   TxCallback cb = std::move(in_flight_->cb);
   in_flight_.reset();
@@ -231,16 +252,24 @@ void CsmaMac::on_rx_complete_(const net::Packet& p, bool ok) {
     std::uint32_t& last = last_delivered_seq_[static_cast<std::size_t>(p.link_src)];
     if (last == p.mac_seq) {
       ++stats_.duplicates;
+      ESSAT_TRACE(sim_, obs::TraceType::kMacRxDup, self_, 0, p.prov,
+                  static_cast<std::uint64_t>(p.link_src));
       return;
     }
     last = p.mac_seq;
     ++stats_.frames_received;
+    ESSAT_TRACE(sim_, obs::TraceType::kMacRxDeliver, self_,
+                static_cast<std::uint16_t>(p.type), p.prov,
+                static_cast<std::uint64_t>(p.link_src));
     if (rx_handler_) rx_handler_(p);
     return;
   }
 
   if (p.is_broadcast()) {
     ++stats_.frames_received;
+    ESSAT_TRACE(sim_, obs::TraceType::kMacRxDeliver, self_,
+                static_cast<std::uint16_t>(p.type), p.prov,
+                static_cast<std::uint64_t>(p.link_src));
     if (rx_handler_) rx_handler_(p);
     return;
   }
@@ -270,6 +299,8 @@ void CsmaMac::send_ack_(net::NodeId to) {
     ack.size_bytes = net::Packet::kAckBytes;
     ack.mac_seq = next_mac_seq_++;
     ++stats_.acks_sent;
+    ESSAT_TRACE(sim_, obs::TraceType::kMacAckTx, self_, 0, 0,
+                static_cast<std::uint64_t>(to));
     transmitting_ = true;
     radio_.note_tx(true);
     const util::Time dur = params_.ack_duration();
@@ -295,6 +326,8 @@ void CsmaMac::on_channel_activity_() {
       // freezes for our own ACK replies or NAV/EIFS are not counted here —
       // they are self-inflicted pauses, not channel contention).
       ++stats_.cca_busy_defers;
+      ESSAT_TRACE(sim_, obs::TraceType::kMacCcaDefer, self_, 0,
+                  in_flight_->packet.prov, 0);
       freeze_backoff_();
     }
     return;

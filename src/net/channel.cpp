@@ -4,6 +4,17 @@
 
 namespace essat::net {
 
+namespace {
+
+// kChanDrop arg16: drop reason in the high byte, packet type in the low.
+// (Unused when ESSAT_TRACE compiles out under -DESSAT_TRACING=OFF.)
+[[maybe_unused]] std::uint16_t drop_arg(obs::DropReason r, PacketType t) {
+  return static_cast<std::uint16_t>(static_cast<std::uint16_t>(r) << 8 |
+                                    static_cast<std::uint16_t>(t));
+}
+
+}  // namespace
+
 Channel::Channel(sim::Simulator& sim, const Topology& topo, ChannelParams params)
     : sim_{sim}, topo_{topo}, params_{params}, nodes_(topo.num_nodes()) {}
 
@@ -63,6 +74,12 @@ void Channel::attach(NodeId node, Attachment attachment) {
 void Channel::start_tx(NodeId sender, Packet p, util::Time duration) {
   ++transmissions_;
   p.channel_tx_id = ++next_tx_id_;
+  // Conservation anchor: arg16 is the frozen in-range receiver count; each
+  // of those receivers emits exactly one kChanDeliver or kChanDrop for this
+  // tx id (obs::check_conservation verifies the match).
+  ESSAT_TRACE(sim_, obs::TraceType::kChanTxBegin, sender,
+              static_cast<std::uint16_t>(topo_.neighbors(sender).size()),
+              p.channel_tx_id, p.prov);
   auto& s = nodes_.at(static_cast<std::size_t>(sender));
   // Carrier-sense notifications fire only on busy<->idle edges: a notify
   // that does not change busy() is a no-op in every attached MAC (the busy
@@ -149,6 +166,9 @@ void Channel::begin_arrival_(NodeId receiver, const PacketRef& p) {
     if (!link_model_->deliver(p->link_src, receiver, sender_dist)) {
       ++dropped_by_model_;
       if (stat != nullptr) ++stat->drops;
+      ESSAT_TRACE(sim_, obs::TraceType::kChanDrop, receiver,
+                  drop_arg(obs::DropReason::kModel, p->type),
+                  p->channel_tx_id, p->prov);
       if (busy_edge) notify_(receiver);
       return;
     }
@@ -167,11 +187,27 @@ void Channel::begin_arrival_(NodeId receiver, const PacketRef& p) {
       node.rx.corrupted = true;
       ++collisions_;
     }
+    // Either way the overlapping frame itself is never received here; the
+    // corrupted original reports its own fate at its end_arrival_.
+    ESSAT_TRACE(sim_, obs::TraceType::kChanDrop, receiver,
+                drop_arg(captured ? obs::DropReason::kCaptured
+                                  : obs::DropReason::kCollision,
+                         p->type),
+                p->channel_tx_id, p->prov);
   } else if (node.arriving_count == 1 && !node.transmitting &&
              node.attachment.is_listening && node.attachment.is_listening()) {
     node.rx.active = true;
     node.rx.corrupted = false;
     node.rx.frame = p;  // refcount bump, not a Packet copy
+  } else {
+    // No reception started and none in progress: the frame is lost to this
+    // receiver now. Attribute why, most specific condition first.
+    ESSAT_TRACE(sim_, obs::TraceType::kChanDrop, receiver,
+                drop_arg(node.transmitting     ? obs::DropReason::kSelfTx
+                         : node.arriving_count > 1 ? obs::DropReason::kBusy
+                                                   : obs::DropReason::kRadioOff,
+                         p->type),
+                p->channel_tx_id, p->prov);
   }
   if (busy_edge) notify_(receiver);
 }
@@ -192,7 +228,19 @@ void Channel::end_arrival_(NodeId receiver, const PacketRef& p) {
     // channel (ACK replies start transmissions that clobber rx state).
     const PacketRef delivered_frame = std::move(node.rx.frame);
     node.rx.active = false;
-    if (ok) ++delivered_;
+    if (ok) {
+      ++delivered_;
+      ESSAT_TRACE(sim_, obs::TraceType::kChanDeliver, receiver,
+                  static_cast<std::uint16_t>(p->type), p->channel_tx_id,
+                  p->prov);
+    } else {
+      ESSAT_TRACE(sim_, obs::TraceType::kChanDrop, receiver,
+                  drop_arg(!listening || node.transmitting
+                               ? obs::DropReason::kAbandoned
+                               : obs::DropReason::kCollision,
+                           p->type),
+                  p->channel_tx_id, p->prov);
+    }
     if (node.attachment.on_rx_complete) {
       node.attachment.on_rx_complete(*delivered_frame, ok);
     }

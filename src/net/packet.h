@@ -85,6 +85,11 @@ struct Packet {
   int size_bytes = kDataReportBytes;
   std::uint32_t mac_seq = 0;       // set by the MAC, for duplicate suppression
   std::uint64_t channel_tx_id = 0; // set by the Channel, unique per transmission
+  // Provenance id for packet-lifecycle tracing: assigned by the QueryAgent
+  // when a report is created ((origin+1) << 32 | per-node counter), carried
+  // unchanged through the MAC, the pooled channel frame, and pass-through
+  // forwarding. 0 = untracked (control frames, ACKs).
+  std::uint64_t prov = 0;
 
   std::variant<std::monostate, DataHeader, SetupHeader, JoinHeader, RankHeader,
                AtimHeader, PhaseRequestHeader, DisseminationHeader>

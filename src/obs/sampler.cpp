@@ -1,0 +1,33 @@
+#include "src/obs/sampler.h"
+
+namespace essat::obs {
+
+void TimeSeries::add(util::Time t, double value) {
+  const std::uint64_t i = offered_++;
+  if (i % stride_ != 0) return;
+  if (points_.size() >= cap_) {
+    // Decimate 2:1 and double the stride: the retained points still cover
+    // the full window uniformly, at half the resolution.
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < points_.size(); r += 2) points_[w++] = points_[r];
+    points_.resize(w);
+    stride_ *= 2;
+    if (i % stride_ != 0) return;  // this offer falls off the coarser stride
+  }
+  points_.push_back(SeriesPoint{t.ns(), value});
+}
+
+void NodeSampler::sample_now(const sim::Simulator& sim) {
+  const util::Time now = sim.now();
+  for (Channel& c : channels_) c.series.add(now, c.probe());
+}
+
+void NodeSampler::start(sim::Simulator& sim, util::Time period) {
+  if (period <= util::Time::zero()) return;
+  sim.schedule_in(period, [this, &sim, period] {
+    sample_now(sim);
+    start(sim, period);
+  });
+}
+
+}  // namespace essat::obs

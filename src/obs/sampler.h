@@ -1,0 +1,80 @@
+// Periodic per-node time-series sampling with bounded memory.
+//
+// A NodeSampler owns a set of channels — (name, node, probe) triples — and
+// polls every probe on a fixed period driven by the simulator. Each channel
+// accumulates into a TimeSeries whose memory is bounded: when a series
+// reaches its cap it decimates 2:1 (keeps every second point) and doubles
+// its sampling stride, so arbitrarily long runs converge to cap points that
+// uniformly downsample the whole window instead of truncating its tail.
+// Decimation depends only on the sample count, never on wall time, so
+// series are deterministic for a given trial.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/util/time.h"
+
+namespace essat::obs {
+
+struct SeriesPoint {
+  std::int64_t t_ns = 0;
+  double value = 0.0;
+};
+
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::size_t cap) : cap_(cap < 8 ? 8 : cap) {
+    points_.reserve(cap_);
+  }
+
+  // Offers one observation; recorded iff it lands on the current stride.
+  void add(util::Time t, double value);
+
+  const std::vector<SeriesPoint>& points() const { return points_; }
+  // Samples offered, including those the stride skipped or decimation
+  // dropped.
+  std::uint64_t offered() const { return offered_; }
+  std::uint64_t stride() const { return stride_; }
+
+ private:
+  std::size_t cap_;
+  std::uint64_t stride_ = 1;   // record every stride-th offer
+  std::uint64_t offered_ = 0;
+  std::vector<SeriesPoint> points_;
+};
+
+class NodeSampler {
+ public:
+  struct Channel {
+    std::string name;        // metric name, e.g. "duty_cycle"
+    std::int32_t node = -1;  // -1 = run-global channel
+    std::function<double()> probe;
+    TimeSeries series;
+  };
+
+  explicit NodeSampler(std::size_t series_cap) : series_cap_(series_cap) {}
+
+  void add_channel(std::string name, std::int32_t node,
+                   std::function<double()> probe) {
+    channels_.push_back(
+        Channel{std::move(name), node, std::move(probe), TimeSeries(series_cap_)});
+  }
+
+  // Samples every channel once at the current sim time.
+  void sample_now(const sim::Simulator& sim);
+  // Schedules recurring sampling on `sim` every `period` (first sample one
+  // period from now). The sampler must outlive the simulation.
+  void start(sim::Simulator& sim, util::Time period);
+
+  const std::vector<Channel>& channels() const { return channels_; }
+
+ private:
+  std::size_t series_cap_;
+  std::vector<Channel> channels_;
+};
+
+}  // namespace essat::obs

@@ -23,6 +23,9 @@ void QueryAgent::register_query(const Query& q) {
 void QueryAgent::ensure_epoch_(QueryState& qs, std::int64_t k) {
   if (halted_) return;
   if (k <= qs.watermark || qs.epochs.count(k) != 0) return;
+  ESSAT_TRACE(sim_, obs::TraceType::kEpochStart, self_,
+              static_cast<std::uint16_t>(qs.q.id), 0,
+              static_cast<std::uint64_t>(k));
   auto& es = qs.epochs[k];
   for (net::NodeId c : tree_.children(self_)) es.pending.insert(c);
 
@@ -100,7 +103,12 @@ void QueryAgent::submit_report_(QueryState& qs, std::int64_t k, int contribution
     h.app_seq = ++qs.my_app_seq;
     h.contributions = contributions;
     h.phase_update = phase_update;
-    mac_.send(net::make_data_packet(self_, parent, h), [this, parent](bool ok) {
+    net::Packet pkt = net::make_data_packet(self_, parent, h);
+    pkt.prov = static_cast<std::uint64_t>(self_ + 1) << 32 | ++prov_seq_;
+    ESSAT_TRACE(sim_, obs::TraceType::kReportSubmit, self_,
+                static_cast<std::uint16_t>(qs.q.id), pkt.prov,
+                static_cast<std::uint64_t>(k));
+    mac_.send(std::move(pkt), [this, parent](bool ok) {
       if (!ok) ++stats_.send_failures;
       if (send_result_) send_result_(parent, ok);
     });
@@ -156,8 +164,11 @@ void QueryAgent::handle_data_(const net::Packet& p) {
     if (child_heard_) child_heard_(child);
   }
 
-  if (self_ == tree_.root() && root_arrival_) {
-    root_arrival_(qs.q, h.epoch, sim_.now(), h.contributions);
+  if (self_ == tree_.root()) {
+    ESSAT_TRACE(sim_, obs::TraceType::kRootDeliver, self_,
+                static_cast<std::uint16_t>(h.contributions), p.prov,
+                static_cast<std::uint64_t>(h.epoch));
+    if (root_arrival_) root_arrival_(qs.q, h.epoch, sim_.now(), h.contributions);
   }
 
   if (h.pass_through || closed_(qs, h.epoch)) {
@@ -176,6 +187,11 @@ void QueryAgent::handle_data_(const net::Packet& p) {
     forward_pass_through_(p);
     return;
   }
+  // Aggregation boundary: this child report's provenance ends here and the
+  // epoch's own kReportSubmit (same node/query/epoch) continues the chain.
+  ESSAT_TRACE(sim_, obs::TraceType::kReportFold, self_,
+              static_cast<std::uint16_t>(h.query), p.prov,
+              static_cast<std::uint64_t>(h.epoch));
   es.contributions += h.contributions;
   if (es.pending.empty()) finalize_(qs, h.epoch);
 }
@@ -189,7 +205,9 @@ void QueryAgent::forward_pass_through_(const net::Packet& p) {
   h.pass_through = true;
   h.phase_update.reset();  // phase updates are hop-local
   ++stats_.pass_through_forwarded;
-  mac_.send(net::make_data_packet(self_, parent, h));
+  net::Packet fwd = net::make_data_packet(self_, parent, h);
+  fwd.prov = p.prov;  // same report, next hop: provenance rides along
+  mac_.send(std::move(fwd));
 }
 
 void QueryAgent::child_removed(net::NodeId child) {

@@ -133,6 +133,9 @@ class QueryAgent {
 
   std::map<net::QueryId, QueryState> queries_;
   bool halted_ = false;
+  // Packet-lifecycle provenance: each submitted report gets
+  // (self+1) << 32 | counter, unique across the run without coordination.
+  std::uint64_t prov_seq_ = 0;
 
   RootArrivalHook root_arrival_;
   SendResultHook send_result_;

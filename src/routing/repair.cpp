@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "src/routing/parent_policy.h"
+#include "src/sim/simulator.h"
 
 namespace essat::routing {
 
@@ -69,6 +70,11 @@ bool RepairService::reparent(net::NodeId n,
     hooks_.on_child_removed(old_parent, n);
   }
   if (hooks_.on_parent_changed) hooks_.on_parent_changed(n, best);
+  if (trace_sim_ != nullptr) {
+    ESSAT_TRACE(*trace_sim_, obs::TraceType::kParentChange, n, 0,
+                static_cast<std::uint64_t>(old_parent),
+                static_cast<std::uint64_t>(best));
+  }
   fire_rank_changes_(ranks_before);
   return true;
 }
@@ -99,6 +105,11 @@ std::vector<net::NodeId> RepairService::remove_failed_node(
         tree_.add_node(orphan, best);
         tree_.recompute_ranks();
         if (hooks_.on_parent_changed) hooks_.on_parent_changed(orphan, best);
+        if (trace_sim_ != nullptr) {
+          ESSAT_TRACE(*trace_sim_, obs::TraceType::kParentChange, orphan, 0,
+                      static_cast<std::uint64_t>(failed),
+                      static_cast<std::uint64_t>(best));
+        }
         fire_rank_changes_(before);
         continue;
       }

@@ -17,6 +17,10 @@
 #include "src/net/topology.h"
 #include "src/routing/tree.h"
 
+namespace essat::sim {
+class Simulator;
+}
+
 namespace essat::routing {
 
 class ParentPolicy;
@@ -42,6 +46,10 @@ class RepairService {
   // service). nullptr = the legacy lowest-level rule.
   void set_policy(ParentPolicy* policy) { policy_ = policy; }
 
+  // Lets repairs emit kParentChange trace records (the service itself has no
+  // simulator dependency otherwise). nullptr = no tracing from repairs.
+  void set_tracer(const sim::Simulator* sim) { trace_sim_ = sim; }
+
   // Child-side recovery: `n` can no longer reach its parent. Re-attaches n
   // (with its subtree) under the best alive neighbor: a tree member, not in
   // n's own subtree, lowest level. Returns false when no candidate exists
@@ -65,6 +73,7 @@ class RepairService {
   Tree& tree_;
   Hooks hooks_;
   ParentPolicy* policy_ = nullptr;
+  const sim::Simulator* trace_sim_ = nullptr;
 };
 
 }  // namespace essat::routing

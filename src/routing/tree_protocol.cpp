@@ -65,6 +65,9 @@ void TreeSetupProtocol::handle_packet(net::NodeId self, const net::Packet& p) {
         // Legacy hardwired rule: lowest advertised level wins, first heard
         // keeps ties.
         if (st.level == -1 || offered_level < st.level) {
+          ESSAT_TRACE(sim_, obs::TraceType::kParentChange, self, 0,
+                      static_cast<std::uint64_t>(st.parent),
+                      static_cast<std::uint64_t>(p.link_src));
           st.level = offered_level;
           st.cost = offered_level;
           st.parent = p.link_src;
@@ -78,6 +81,9 @@ void TreeSetupProtocol::handle_packet(net::NodeId self, const net::Packet& p) {
       const double offered_cost =
           p.setup().cost + policy_->link_cost(self, p.link_src);
       if (st.parent == net::kNoNode || offered_cost < st.cost) {
+        ESSAT_TRACE(sim_, obs::TraceType::kParentChange, self, 0,
+                    static_cast<std::uint64_t>(st.parent),
+                    static_cast<std::uint64_t>(p.link_src));
         st.cost = offered_cost;
         st.level = offered_level;
         st.parent = p.link_src;

@@ -211,12 +211,14 @@ std::pair<util::Time, EventQueue::Callback> EventQueue::pop() {
   return out;
 }
 
-bool EventQueue::pop_until(util::Time limit, util::Time& t, Callback& cb) {
+bool EventQueue::pop_until(util::Time limit, util::Time& t, Callback& cb,
+                           EventId& id) {
   if (!drop_dead_()) return false;
   const Entry top = head_();
   if (top.time > limit) return false;
   SlotMeta& s = meta_[top.slot()];
   t = top.time;
+  id = encode_(top.slot(), s.generation);  // before surfacing recycles the slot
   cb = std::move(cbs_[top.slot()]);
   s.set_pending(false);
   entry_surfaced_(top.slot());

@@ -69,9 +69,10 @@ class EventQueue {
   // its slot, never copied). Precondition: !empty().
   std::pair<util::Time, Callback> pop();
   // Fused empty()/next_time()/pop() for the simulator's run loop: pops the
-  // next live event into (t, cb) iff its timestamp is <= `limit`. One head
-  // skim instead of three.
-  bool pop_until(util::Time limit, util::Time& t, Callback& cb);
+  // next live event into (t, cb, id) iff its timestamp is <= `limit`. One
+  // head skim instead of three. `id` is the popped event's handle (the same
+  // value push() returned), so tracing can correlate pops with pushes.
+  bool pop_until(util::Time limit, util::Time& t, Callback& cb, EventId& id);
 
   std::size_t size() const { return live_; }  // live events only
   // High-water mark of live events — the event population a harness should

@@ -5,7 +5,11 @@
 namespace essat::sim {
 
 EventId Simulator::schedule_at(util::Time t, Callback cb) {
-  return queue_.push(std::max(t, now_), std::move(cb));
+  const util::Time at = std::max(t, now_);
+  const EventId id = queue_.push(at, std::move(cb));
+  ESSAT_TRACE(*this, obs::TraceType::kEvPush, -1, 0, id,
+              static_cast<std::uint64_t>(at.ns()));
+  return id;
 }
 
 EventId Simulator::schedule_in(util::Time delay, Callback cb) {
@@ -13,16 +17,24 @@ EventId Simulator::schedule_in(util::Time delay, Callback cb) {
 }
 
 bool Simulator::rearm(EventId id, util::Time t) {
-  return queue_.rearm(id, std::max(t, now_));
+  const util::Time at = std::max(t, now_);
+  const bool ok = queue_.rearm(id, at);
+  if (ok) {
+    ESSAT_TRACE(*this, obs::TraceType::kEvRearm, -1, 0, id,
+                static_cast<std::uint64_t>(at.ns()));
+  }
+  return ok;
 }
 
 void Simulator::run() {
   stopped_ = false;
   util::Time t;
   Callback cb;
-  while (!stopped_ && queue_.pop_until(util::Time::max(), t, cb)) {
+  EventId id = kInvalidEventId;
+  while (!stopped_ && queue_.pop_until(util::Time::max(), t, cb, id)) {
     now_ = t;
     ++executed_;
+    ESSAT_TRACE(*this, obs::TraceType::kEvPop, -1, 0, id, 0);
     cb();
     cb = nullptr;  // release the capture before the next pop overwrites it
   }
@@ -32,9 +44,11 @@ void Simulator::run_until(util::Time end) {
   stopped_ = false;
   util::Time t;
   Callback cb;
-  while (!stopped_ && queue_.pop_until(end, t, cb)) {
+  EventId id = kInvalidEventId;
+  while (!stopped_ && queue_.pop_until(end, t, cb, id)) {
     now_ = t;
     ++executed_;
+    ESSAT_TRACE(*this, obs::TraceType::kEvPop, -1, 0, id, 0);
     cb();
     cb = nullptr;
   }

@@ -7,6 +7,7 @@
 // inline_callback.h for the SBO contract).
 #pragma once
 
+#include "src/obs/tracer.h"
 #include "src/sim/event_queue.h"
 #include "src/util/time.h"
 
@@ -23,7 +24,10 @@ class Simulator {
   EventId schedule_at(util::Time t, Callback cb);
   // Schedules `cb` after `delay` (clamped to 0 if negative).
   EventId schedule_in(util::Time delay, Callback cb);
-  void cancel(EventId id) { queue_.cancel(id); }
+  void cancel(EventId id) {
+    ESSAT_TRACE(*this, obs::TraceType::kEvCancel, -1, 0, id, 0);
+    queue_.cancel(id);
+  }
   // Re-times a pending event in place (see EventQueue::rearm); `t` is
   // clamped to `now()` so a stale re-arm can never fire in the past.
   bool rearm(EventId id, util::Time t);
@@ -46,11 +50,18 @@ class Simulator {
     queue_.reserve(expected_events);
   }
 
+  // The run's tracer, or nullptr (the default: tracing off). Installed by
+  // the harness for the run's lifetime; every instrumented component reaches
+  // it through its Simulator reference via ESSAT_TRACE.
+  obs::Tracer* tracer() const { return tracer_; }
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   util::Time now_ = util::Time::zero();
   EventQueue queue_;
   bool stopped_ = false;
   std::uint64_t executed_ = 0;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace essat::sim

@@ -1,9 +1,15 @@
 #include "src/util/logging.h"
 
+#include <cstring>
+#include <utility>
+
 namespace essat::util {
 namespace {
 
 LogLevel g_level = LogLevel::kWarn;
+
+thread_local std::function<std::int64_t()> tl_clock;
+thread_local std::int32_t tl_node = -1;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -23,9 +29,42 @@ void set_log_level(LogLevel level) { g_level = level; }
 
 LogLevel log_level() { return g_level; }
 
+ScopedLogClock::ScopedLogClock(std::function<std::int64_t()> now_ns)
+    : prev_(std::move(tl_clock)) {
+  tl_clock = std::move(now_ns);
+}
+
+ScopedLogClock::~ScopedLogClock() { tl_clock = std::move(prev_); }
+
+ScopedNodeContext::ScopedNodeContext(std::int32_t node) : prev_(tl_node) {
+  tl_node = node;
+}
+
+ScopedNodeContext::~ScopedNodeContext() { tl_node = prev_; }
+
+std::int32_t current_log_node() { return tl_node; }
+
+void mark_truncated(char* buf, std::size_t cap) {
+  // "…" is 3 bytes of UTF-8; keep the terminating NUL inside the buffer.
+  static constexpr char kMarker[] = "…";
+  if (cap < sizeof kMarker) return;
+  std::memcpy(buf + cap - sizeof kMarker, kMarker, sizeof kMarker);
+}
+
 void log(LogLevel level, const std::string& msg) {
   if (level < g_level) return;
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  char prefix[64];
+  prefix[0] = '\0';
+  std::size_t off = 0;
+  if (tl_clock) {
+    const double t_s = static_cast<double>(tl_clock()) * 1e-9;
+    off += static_cast<std::size_t>(std::snprintf(
+        prefix + off, sizeof prefix - off, "[t=%.6fs] ", t_s));
+  }
+  if (tl_node >= 0 && off < sizeof prefix) {
+    std::snprintf(prefix + off, sizeof prefix - off, "[n%d] ", tl_node);
+  }
+  std::fprintf(stderr, "[%s] %s%s\n", level_name(level), prefix, msg.c_str());
 }
 
 }  // namespace essat::util

@@ -1,8 +1,17 @@
 // Minimal leveled logging. Disabled (kWarn) by default so simulation hot
 // paths stay quiet; tests and examples can raise verbosity.
+//
+// Context prefixes: a per-thread simulation clock (ScopedLogClock, installed
+// by the harness for the duration of a run) and a per-thread node id
+// (ScopedNodeContext, set around per-node dispatch). When present they
+// prefix every line — `[INFO] [t=12.0035s] [n42] ...` — so interleaved
+// multi-trial sweep output stays attributable. Both are thread-local, so
+// parallel sweep workers never see each other's context.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <string>
 
 namespace essat::util {
@@ -13,16 +22,55 @@ enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, 
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-// Emits `msg` to stderr if `level` >= the global threshold.
+// Emits `msg` to stderr if `level` >= the global threshold, with any
+// active sim-time / node-id prefixes.
 void log(LogLevel level, const std::string& msg);
 
-#define ESSAT_LOG(level, ...)                                           \
-  do {                                                                  \
-    if ((level) >= ::essat::util::log_level()) {                        \
-      char _essat_buf[512];                                             \
-      std::snprintf(_essat_buf, sizeof _essat_buf, __VA_ARGS__);        \
-      ::essat::util::log((level), _essat_buf);                          \
-    }                                                                   \
+// Installs a simulation-time probe for the calling thread; lines logged
+// while the guard lives carry a [t=...] prefix. Nests (restores the
+// previous probe on destruction).
+class ScopedLogClock {
+ public:
+  explicit ScopedLogClock(std::function<std::int64_t()> now_ns);
+  ~ScopedLogClock();
+  ScopedLogClock(const ScopedLogClock&) = delete;
+  ScopedLogClock& operator=(const ScopedLogClock&) = delete;
+
+ private:
+  std::function<std::int64_t()> prev_;
+};
+
+// Tags the calling thread's log lines with a node id ([nID] prefix) until
+// destruction. Nests.
+class ScopedNodeContext {
+ public:
+  explicit ScopedNodeContext(std::int32_t node);
+  ~ScopedNodeContext();
+  ScopedNodeContext(const ScopedNodeContext&) = delete;
+  ScopedNodeContext& operator=(const ScopedNodeContext&) = delete;
+
+ private:
+  std::int32_t prev_;
+};
+
+// Node id active on this thread, or -1.
+std::int32_t current_log_node();
+
+// Overwrites the tail of a full formatting buffer with a "…" marker so
+// truncation is visible instead of silent. Used by ESSAT_LOG.
+void mark_truncated(char* buf, std::size_t cap);
+
+#define ESSAT_LOG(level, ...)                                            \
+  do {                                                                   \
+    if ((level) >= ::essat::util::log_level()) {                         \
+      char _essat_buf[512];                                              \
+      const int _essat_len =                                             \
+          std::snprintf(_essat_buf, sizeof _essat_buf, __VA_ARGS__);     \
+      if (_essat_len >= static_cast<int>(sizeof _essat_buf)) {           \
+        ::essat::util::mark_truncated(_essat_buf, sizeof _essat_buf);    \
+      }                                                                  \
+      ::essat::util::log((level), _essat_buf);                           \
+    }                                                                    \
   } while (0)
 
 #define ESSAT_DEBUG(...) ESSAT_LOG(::essat::util::LogLevel::kDebug, __VA_ARGS__)

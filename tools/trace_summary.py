@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Summarize an ESSAT trace, or validate an exported Perfetto JSON.
+
+Summary mode (default) reads a JSONL trace (ScenarioConfig.trace.jsonl_path)
+and prints:
+  * record counts by type
+  * channel drop breakdown by attributed reason
+  * per-hop MAC latency (mac_enqueue -> mac_send_ok, matched on the packet's
+    provenance id at each hop): count / mean / p50 / p95 / max
+  * packet-conservation check: every chan_tx_begin announces its in-range
+    receiver count (arg16); the matching chan_deliver/chan_drop records,
+    keyed by tx_id, must add up to exactly that count. Transmissions still
+    in flight at the trace tail (within --grace-ms of the last record) are
+    skipped. A mismatch is a simulator bug and fails the run (exit 1).
+
+Check mode (--check) parses a Perfetto trace_event JSON export and verifies
+its structure — top-level object, traceEvents array, every event a known
+phase with the fields that phase requires — so CI can gate the exporter
+without a Perfetto UI in the loop. Exits 1 on any violation or on an empty
+trace.
+
+Usage:
+  trace_summary.py <trace.jsonl>
+  trace_summary.py --check <perfetto.json>
+"""
+import argparse
+import json
+import sys
+from collections import Counter, defaultdict
+
+
+def percentile(sorted_vals, q):
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1, int(q * len(sorted_vals)))
+    return sorted_vals[idx]
+
+
+def summarize(path, grace_ms):
+    records = []
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as e:
+                print(f"FAIL: {path}:{lineno}: bad JSON line: {e}")
+                return 1
+    if not records:
+        print(f"FAIL: {path}: empty trace")
+        return 1
+
+    by_type = Counter(r["type"] for r in records)
+    print(f"{path}: {len(records)} records, "
+          f"{records[0]['t_ns'] / 1e9:.3f}s .. {records[-1]['t_ns'] / 1e9:.3f}s")
+    print("\nrecords by type:")
+    for name, n in by_type.most_common():
+        print(f"  {name:20s} {n}")
+
+    drops = Counter(r.get("reason", "?") for r in records
+                    if r["type"] == "chan_drop")
+    if drops:
+        print("\nchannel drops by reason:")
+        for reason, n in drops.most_common():
+            print(f"  {reason:20s} {n}")
+
+    # Per-hop MAC latency: enqueue -> send_ok on the same (node, prov).
+    enqueue_t = {}
+    hop_ms = []
+    for r in records:
+        if r["type"] == "mac_enqueue":
+            enqueue_t[(r["node"], r["a"])] = r["t_ns"]
+        elif r["type"] == "mac_send_ok":
+            t0 = enqueue_t.pop((r["node"], r["a"]), None)
+            if t0 is not None:
+                hop_ms.append((r["t_ns"] - t0) / 1e6)
+    if hop_ms:
+        hop_ms.sort()
+        mean = sum(hop_ms) / len(hop_ms)
+        print(f"\nper-hop MAC latency (enqueue->send_ok, {len(hop_ms)} hops):")
+        print(f"  mean={mean:.3f}ms p50={percentile(hop_ms, 0.50):.3f}ms "
+              f"p95={percentile(hop_ms, 0.95):.3f}ms max={hop_ms[-1]:.3f}ms")
+
+    # Conservation: chan_tx_begin.arg16 in-range receivers == deliver+drop.
+    t_last = records[-1]["t_ns"]
+    tx = {}  # tx_id -> [t_begin, expected, seen]
+    for r in records:
+        if r["type"] == "chan_tx_begin":
+            tx[r["a"]] = [r["t_ns"], r["arg16"], 0]
+        elif r["type"] in ("chan_deliver", "chan_drop"):
+            s = tx.get(r["a"])
+            if s is not None:
+                s[2] += 1
+    checked = skipped = mismatched = 0
+    for tx_id, (t_begin, expected, seen) in tx.items():
+        if t_begin > t_last - grace_ms * 1_000_000:
+            skipped += 1
+            continue
+        checked += 1
+        if seen != expected:
+            mismatched += 1
+            if mismatched <= 5:
+                print(f"  conservation violation: tx_id={tx_id} "
+                      f"expected {expected} receiver records, saw {seen}")
+    print(f"\nconservation: {checked} transmissions checked, "
+          f"{skipped} in-flight skipped, {mismatched} mismatched")
+    if mismatched:
+        print("FAIL: packet conservation violated")
+        return 1
+    print("OK")
+    return 0
+
+
+# Fields each Perfetto phase must carry, beyond the common pid/tid.
+PHASE_FIELDS = {
+    "M": ("name", "args"),
+    "X": ("ts", "dur", "name"),
+    "i": ("ts", "s", "name"),
+    "C": ("ts", "name", "args"),
+}
+
+
+def check_perfetto(path):
+    with open(path) as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            print(f"FAIL: {path}: not valid JSON: {e}")
+            return 1
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        print(f"FAIL: {path}: expected an object with a traceEvents array")
+        return 1
+    events = doc["traceEvents"]
+    if not events:
+        print(f"FAIL: {path}: traceEvents is empty")
+        return 1
+    phases = Counter()
+    tracks = set()
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph not in PHASE_FIELDS:
+            print(f"FAIL: {path}: event {i}: unknown phase {ph!r}")
+            return 1
+        missing = [k for k in ("pid", "tid") + PHASE_FIELDS[ph] if k not in ev]
+        if missing:
+            print(f"FAIL: {path}: event {i} (ph={ph}): missing {missing}")
+            return 1
+        phases[ph] += 1
+        tracks.add(ev["tid"])
+    named = sum(1 for ev in events
+                if ev.get("ph") == "M" and ev.get("name") == "thread_name")
+    print(f"{path}: {len(events)} events, {len(tracks)} tracks "
+          f"({named} named), phases "
+          + " ".join(f"{p}={n}" for p, n in sorted(phases.items())))
+    print("OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Summarize a JSONL trace or validate a Perfetto export.")
+    parser.add_argument("trace", help="trace.jsonl, or perfetto.json with --check")
+    parser.add_argument("--check", action="store_true",
+                        help="validate Perfetto trace_event JSON structure")
+    parser.add_argument("--grace-ms", type=float, default=10.0,
+                        help="skip transmissions begun within this window of "
+                             "the trace tail (default 10)")
+    args = parser.parse_args()
+    if args.check:
+        return check_perfetto(args.trace)
+    return summarize(args.trace, args.grace_ms)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
