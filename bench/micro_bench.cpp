@@ -444,6 +444,89 @@ void BM_NeighborRebuildAllPairs(benchmark::State& state) {
 }
 BENCHMARK(BM_NeighborRebuildAllPairs)->Arg(80)->Arg(1000)->Arg(4000);
 
+// The PR-7 attachment A/B: per-arrival listener dispatch. Legacy
+// (pre-PR-7) attachments held three std::functions per node — 96 bytes of
+// per-node state, and every arrival paid an indirect std::function call
+// just to ask "are you listening?" before the delivery dispatch. The
+// ChannelListener interface replaces the query with a channel-side cached
+// bool (no call at all) and the delivery with one virtual call through a
+// single pointer. The loop below replays the channel's per-arrival
+// sequence (activity notification + listening check + delivery) over a
+// neighborhood of nodes.
+struct LegacyAttachment {
+  std::function<bool()> is_listening;
+  std::function<void(const net::Packet&, bool)> on_rx_complete;
+  std::function<void()> on_channel_activity;
+};
+
+struct DevirtListener final : net::ChannelListener {
+  std::uint64_t delivered = 0;
+  std::uint64_t activity = 0;
+  bool on = true;
+  void on_rx_complete(const net::Packet&, bool ok) override {
+    delivered += ok ? 1 : 0;
+  }
+  void on_channel_activity() override { ++activity; }
+};
+
+constexpr int kDispatchArrivals = 1024;
+
+void BM_ListenerDispatchLegacyStdFunction(benchmark::State& state) {
+  const int neighbors = static_cast<int>(state.range(0));
+  std::uint64_t delivered = 0, activity = 0;
+  bool on = true;
+  std::vector<LegacyAttachment> atts(static_cast<std::size_t>(neighbors));
+  for (auto& a : atts) {
+    a.is_listening = [&on] { return on; };
+    a.on_rx_complete = [&delivered](const net::Packet&, bool ok) {
+      delivered += ok ? 1 : 0;
+    };
+    a.on_channel_activity = [&activity] { ++activity; };
+  }
+  net::DataHeader h;
+  const net::Packet p = net::make_data_packet(0, net::kNoNode, h);
+  for (auto _ : state) {
+    for (int i = 0; i < kDispatchArrivals; ++i) {
+      for (auto& a : atts) {
+        if (a.on_channel_activity) a.on_channel_activity();
+        if (a.is_listening && a.is_listening()) a.on_rx_complete(p, true);
+      }
+    }
+  }
+  benchmark::DoNotOptimize(delivered);
+  benchmark::DoNotOptimize(activity);
+  state.SetItemsProcessed(state.iterations() * kDispatchArrivals * neighbors);
+}
+BENCHMARK(BM_ListenerDispatchLegacyStdFunction)
+    ->Arg(12)
+    ->ArgNames({"neighbors"});
+
+void BM_ListenerDispatchDevirtualized(benchmark::State& state) {
+  const int neighbors = static_cast<int>(state.range(0));
+  DevirtListener listener;
+  // The channel's per-node record: one pointer + the cached flag.
+  struct PerNode {
+    net::ChannelListener* listener = nullptr;
+    bool listening = false;
+  };
+  std::vector<PerNode> nodes(static_cast<std::size_t>(neighbors));
+  for (auto& n : nodes) n = PerNode{&listener, true};
+  net::DataHeader h;
+  const net::Packet p = net::make_data_packet(0, net::kNoNode, h);
+  for (auto _ : state) {
+    for (int i = 0; i < kDispatchArrivals; ++i) {
+      for (auto& n : nodes) {
+        if (n.listener != nullptr) n.listener->on_channel_activity();
+        if (n.listening) n.listener->on_rx_complete(p, true);
+      }
+    }
+  }
+  benchmark::DoNotOptimize(listener.delivered);
+  benchmark::DoNotOptimize(listener.activity);
+  state.SetItemsProcessed(state.iterations() * kDispatchArrivals * neighbors);
+}
+BENCHMARK(BM_ListenerDispatchDevirtualized)->Arg(12)->ArgNames({"neighbors"});
+
 void BM_SimulatorTimerChurn(benchmark::State& state) {
   for (auto _ : state) {
     sim::Simulator sim;

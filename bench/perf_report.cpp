@@ -22,7 +22,7 @@
 //
 // Knobs: ESSAT_BENCH_MEASURE_S (measurement window, default 20),
 // ESSAT_BENCH_RUNS (runs per rate point, default 5), ESSAT_BENCH_JSON or
-// argv[1] (output path, default BENCH_6.json).
+// argv[1] (output path, default BENCH_7.json).
 #include <sys/resource.h>
 
 #include <chrono>
@@ -100,7 +100,7 @@ int main(int argc, char** argv) {
 
   const char* out_path = argc > 1 ? argv[1] : nullptr;
   if (out_path == nullptr) out_path = std::getenv("ESSAT_BENCH_JSON");
-  if (out_path == nullptr) out_path = "BENCH_6.json";
+  if (out_path == nullptr) out_path = "BENCH_7.json";
 
   std::printf("perf_report: DTS-SS x uniform-160 x {1,2,4} Hz, %gs window, "
               "%d runs/rate, serial\n",
@@ -159,7 +159,7 @@ int main(int argc, char** argv) {
   std::fprintf(f,
                "{\n"
                "  \"bench\": \"perf_report\",\n"
-               "  \"pr\": 6,\n"
+               "  \"pr\": 7,\n"
                "  \"workload\": {\"protocol\": \"DTS-SS\", \"topology\": "
                "\"uniform-160\", \"rates_hz\": [1, 2, 4], "
                "\"measure_s\": %g, \"runs_per_rate\": %d},\n"

@@ -105,7 +105,7 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
       sim.set_tracer(tracer.get());
     }
   }
-  net::Channel channel{sim, topo};
+  net::Channel channel{sim, topo, config.channel_params};
   // The loss model draws from its own forked stream, so installing (or
   // changing) it never perturbs placement/workload/MAC randomness.
   channel.set_link_model(config.channel_model.build(topo.range(), master.fork(5)));

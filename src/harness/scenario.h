@@ -20,6 +20,7 @@
 
 #include "src/harness/metrics.h"
 #include "src/mac/mac_params.h"
+#include "src/net/channel.h"
 #include "src/net/link_model.h"
 #include "src/net/mobility.h"
 #include "src/net/topology.h"
@@ -90,6 +91,12 @@ struct ScenarioConfig {
   // (default: lossless unit disc, the paper's ns-2 radio). Sweepable via
   // exp::SweepSpec::axis_channel.
   net::ChannelModelSpec channel_model;
+
+  // Medium mechanics: propagation delay, capture, arrival batching, and
+  // the dense/sparse threshold for per-link statistics storage. Defaults
+  // reproduce the paper's setup; the thresholds exist for the city-scale
+  // benches and the dense-vs-sparse A/B equivalence tests.
+  net::ChannelParams channel_params;
 
   // Mobility: the position source backing the topology (default: static,
   // the paper's frozen deployment — the exact legacy code path). Built per

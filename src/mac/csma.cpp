@@ -19,13 +19,14 @@ CsmaMac::CsmaMac(sim::Simulator& sim, net::Channel& channel, energy::Radio& radi
       ack_timer_{sim},
       tx_end_timer_{sim},
       nav_timer_{sim},
-      last_delivered_seq_(channel.num_nodes(), kNoSeq) {
-  channel_.attach(self_, net::Channel::Attachment{
-                             [this] { return is_listening_(); },
-                             [this](const net::Packet& p, bool ok) { on_rx_complete_(p, ok); },
-                             [this] { on_channel_activity_(); },
-                         });
+      dense_dup_table_{channel.num_nodes() < params.dense_dup_table_below} {
+  if (dense_dup_table_) {
+    last_delivered_seq_.assign(channel.num_nodes(), kNoSeq);
+  }
+  channel_.attach(self_, this);
+  update_listening_();
   radio_.add_state_observer([this](energy::RadioState s) {
+    update_listening_();
     if (s == energy::RadioState::kOn) {
       if (in_flight_ && !in_backoff_ && !transmitting_ && !waiting_ack_) {
         begin_contention_();
@@ -36,7 +37,9 @@ CsmaMac::CsmaMac(sim::Simulator& sim, net::Channel& channel, energy::Radio& radi
   });
 }
 
-bool CsmaMac::is_listening_() const { return radio_.is_on() && !transmitting_; }
+void CsmaMac::update_listening_() {
+  channel_.set_listening(self_, radio_.is_on() && !transmitting_);
+}
 
 void CsmaMac::send(net::Packet p, TxCallback cb) {
   p.link_src = self_;
@@ -64,7 +67,7 @@ net::AtimDestinations CsmaMac::pending_destinations() const {
     }
   };
   if (in_flight_) add(in_flight_->packet.link_dst);
-  for (const auto& o : queue_) add(o.packet.link_dst);
+  for (std::size_t i = 0; i < queue_.size(); ++i) add(queue_[i].packet.link_dst);
   return out;
 }
 
@@ -80,14 +83,12 @@ void CsmaMac::try_start_() {
   if (!radio_.is_on()) return;
   // Pick the first frame admitted by the tx filter (windowed baselines may
   // block some destinations while admitting others).
-  auto it = queue_.begin();
+  std::size_t i = 0;
   if (tx_filter_) {
-    it = std::find_if(queue_.begin(), queue_.end(),
-                      [this](const Outgoing& o) { return tx_filter_(o.packet); });
-    if (it == queue_.end()) return;
+    while (i < queue_.size() && !tx_filter_(queue_[i].packet)) ++i;
+    if (i == queue_.size()) return;
   }
-  in_flight_ = std::move(*it);
-  queue_.erase(it);
+  in_flight_ = queue_.take_at(i);
   in_flight_->attempts = 0;
   in_flight_->cw = in_flight_->packet.type == net::PacketType::kData
                        ? params_.initial_data_cw
@@ -175,11 +176,13 @@ void CsmaMac::transmit_head_() {
               static_cast<std::uint64_t>(in_flight_->packet.link_dst));
 
   transmitting_ = true;
+  update_listening_();
   radio_.note_tx(true);
   const util::Time dur = params_.tx_duration(in_flight_->packet.size_bytes);
   channel_.start_tx(self_, in_flight_->packet, dur);
   tx_end_timer_.arm_in(dur, [this] {
     transmitting_ = false;
+    update_listening_();
     radio_.note_tx(false);
     if (!in_flight_) return;
     if (in_flight_->packet.is_broadcast()) {
@@ -226,7 +229,7 @@ void CsmaMac::finish_head_(bool success) {
   try_start_();
 }
 
-void CsmaMac::on_rx_complete_(const net::Packet& p, bool ok) {
+void CsmaMac::on_rx_complete(const net::Packet& p, bool ok) {
   decoded_last_busy_ = ok;
   if (!ok) {
     // EIFS: after a garbled frame, defer long enough that a response we
@@ -249,7 +252,12 @@ void CsmaMac::on_rx_complete_(const net::Packet& p, bool ok) {
   if (p.link_dst == self_) {
     // Unicast to us: always acknowledge (retransmissions too), deliver once.
     send_ack_(p.link_src);
-    std::uint32_t& last = last_delivered_seq_[static_cast<std::size_t>(p.link_src)];
+    // Sparse mode's default slot value is 0; delivered mac_seqs start at 1,
+    // so 0 is as unmatchable as the dense table's kNoSeq sentinel.
+    std::uint32_t& last =
+        dense_dup_table_
+            ? last_delivered_seq_[static_cast<std::size_t>(p.link_src)]
+            : sparse_delivered_seq_[static_cast<std::uint32_t>(p.link_src)];
     if (last == p.mac_seq) {
       ++stats_.duplicates;
       ESSAT_TRACE(sim_, obs::TraceType::kMacRxDup, self_, 0, p.prov,
@@ -302,11 +310,13 @@ void CsmaMac::send_ack_(net::NodeId to) {
     ESSAT_TRACE(sim_, obs::TraceType::kMacAckTx, self_, 0, 0,
                 static_cast<std::uint64_t>(to));
     transmitting_ = true;
+    update_listening_();
     radio_.note_tx(true);
     const util::Time dur = params_.ack_duration();
     channel_.start_tx(self_, ack, dur);
     sim_.schedule_in(dur, [this] {
       transmitting_ = false;
+      update_listening_();
       radio_.note_tx(false);
       --pending_acks_;
       // Resume a paused contention; channel notifications handle the
@@ -317,7 +327,7 @@ void CsmaMac::send_ack_(net::NodeId to) {
   });
 }
 
-void CsmaMac::on_channel_activity_() {
+void CsmaMac::on_channel_activity() {
   const bool busy = channel_.busy(self_);
   if (busy) {
     saw_busy_ = true;

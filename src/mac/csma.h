@@ -26,7 +26,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <optional>
 #include <vector>
@@ -36,6 +35,8 @@
 #include "src/net/channel.h"
 #include "src/net/packet.h"
 #include "src/sim/timer.h"
+#include "src/util/flat_map.h"
+#include "src/util/ring_queue.h"
 #include "src/util/rng.h"
 
 namespace essat::mac {
@@ -59,7 +60,7 @@ struct MacStats {
   std::uint64_t acks_sent = 0;
 };
 
-class CsmaMac {
+class CsmaMac : public net::ChannelListener {
  public:
   using TxCallback = std::function<void(bool success)>;
   using RxHandler = std::function<void(const net::Packet&)>;
@@ -113,10 +114,14 @@ class CsmaMac {
     int backoff_slots = -1;  // remaining slots (-1: draw afresh)
   };
 
-  // Channel attachment callbacks.
-  bool is_listening_() const;
-  void on_rx_complete_(const net::Packet& p, bool ok);
-  void on_channel_activity_();
+  // net::ChannelListener (the channel calls back through one pointer).
+  void on_rx_complete(const net::Packet& p, bool ok) override;
+  void on_channel_activity() override;
+
+  // Pushes radio-ON-and-not-transmitting into the channel's cached
+  // listening flag; call after every transmitting_ toggle and radio state
+  // change so the channel never evaluates our state lazily.
+  void update_listening_();
 
   bool medium_free_() const;
   util::Time defer_until_() const;  // max(now, nav)
@@ -136,7 +141,10 @@ class CsmaMac {
   MacParams params_;
   util::Rng rng_;
 
-  std::deque<Outgoing> queue_;
+  // Send queue: a grow-only power-of-two ring. std::deque cycled a heap
+  // chunk every time the queue drained (the steady state), and its empty
+  // footprint is a whole chunk per node — both wrong at city scale.
+  util::RingQueue<Outgoing> queue_;
   std::optional<Outgoing> in_flight_;  // head being contended/transmitted
   bool transmitting_ = false;          // our radio is emitting (data or ack)
   bool waiting_ack_ = false;
@@ -156,11 +164,17 @@ class CsmaMac {
   std::function<void()> idle_cb_;
 
   std::uint32_t next_mac_seq_ = 1;
-  // Duplicate suppression: last mac_seq delivered per sender, in a dense
-  // per-node table (indexed by sender id, sized from the channel's node
-  // count) instead of a hash map — one predictable load per delivery.
+  // Duplicate suppression: last mac_seq delivered per sender. Small
+  // networks (below MacParams::dense_dup_table_below) use a dense per-node
+  // table — one predictable load per delivery. Large ones use a growable
+  // open-addressed map over the senders this node has actually heard (its
+  // neighborhood), so per-node memory is O(degree) instead of O(n) — the
+  // dense table alone would be 4n bytes per node, i.e. an n^2 structure.
+  // The map never evicts, so both paths deliver bit-identical decisions.
   static constexpr std::uint32_t kNoSeq = 0xFFFFFFFFu;
-  std::vector<std::uint32_t> last_delivered_seq_;
+  std::vector<std::uint32_t> last_delivered_seq_;  // dense mode (empty otherwise)
+  util::FlatMap<std::uint32_t, std::uint32_t> sparse_delivered_seq_;
+  const bool dense_dup_table_;
 
   MacStats stats_;
 };

@@ -3,6 +3,8 @@
 // bandwidth is 1 Mbps").
 #pragma once
 
+#include <cstddef>
+
 #include "src/net/packet.h"
 #include "src/util/time.h"
 
@@ -28,6 +30,14 @@ struct MacParams {
   int max_attempts = 10;
   // Extra margin on top of SIFS + ACK airtime before declaring an ACK lost.
   util::Time ack_timeout_slack = util::Time::microseconds(60);
+  // Duplicate-suppression storage: networks with fewer nodes than this use
+  // the legacy dense per-sender table (one slot per node in the network);
+  // larger ones use a growable open-addressed map over senders actually
+  // heard (O(neighborhood) per receiver instead of O(n), which is what
+  // keeps per-node memory flat at city scale). Behavior is identical — the
+  // map never evicts. Set to 0 / SIZE_MAX to force sparse / dense for the
+  // A/B equivalence tests.
+  std::size_t dense_dup_table_below = 1024;
 
   util::Time tx_duration(int size_bytes) const {
     return phy_overhead +

@@ -16,7 +16,11 @@ namespace {
 }  // namespace
 
 Channel::Channel(sim::Simulator& sim, const Topology& topo, ChannelParams params)
-    : sim_{sim}, topo_{topo}, params_{params}, nodes_(topo.num_nodes()) {}
+    : sim_{sim},
+      topo_{topo},
+      params_{params},
+      dense_stats_{topo.num_nodes() < params.dense_link_stats_below},
+      nodes_(topo.num_nodes()) {}
 
 void Channel::set_link_model(std::unique_ptr<LinkModel> model) {
   link_model_ = std::move(model);
@@ -25,7 +29,16 @@ void Channel::set_link_model(std::unique_ptr<LinkModel> model) {
   model_active_ = link_model_ && !link_model_->always_delivers();
 }
 
-Channel::LinkStat& Channel::link_stat_(NodeId src, NodeId dst) {
+void Channel::set_listening(NodeId node, bool listening) {
+  PerNode& n = node_(node);
+  if (n.listening == listening) return;
+  n.listening = listening;
+  ESSAT_TRACE(sim_, obs::TraceType::kChanListen, node,
+              static_cast<std::uint16_t>(listening), 0, 0);
+}
+
+Channel::LinkCounters& Channel::link_stat_(NodeId src, NodeId dst) {
+  if (!dense_stats_) return sparse_stats_[link_key_(src, dst)];
   if (link_stats_.empty()) link_stats_.resize(nodes_.size());
   auto& row = link_stats_[static_cast<std::size_t>(src)];
   for (std::size_t i = 0; i < row.size(); ++i) {
@@ -37,38 +50,34 @@ Channel::LinkStat& Channel::link_stat_(NodeId src, NodeId dst) {
       // Counter placement is unobservable, so determinism is untouched.
       if (i > 0) {
         std::swap(row[i - 1], row[i]);
-        return row[i - 1];
+        return row[i - 1].counters;
       }
-      return row[i];
+      return row[i].counters;
     }
   }
-  row.push_back(LinkStat{dst, 0, 0});
-  return row.back();
+  row.push_back(LinkStat{dst, {}});
+  return row.back().counters;
 }
 
-const Channel::LinkStat* Channel::find_link_stat_(NodeId src, NodeId dst) const {
-  if (link_stats_.empty() || src < 0 ||
-      static_cast<std::size_t>(src) >= link_stats_.size()) {
-    return nullptr;
-  }
+const Channel::LinkCounters* Channel::find_link_stat_(NodeId src,
+                                                      NodeId dst) const {
+  if (src < 0 || static_cast<std::size_t>(src) >= nodes_.size()) return nullptr;
+  if (!dense_stats_) return sparse_stats_.find(link_key_(src, dst));
+  if (link_stats_.empty()) return nullptr;
   for (const LinkStat& s : link_stats_[static_cast<std::size_t>(src)]) {
-    if (s.dst == dst) return &s;
+    if (s.dst == dst) return &s.counters;
   }
   return nullptr;
 }
 
 std::uint64_t Channel::dropped_by_model(NodeId src, NodeId dst) const {
-  const LinkStat* s = find_link_stat_(src, dst);
+  const LinkCounters* s = find_link_stat_(src, dst);
   return s != nullptr ? s->drops : 0;
 }
 
 std::uint64_t Channel::frames_on(NodeId src, NodeId dst) const {
-  const LinkStat* s = find_link_stat_(src, dst);
+  const LinkCounters* s = find_link_stat_(src, dst);
   return s != nullptr ? s->frames : 0;
-}
-
-void Channel::attach(NodeId node, Attachment attachment) {
-  nodes_.at(static_cast<std::size_t>(node)).attachment = std::move(attachment);
 }
 
 void Channel::start_tx(NodeId sender, Packet p, util::Time duration) {
@@ -157,8 +166,8 @@ void Channel::begin_arrival_(NodeId receiver, const PacketRef& p) {
     // Per-link sample count, the denominator LinkEstimator pairs with
     // dropped_by_model(src, dst) to turn observed losses into a PRR.
     // Skipped when nothing will read it, so plain lossy runs keep the old
-    // hot path and never materialize the per-link rows.
-    LinkStat* stat = nullptr;
+    // hot path and never materialize the per-link storage.
+    LinkCounters* stat = nullptr;
     if (link_stats_enabled_) {
       stat = &link_stat_(p->link_src, receiver);
       ++stat->frames;
@@ -194,8 +203,7 @@ void Channel::begin_arrival_(NodeId receiver, const PacketRef& p) {
                                   : obs::DropReason::kCollision,
                          p->type),
                 p->channel_tx_id, p->prov);
-  } else if (node.arriving_count == 1 && !node.transmitting &&
-             node.attachment.is_listening && node.attachment.is_listening()) {
+  } else if (node.arriving_count == 1 && !node.transmitting && node.listening) {
     node.rx.active = true;
     node.rx.corrupted = false;
     node.rx.frame = p;  // refcount bump, not a Packet copy
@@ -222,7 +230,7 @@ void Channel::end_arrival_(NodeId receiver, const PacketRef& p) {
   const bool idle_edge = node.arriving_count == 0 && !node.transmitting;
 
   if (node.rx.active && node.rx.frame->channel_tx_id == p->channel_tx_id) {
-    const bool listening = node.attachment.is_listening && node.attachment.is_listening();
+    const bool listening = node.listening;
     const bool ok = !node.rx.corrupted && listening && !node.transmitting;
     // Detach the ref before the callback: on_rx_complete may re-enter the
     // channel (ACK replies start transmissions that clobber rx state).
@@ -241,16 +249,16 @@ void Channel::end_arrival_(NodeId receiver, const PacketRef& p) {
                            p->type),
                   p->channel_tx_id, p->prov);
     }
-    if (node.attachment.on_rx_complete) {
-      node.attachment.on_rx_complete(*delivered_frame, ok);
+    if (node.listener != nullptr) {
+      node.listener->on_rx_complete(*delivered_frame, ok);
     }
   }
   if (idle_edge) notify_(receiver);
 }
 
 void Channel::notify_(NodeId node) {
-  const auto& cb = node_(node).attachment.on_channel_activity;
-  if (cb) cb();
+  ChannelListener* l = node_(node).listener;
+  if (l != nullptr) l->on_channel_activity();
 }
 
 }  // namespace essat::net

@@ -14,17 +14,23 @@
 //    declare a frame undecodable at a receiver without removing its energy
 //    from the air.
 //
-// Hot-path shape (see README "Performance"): each transmission is moved
-// once into a pooled shared slot (net/packet_pool.h); the begin/end arrival
-// events and every receiver's in-progress-reception state hold 16-byte
-// PacketRefs into that slot, so broadcast delivery copies no Packet and —
-// once the pool is warm — allocates nothing. Per-link statistics live in a
-// dense node*node matrix instead of hash maps.
+// Hot-path shape (see README "Performance" and "Scalability"): each
+// transmission is moved once into a pooled shared slot (net/packet_pool.h);
+// the begin/end arrival events and every receiver's in-progress-reception
+// state hold 16-byte PacketRefs into that slot, so broadcast delivery copies
+// no Packet and — once the pool is warm — allocates nothing. Arrival
+// processing visits only the sender's interference neighborhood from the
+// topology's grid index (O(neighbors) per transmission, never O(n)).
+// Receivers are reached through a devirtualization-friendly ChannelListener
+// pointer plus a channel-side cached `listening` flag, so the per-arrival
+// "can this node hear?" check is one flag load with no indirect call at
+// all. Per-link statistics are dense degree-sized rows on small topologies
+// and an open-addressed (src,dst)-keyed map on large ones — identical
+// counters either way, O(observed links) memory always.
 #pragma once
 
 #include <cassert>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -34,6 +40,7 @@
 #include "src/net/topology.h"
 #include "src/net/types.h"
 #include "src/sim/simulator.h"
+#include "src/util/flat_map.h"
 
 namespace essat::net {
 
@@ -52,21 +59,32 @@ struct ChannelParams {
   // two-events-per-neighbor scheduling; kept for the A/B micro-benchmark
   // and the equivalence test.
   bool batch_arrivals = true;
+  // Per-link statistics storage: topologies with fewer nodes than this use
+  // the legacy dense per-sender rows (pointer-stable, scan-friendly);
+  // larger ones use the open-addressed (src,dst)-keyed FlatMap whose memory
+  // is O(observed links) with no per-node row headers. Both produce
+  // identical counters; set to 0 / SIZE_MAX to force sparse / dense for the
+  // A/B equivalence tests.
+  std::size_t dense_link_stats_below = 1024;
+};
+
+// Receiver-side interface of the medium. One implementation per attached
+// node (the MAC); replaces the three std::functions the Attachment struct
+// used to carry — a devirtualizable call through one pointer instead of
+// three type-erased dispatches, and 8 bytes per node instead of 96.
+class ChannelListener {
+ public:
+  virtual ~ChannelListener() = default;
+  // Frame fully arrived. `ok` is false for collisions or receptions that
+  // the radio abandoned (turned off / started transmitting mid-frame).
+  // The Packet reference is shared and immutable; copy what you keep.
+  virtual void on_rx_complete(const Packet& p, bool ok) = 0;
+  // Fired whenever the carrier-sense state at this node may have changed.
+  virtual void on_channel_activity() = 0;
 };
 
 class Channel {
  public:
-  struct Attachment {
-    // True while the node can receive (radio ON, not transmitting).
-    std::function<bool()> is_listening;
-    // Frame fully arrived. `ok` is false for collisions or receptions that
-    // the radio abandoned (turned off / started transmitting mid-frame).
-    // The Packet reference is shared and immutable; copy what you keep.
-    std::function<void(const Packet&, bool ok)> on_rx_complete;
-    // Fired whenever the carrier-sense state at this node may have changed.
-    std::function<void()> on_channel_activity;
-  };
-
   Channel(sim::Simulator& sim, const Topology& topo, ChannelParams params = {});
 
   // Installs the per-link loss model (nullptr = the lossless legacy path;
@@ -79,7 +97,19 @@ class Channel {
   void set_link_model(std::unique_ptr<LinkModel> model);
   const LinkModel* link_model() const { return link_model_.get(); }
 
-  void attach(NodeId node, Attachment attachment);
+  // Attaches the node's receive-side listener. The channel never calls a
+  // detached node; pass nullptr to detach.
+  void attach(NodeId node, ChannelListener* listener) {
+    nodes_.at(static_cast<std::size_t>(node)).listener = listener;
+  }
+
+  // Cached "can this node hear right now?" flag, maintained by the owner of
+  // the radio/MAC state (radio fully ON and not transmitting). Replaces the
+  // per-arrival is_listening() callback: the hot path reads one bool.
+  // Nodes start not listening — attach + set_listening(node, true) is the
+  // canonical bring-up.
+  void set_listening(NodeId node, bool listening);
+  bool listening(NodeId node) const { return node_(node).listening; }
 
   std::size_t num_nodes() const { return nodes_.size(); }
 
@@ -103,15 +133,15 @@ class Channel {
   // or not.
   std::uint64_t dropped_by_model() const { return dropped_by_model_; }
   // Per-directed-link drop/offer counters, the numerator/denominator
-  // routing::LinkEstimator turns into an observed PRR. Stored flat: a
-  // src-indexed table (sized by node count, lazily allocated) of
-  // contiguous degree-sized rows scanned linearly — no hash probes on the
-  // delivery path, and memory stays O(observed links), not O(n^2). Only
-  // accumulated while link stats are enabled (below); zero everywhere
-  // otherwise.
+  // routing::LinkEstimator turns into an observed PRR. Dense mode (small
+  // topologies): a src-indexed table of contiguous degree-sized rows
+  // scanned linearly — no hash probes on the delivery path. Sparse mode
+  // (above ChannelParams::dense_link_stats_below): one open-addressed map
+  // keyed by packed (src,dst) — no per-node rows at all. Only accumulated
+  // while link stats are enabled (below); zero everywhere otherwise.
   std::uint64_t dropped_by_model(NodeId src, NodeId dst) const;
   std::uint64_t frames_on(NodeId src, NodeId dst) const;
-  // Per-frame link accounting costs a row scan per in-range receiver;
+  // Per-frame link accounting costs a lookup per in-range receiver;
   // consumers that never read it (anything but an estimator-backed routing
   // policy) can switch it off. On by default so a bare Channel +
   // LinkEstimator works out of the box; the harness disables it unless the
@@ -126,9 +156,10 @@ class Channel {
     PacketRef frame;  // shared with the arrival events; never copied
   };
   struct PerNode {
-    Attachment attachment;
-    int arriving_count = 0;  // in-range transmissions currently on the air
+    ChannelListener* listener = nullptr;
+    bool listening = false;  // cached radio-ON-and-not-transmitting
     bool transmitting = false;
+    int arriving_count = 0;  // in-range transmissions currently on the air
     Reception rx;
   };
 
@@ -144,31 +175,42 @@ class Channel {
   const PerNode& node_(NodeId n) const {
     return const_cast<Channel*>(this)->node_(n);
   }
-  // One directed link's counters; rows hold a sender's observed receivers
-  // (its in-range neighborhood), so a linear scan is a dozen contiguous
-  // entries.
-  struct LinkStat {
-    NodeId dst = kNoNode;
+  // One directed link's counters.
+  struct LinkCounters {
     std::uint64_t frames = 0;
     std::uint64_t drops = 0;
   };
-  LinkStat& link_stat_(NodeId src, NodeId dst);
-  const LinkStat* find_link_stat_(NodeId src, NodeId dst) const;
+  // Dense-row entry: a sender's observed receivers (its in-range
+  // neighborhood), so a linear scan is a dozen contiguous entries.
+  struct LinkStat {
+    NodeId dst = kNoNode;
+    LinkCounters counters;
+  };
+  static std::uint64_t link_key_(NodeId src, NodeId dst) {
+    return static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32 |
+           static_cast<std::uint32_t>(dst);
+  }
+  LinkCounters& link_stat_(NodeId src, NodeId dst);
+  const LinkCounters* find_link_stat_(NodeId src, NodeId dst) const;
   sim::Simulator& sim_;
   const Topology& topo_;
   ChannelParams params_;
   std::unique_ptr<LinkModel> link_model_;
   bool model_active_ = false;  // false also for installed lossless models
   bool link_stats_enabled_ = true;
+  const bool dense_stats_;  // storage choice, frozen at construction
   std::vector<PerNode> nodes_;
   PacketPool pool_;
   std::uint64_t transmissions_ = 0;
   std::uint64_t collisions_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_by_model_ = 0;
-  // Per-directed-link counters: src-indexed rows of observed receivers;
-  // empty until the first accumulation under link_stats_enabled_.
+  // Dense mode: src-indexed rows of observed receivers; empty until the
+  // first accumulation under link_stats_enabled_.
   std::vector<std::vector<LinkStat>> link_stats_;
+  // Sparse mode: packed (src,dst) -> counters. The all-ones key is
+  // unreachable (node ids are 31-bit).
+  util::FlatMap<std::uint64_t, LinkCounters> sparse_stats_;
   std::uint64_t next_tx_id_ = 0;
 };
 

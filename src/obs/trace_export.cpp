@@ -44,6 +44,7 @@ const char* category_of(TraceType t) {
     case TraceType::kChanTxBegin:
     case TraceType::kChanDeliver:
     case TraceType::kChanDrop:
+    case TraceType::kChanListen:
       return "chan";
     case TraceType::kEpochStart:
     case TraceType::kReportSubmit:

@@ -35,6 +35,7 @@
 //   kParentChange     | node          | -                  | old parent   | new parent
 //   kSleepStart       | node          | -                  | wake at (ns) | sleep len (ns)
 //   kSleepSkip        | node          | -                  | -            | interval (ns)
+//   kChanListen       | node          | 0=deaf, 1=listening| -            | -
 //
 // `prov` is the per-report provenance id (net::Packet::prov): assigned when
 // a QueryAgent creates a report, carried unchanged through the MAC, the
@@ -86,6 +87,9 @@ enum class TraceType : std::uint16_t {
   // Safe Sleep decisions (core/safe_sleep).
   kSleepStart,
   kSleepSkip,
+  // Channel-side cached listening flag flipped (net/channel, maintained by
+  // the attached MAC through set_listening).
+  kChanListen,
   kCount  // sentinel — keep <= 64 so a type mask fits one word
 };
 static_assert(static_cast<int>(TraceType::kCount) <= 64,

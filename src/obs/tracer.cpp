@@ -41,6 +41,7 @@ const char* trace_type_name(TraceType t) {
     case TraceType::kParentChange: return "parent_change";
     case TraceType::kSleepStart: return "sleep_start";
     case TraceType::kSleepSkip: return "sleep_skip";
+    case TraceType::kChanListen: return "chan_listen";
     case TraceType::kCount: break;
   }
   return "?";

@@ -20,14 +20,46 @@ void QueryAgent::register_query(const Query& q) {
   ensure_epoch_(it->second, 0);
 }
 
+QueryAgent::EpochState* QueryAgent::acquire_epoch_(QueryState& qs,
+                                                   std::int64_t k) {
+  EpochState* es;
+  if (!free_.empty()) {
+    es = free_.back();
+    free_.pop_back();
+  } else {
+    records_.push_back(std::make_unique<EpochState>(sim_));
+    es = records_.back().get();
+  }
+  es->k = k;
+  es->pending.clear();
+  es->contributions = 0;
+  es->finalizing = false;
+  qs.open.push_back(es);
+  return es;
+}
+
+void QueryAgent::close_epoch_(QueryState& qs, EpochState* es) {
+  es->deadline.cancel();
+  es->send.cancel();
+  es->pending.clear();
+  for (std::size_t i = 0; i < qs.open.size(); ++i) {
+    if (qs.open[i] == es) {
+      qs.open[i] = qs.open.back();
+      qs.open.pop_back();
+      break;
+    }
+  }
+  free_.push_back(es);
+}
+
 void QueryAgent::ensure_epoch_(QueryState& qs, std::int64_t k) {
   if (halted_) return;
-  if (k <= qs.watermark || qs.epochs.count(k) != 0) return;
+  if (k <= qs.watermark || find_epoch_(qs, k) != nullptr) return;
   ESSAT_TRACE(sim_, obs::TraceType::kEpochStart, self_,
               static_cast<std::uint16_t>(qs.q.id), 0,
               static_cast<std::uint64_t>(k));
-  auto& es = qs.epochs[k];
-  for (net::NodeId c : tree_.children(self_)) es.pending.insert(c);
+  EpochState& es = *acquire_epoch_(qs, k);
+  for (net::NodeId c : tree_.children(self_)) es.pending.push_back(c);
 
   if (es.pending.empty()) {
     // Leaf (or childless interior node): its reading is available at the
@@ -35,24 +67,25 @@ void QueryAgent::ensure_epoch_(QueryState& qs, std::int64_t k) {
     schedule_send_(qs, k, es, /*contributions=*/1, qs.q.epoch_start(k));
     return;
   }
-  es.deadline = std::make_unique<sim::Timer>(sim_);
-  es.deadline->arm_at(shaper_.aggregation_deadline(qs.q, k),
-                      [this, &qs, k] { finalize_(qs, k); });
+  es.deadline.arm_at(shaper_.aggregation_deadline(qs.q, k),
+                     [this, &qs, k] { finalize_(qs, k); });
 }
 
 void QueryAgent::finalize_(QueryState& qs, std::int64_t k) {
-  auto it = qs.epochs.find(k);
-  if (it == qs.epochs.end() || halted_) return;
-  if (it->second.finalizing) return;  // hook re-entered us for the same epoch
-  it->second.finalizing = true;
-  if (it->second.deadline) it->second.deadline->cancel();
+  EpochState* es = find_epoch_(qs, k);
+  if (es == nullptr || halted_) return;
+  if (es->finalizing) return;  // hook re-entered us for the same epoch
+  es->finalizing = true;
+  es->deadline.cancel();
 
   // Detach the missing-children set before firing hooks: the child-miss
   // hook can trigger topology repair, which calls back into this agent
   // (child_removed / rank_changed) while we are still on the stack.
-  const std::vector<net::NodeId> missing(it->second.pending.begin(),
-                                         it->second.pending.end());
-  it->second.pending.clear();
+  // Sorted ascending — the order the legacy std::set iterated in, which
+  // downstream repair hooks observe.
+  std::vector<net::NodeId> missing(es->pending.begin(), es->pending.end());
+  std::sort(missing.begin(), missing.end());
+  es->pending.clear();
   if (!missing.empty()) {
     ++stats_.partial_finalizes;
     for (net::NodeId c : missing) {
@@ -62,29 +95,28 @@ void QueryAgent::finalize_(QueryState& qs, std::int64_t k) {
     }
   }
 
-  // The hooks may have halted us or restructured the epoch map; re-resolve.
+  // The hooks may have halted us or restructured the open-epoch list (the
+  // record may even have been recycled); re-resolve by epoch number.
   if (halted_) return;
-  it = qs.epochs.find(k);
-  if (it == qs.epochs.end()) return;
-  auto& es = it->second;
+  es = find_epoch_(qs, k);
+  if (es == nullptr) return;
 
-  const int contributions = es.contributions + 1;  // fold in our own reading
+  const int contributions = es->contributions + 1;  // fold in our own reading
   if (self_ == tree_.root()) {
     // The root is the sink: close the epoch and keep the chain alive.
     qs.watermark = std::max(qs.watermark, k);
-    qs.epochs.erase(it);
+    close_epoch_(qs, es);
     ensure_epoch_(qs, k + 1);
     return;
   }
-  schedule_send_(qs, k, es, contributions, sim_.now() + params_.t_comp);
+  schedule_send_(qs, k, *es, contributions, sim_.now() + params_.t_comp);
 }
 
 void QueryAgent::schedule_send_(QueryState& qs, std::int64_t k, EpochState& es,
                                 int contributions, util::Time ready) {
   const auto plan = shaper_.plan_send(qs.q, k, ready);
-  es.send = std::make_unique<sim::Timer>(sim_);
-  es.send->arm_at(plan.send_at, [this, &qs, k, contributions,
-                                 update = plan.phase_update] {
+  es.send.arm_at(plan.send_at, [this, &qs, k, contributions,
+                                update = plan.phase_update] {
     submit_report_(qs, k, contributions, update);
   });
 }
@@ -116,7 +148,7 @@ void QueryAgent::submit_report_(QueryState& qs, std::int64_t k, int contribution
   }
 
   qs.watermark = std::max(qs.watermark, k);
-  qs.epochs.erase(k);
+  if (EpochState* es = find_epoch_(qs, k)) close_epoch_(qs, es);
   ensure_epoch_(qs, k + 1);
 }
 
@@ -179,10 +211,19 @@ void QueryAgent::handle_data_(const net::Packet& p) {
   }
 
   ensure_epoch_(qs, h.epoch);
-  auto eit = qs.epochs.find(h.epoch);
-  if (eit == qs.epochs.end()) return;  // epoch closed by a racing finalize
-  auto& es = eit->second;
-  if (es.pending.erase(child) == 0) {
+  EpochState* esp = find_epoch_(qs, h.epoch);
+  if (esp == nullptr) return;  // epoch closed by a racing finalize
+  EpochState& es = *esp;
+  bool was_pending = false;
+  for (std::size_t i = 0; i < es.pending.size(); ++i) {
+    if (es.pending[i] == child) {
+      es.pending[i] = es.pending.back();
+      es.pending.pop_back();
+      was_pending = true;
+      break;
+    }
+  }
+  if (!was_pending) {
     // Duplicate or non-child source for an open epoch: forward, don't merge.
     forward_pass_through_(p);
     return;
@@ -215,13 +256,24 @@ void QueryAgent::child_removed(net::NodeId child) {
     shaper_.on_child_removed(qs.q, child);
     qs.last_app_seq.erase(child);
     // Collect epochs that become complete once the child stops being
-    // awaited; finalize after the loop (finalize_ mutates qs.epochs).
+    // awaited; finalize after the loop (finalize_ mutates qs.open), in
+    // ascending epoch order — the order the legacy ordered map walked.
     std::vector<std::int64_t> ready;
-    for (auto& [k, es] : qs.epochs) {
-      if (es.pending.erase(child) != 0 && es.pending.empty() && es.deadline) {
-        ready.push_back(k);
+    for (EpochState* es : qs.open) {
+      bool erased = false;
+      for (std::size_t i = 0; i < es->pending.size(); ++i) {
+        if (es->pending[i] == child) {
+          es->pending[i] = es->pending.back();
+          es->pending.pop_back();
+          erased = true;
+          break;
+        }
       }
+      // A pending set only ever becomes non-empty at epoch open, so an
+      // erase that drains it implies the aggregation deadline is armed.
+      if (erased && es->pending.empty()) ready.push_back(es->k);
     }
+    std::sort(ready.begin(), ready.end());
     for (std::int64_t k : ready) finalize_(qs, k);
   }
 }
@@ -243,7 +295,15 @@ void QueryAgent::rank_changed() {
 
 void QueryAgent::halt() {
   halted_ = true;
-  for (auto& [qid, qs] : queries_) qs.epochs.clear();  // cancels all timers
+  for (auto& [qid, qs] : queries_) {
+    for (EpochState* es : qs.open) {  // cancel all timers, recycle records
+      es->deadline.cancel();
+      es->send.cancel();
+      es->pending.clear();
+      free_.push_back(es);
+    }
+    qs.open.clear();
+  }
 }
 
 }  // namespace essat::query

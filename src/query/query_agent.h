@@ -24,7 +24,7 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <set>
+#include <vector>
 
 #include "src/mac/csma.h"
 #include "src/net/packet.h"
@@ -32,6 +32,7 @@
 #include "src/query/traffic_shaper.h"
 #include "src/routing/tree.h"
 #include "src/sim/timer.h"
+#include "src/util/small_vector.h"
 
 namespace essat::query {
 
@@ -97,20 +98,40 @@ class QueryAgent {
   net::NodeId self() const { return self_; }
 
  private:
+  // Per-epoch record, pooled: the steady state of every node is "open
+  // epoch k, close it, open k+1" at the query rate, and the legacy
+  // std::map<k, {std::set children, 2x unique_ptr<Timer>}> paid four-plus
+  // allocations per epoch for it. Records live in an agent-level free pool
+  // (stable addresses — armed Timers must not move) and carry inline
+  // SmallVector child sets, so epoch rollover touches the allocator only
+  // on high-water growth.
   struct EpochState {
-    std::set<net::NodeId> pending;
+    explicit EpochState(sim::Simulator& sim) : deadline(sim), send(sim) {}
+    std::int64_t k = 0;
+    util::SmallVector<net::NodeId, 8> pending;  // children not yet reported
     int contributions = 0;
     bool finalizing = false;  // re-entrancy guard (hooks can call back in)
-    std::unique_ptr<sim::Timer> deadline;
-    std::unique_ptr<sim::Timer> send;
+    sim::Timer deadline;
+    sim::Timer send;
   };
   struct QueryState {
     Query q;
-    std::map<std::int64_t, EpochState> epochs;
+    // Open epochs, unordered (a handful at most: the current one plus any
+    // straggling under pass-through). Scanned linearly by epoch number.
+    util::SmallVector<EpochState*, 4> open;
     std::int64_t watermark = -1;  // highest finalized epoch
     std::map<net::NodeId, std::uint32_t> last_app_seq;
     std::uint32_t my_app_seq = 0;
   };
+
+  EpochState* acquire_epoch_(QueryState& qs, std::int64_t k);
+  void close_epoch_(QueryState& qs, EpochState* es);
+  EpochState* find_epoch_(const QueryState& qs, std::int64_t k) const {
+    for (EpochState* es : qs.open) {
+      if (es->k == k) return es;
+    }
+    return nullptr;
+  }
 
   void ensure_epoch_(QueryState& qs, std::int64_t k);
   void finalize_(QueryState& qs, std::int64_t k);
@@ -121,7 +142,7 @@ class QueryAgent {
   void handle_data_(const net::Packet& p);
   void forward_pass_through_(const net::Packet& p);
   bool closed_(const QueryState& qs, std::int64_t k) const {
-    return k <= qs.watermark && qs.epochs.find(k) == qs.epochs.end();
+    return k <= qs.watermark && find_epoch_(qs, k) == nullptr;
   }
 
   sim::Simulator& sim_;
@@ -132,6 +153,12 @@ class QueryAgent {
   QueryAgentParams params_;
 
   std::map<net::QueryId, QueryState> queries_;
+  // Epoch-record pool: `records_` owns every EpochState ever created (their
+  // addresses stay stable for the armed timers); `free_` lists the ones not
+  // currently open anywhere. Bounded by the peak number of concurrently
+  // open epochs, which is small and reached early.
+  std::vector<std::unique_ptr<EpochState>> records_;
+  std::vector<EpochState*> free_;
   bool halted_ = false;
   // Packet-lifecycle provenance: each submitted report gets
   // (self+1) << 32 | counter, unique across the run without coordination.

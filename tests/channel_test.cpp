@@ -15,16 +15,19 @@ using util::Time;
 // Three nodes on a line: 0 -- 1 -- 2, with 0 and 2 hidden from each other.
 Topology line_topo() { return Topology::line(3, 100.0, 125.0); }
 
-struct Listener {
-  bool listening = true;
+struct Listener : ChannelListener {
   std::vector<std::pair<Packet, bool>> received;
+  int notifications = 0;
 
-  Channel::Attachment attachment() {
-    return Channel::Attachment{
-        [this] { return listening; },
-        [this](const Packet& p, bool ok) { received.emplace_back(p, ok); },
-        nullptr,
-    };
+  void on_rx_complete(const Packet& p, bool ok) override {
+    received.emplace_back(p, ok);
+  }
+  void on_channel_activity() override { ++notifications; }
+
+  // Attach + mark listening, the canonical bring-up a MAC performs.
+  void listen_on(Channel& ch, NodeId node) {
+    ch.attach(node, this);
+    ch.set_listening(node, true);
   }
 };
 
@@ -39,8 +42,8 @@ TEST(Channel, DeliversToInRangeListener) {
   Topology topo = line_topo();
   Channel ch{sim, topo};
   Listener l1, l2;
-  ch.attach(1, l1.attachment());
-  ch.attach(2, l2.attachment());
+  l1.listen_on(ch, 1);
+  l2.listen_on(ch, 2);
 
   ch.start_tx(0, test_packet(0, 1), Time::microseconds(500));
   sim.run();
@@ -58,8 +61,7 @@ TEST(Channel, NoDeliveryWhenNotListeningAtStart) {
   Topology topo = line_topo();
   Channel ch{sim, topo};
   Listener l1;
-  l1.listening = false;
-  ch.attach(1, l1.attachment());
+  ch.attach(1, &l1);  // attached but never marked listening
 
   ch.start_tx(0, test_packet(0, 1), Time::microseconds(500));
   sim.run();
@@ -71,11 +73,11 @@ TEST(Channel, ListenerMustStayOnForWholeFrame) {
   Topology topo = line_topo();
   Channel ch{sim, topo};
   Listener l1;
-  ch.attach(1, l1.attachment());
+  l1.listen_on(ch, 1);
 
   ch.start_tx(0, test_packet(0, 1), Time::microseconds(500));
   // Radio drops mid-frame.
-  sim.schedule_at(Time::microseconds(200), [&] { l1.listening = false; });
+  sim.schedule_at(Time::microseconds(200), [&] { ch.set_listening(1, false); });
   sim.run();
   ASSERT_EQ(l1.received.size(), 1u);
   EXPECT_FALSE(l1.received[0].second);  // reception abandoned
@@ -87,7 +89,7 @@ TEST(Channel, HiddenTerminalCollisionCorruptsBoth) {
   Topology topo = line_topo();  // 0 and 2 both reach 1, not each other
   Channel ch{sim, topo};
   Listener l1;
-  ch.attach(1, l1.attachment());
+  l1.listen_on(ch, 1);
 
   ch.start_tx(0, test_packet(0, 1), Time::microseconds(500));
   sim.schedule_at(Time::microseconds(100), [&] {
@@ -108,7 +110,7 @@ TEST(Channel, CaptureKeepsMuchStrongerFrame) {
   Topology topo{{{0, 0}, {10, 0}, {130, 0}}, 125.0};
   Channel ch{sim, topo};
   Listener l1;
-  ch.attach(1, l1.attachment());
+  l1.listen_on(ch, 1);
 
   ch.start_tx(0, test_packet(0, 1), Time::microseconds(500));
   sim.schedule_at(Time::microseconds(100), [&] {
@@ -128,7 +130,7 @@ TEST(Channel, CaptureDisabledMeansAllOverlapsCollide) {
   params.capture_distance_ratio = 0.0;
   Channel ch{sim, topo, params};
   Listener l1;
-  ch.attach(1, l1.attachment());
+  l1.listen_on(ch, 1);
 
   ch.start_tx(0, test_packet(0, 1), Time::microseconds(500));
   sim.schedule_at(Time::microseconds(100), [&] {
@@ -144,8 +146,8 @@ TEST(Channel, SenderCannotHearWhileTransmitting) {
   Topology topo = line_topo();
   Channel ch{sim, topo};
   Listener l0, l1;
-  ch.attach(0, l0.attachment());
-  ch.attach(1, l1.attachment());
+  l0.listen_on(ch, 0);
+  l1.listen_on(ch, 1);
 
   ch.start_tx(0, test_packet(0, 1), Time::microseconds(500));
   sim.schedule_at(Time::microseconds(50), [&] {
@@ -163,7 +165,7 @@ TEST(Channel, CarrierSenseTracksArrivals) {
   Topology topo = line_topo();
   Channel ch{sim, topo};
   Listener l1;
-  ch.attach(1, l1.attachment());
+  l1.listen_on(ch, 1);
 
   EXPECT_FALSE(ch.busy(1));
   ch.start_tx(0, test_packet(0, 1), Time::microseconds(500));
@@ -181,13 +183,11 @@ TEST(Channel, ActivityNotificationsFire) {
   sim::Simulator sim;
   Topology topo = line_topo();
   Channel ch{sim, topo};
-  int notifications = 0;
-  ch.attach(1, Channel::Attachment{[] { return true; },
-                                   nullptr,
-                                   [&] { ++notifications; }});
+  Listener l1;
+  l1.listen_on(ch, 1);
   ch.start_tx(0, test_packet(0, 1), Time::microseconds(500));
   sim.run();
-  EXPECT_GE(notifications, 2);  // at least arrival start + end
+  EXPECT_GE(l1.notifications, 2);  // at least arrival start + end
 }
 
 // Batched arrival events (one begin + one end per transmission) must be
@@ -202,7 +202,9 @@ TEST(Channel, BatchedArrivalsMatchLegacyScheduling) {
     params.batch_arrivals = batch;
     Channel ch{sim, topo, params};
     std::vector<Listener> listeners(12);
-    for (NodeId n = 0; n < 12; ++n) ch.attach(n, listeners[static_cast<std::size_t>(n)].attachment());
+    for (NodeId n = 0; n < 12; ++n) {
+      listeners[static_cast<std::size_t>(n)].listen_on(ch, n);
+    }
     // Overlapping transmissions from several senders, including exact ties.
     for (int i = 0; i < 8; ++i) {
       const NodeId src = static_cast<NodeId>(i);
@@ -227,7 +229,7 @@ TEST(Channel, BackToBackFramesBothDeliver) {
   Topology topo = line_topo();
   Channel ch{sim, topo};
   Listener l1;
-  ch.attach(1, l1.attachment());
+  l1.listen_on(ch, 1);
 
   ch.start_tx(0, test_packet(0, 1), Time::microseconds(200));
   sim.schedule_at(Time::microseconds(300), [&] {

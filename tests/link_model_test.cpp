@@ -17,16 +17,17 @@ using util::Time;
 // Three nodes on a line: 0 -- 1 -- 2, with 0 and 2 hidden from each other.
 Topology line_topo() { return Topology::line(3, 100.0, 125.0); }
 
-struct Listener {
-  bool listening = true;
+struct Listener : ChannelListener {
   std::vector<std::pair<Packet, bool>> received;
 
-  Channel::Attachment attachment() {
-    return Channel::Attachment{
-        [this] { return listening; },
-        [this](const Packet& p, bool ok) { received.emplace_back(p, ok); },
-        nullptr,
-    };
+  void on_rx_complete(const Packet& p, bool ok) override {
+    received.emplace_back(p, ok);
+  }
+  void on_channel_activity() override {}
+
+  void listen_on(Channel& ch, NodeId node) {
+    ch.attach(node, this);
+    ch.set_listening(node, true);
   }
 };
 
@@ -56,7 +57,7 @@ TEST(LinkModel, UnitDiscMatchesNoModelExactly) {
     Channel ch{sim, topo};
     if (pass == 1) ch.set_link_model(std::make_unique<UnitDiscModel>());
     Listener l1;
-    ch.attach(1, l1.attachment());
+    l1.listen_on(ch, 1);
     send_frames(sim, ch, 50);
     delivered[pass] = ch.delivered();
     EXPECT_EQ(ch.dropped_by_model(), 0u);
@@ -121,7 +122,7 @@ TEST(LinkModel, ShadowingDropsAndDeliversOnGrayZoneLink) {
   ch.set_link_model(
       std::make_unique<LogNormalShadowingModel>(p, topo.range(), util::Rng{7}));
   Listener l1;
-  ch.attach(1, l1.attachment());
+  l1.listen_on(ch, 1);
   send_frames(sim, ch, 400);
 
   EXPECT_GT(ch.dropped_by_model(), 0u);
@@ -148,7 +149,7 @@ TEST(LinkModel, GilbertElliottAllBadDropsEverything) {
   ch.set_link_model(
       std::make_unique<GilbertElliottModel>(p, nullptr, util::Rng{7}));
   Listener l1;
-  ch.attach(1, l1.attachment());
+  l1.listen_on(ch, 1);
   send_frames(sim, ch, 30);
   EXPECT_EQ(ch.delivered(), 0u);
   EXPECT_EQ(ch.dropped_by_model(), 30u);
@@ -166,7 +167,7 @@ TEST(LinkModel, GilbertElliottAllGoodDeliversEverything) {
   ch.set_link_model(
       std::make_unique<GilbertElliottModel>(p, nullptr, util::Rng{7}));
   Listener l1;
-  ch.attach(1, l1.attachment());
+  l1.listen_on(ch, 1);
   send_frames(sim, ch, 30);
   EXPECT_EQ(ch.delivered(), 30u);
   EXPECT_EQ(ch.dropped_by_model(), 0u);
@@ -238,7 +239,7 @@ TEST(ChannelModelSpec, PrrScaleZeroDropsEverything) {
   EXPECT_EQ(spec.label(), "unit-disc@0");
   ch.set_link_model(spec.build(topo.range(), util::Rng{3}));
   Listener l1;
-  ch.attach(1, l1.attachment());
+  l1.listen_on(ch, 1);
   send_frames(sim, ch, 20);
   EXPECT_EQ(ch.delivered(), 0u);
   EXPECT_EQ(ch.dropped_by_model(), 20u);
@@ -291,7 +292,7 @@ TEST(ChannelWithLinkModel, DroppedFrameDoesNotCorruptOngoingReception) {
   Channel ch{sim, topo};
   ch.set_link_model(std::make_unique<KillSender>(std::vector<NodeId>{2}));
   Listener l1;
-  ch.attach(1, l1.attachment());
+  l1.listen_on(ch, 1);
 
   ch.start_tx(0, test_packet(0, 1), Time::microseconds(500));
   sim.schedule_at(Time::microseconds(200), [&] {
@@ -313,7 +314,7 @@ TEST(ChannelWithLinkModel, DroppedFrameStillOccupiesAirForCarrierSense) {
   Channel ch{sim, topo};
   ch.set_link_model(std::make_unique<KillSender>(std::vector<NodeId>{0}));
   Listener l1;
-  ch.attach(1, l1.attachment());
+  l1.listen_on(ch, 1);
 
   ch.start_tx(0, test_packet(0, 1), Time::microseconds(500));
   bool busy_mid_frame = false;
@@ -338,7 +339,7 @@ TEST(ChannelWithLinkModel, SameSeedSameLossSequence) {
     spec.prr_scale = 0.95;
     ch.set_link_model(spec.build(topo.range(), util::Rng{99}));
     Listener l1;
-    ch.attach(1, l1.attachment());
+    l1.listen_on(ch, 1);
     send_frames(sim, ch, 200);
     delivered.push_back(ch.delivered());
     dropped.push_back(ch.dropped_by_model());

@@ -261,15 +261,17 @@ TEST(Mobility, ChannelSurvivesEpochTickMidFrame) {
 
   sim::Simulator sim;
   Channel ch{sim, topo};
-  int completions = 0;
-  ch.attach(1, Channel::Attachment{
-                   [] { return true; },
-                   [&completions](const Packet&, bool ok) {
-                     ++completions;
-                     EXPECT_TRUE(ok);
-                   },
-                   nullptr,
-               });
+  struct Counting : ChannelListener {
+    int completions = 0;
+    void on_rx_complete(const Packet&, bool ok) override {
+      ++completions;
+      EXPECT_TRUE(ok);
+    }
+    void on_channel_activity() override {}
+  } l1;
+  ch.attach(1, &l1);
+  ch.set_listening(1, true);
+  int& completions = l1.completions;
 
   DataHeader h;
   ch.start_tx(0, make_data_packet(0, 1, h), Time::from_milliseconds(2.0));

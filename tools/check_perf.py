@@ -9,7 +9,15 @@ host's clock rate to first order. Fails (exit 1) when the fresh value is
 more than --tolerance below the baseline; improvements never fail, and the
 operator is told to refresh the baseline when the gain is real.
 
+Memory is gated alongside throughput: bytes_per_node_1000 and
+marginal_bytes_per_node are byte counts from a deterministic allocation
+counter, so they are comparable across machines and get their own (much
+tighter) --mem-tolerance. A growth past the band fails the same way a
+throughput regression does — per-node memory is the city-scale
+scalability budget, not an advisory metric.
+
 Usage: check_perf.py <fresh.json> <baseline.json> [--tolerance 0.20]
+                     [--mem-tolerance 0.25]
 """
 import argparse
 import json
@@ -22,6 +30,9 @@ def main() -> int:
     parser.add_argument("baseline")
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed fractional regression (default 0.20)")
+    parser.add_argument("--mem-tolerance", type=float, default=0.25,
+                        help="allowed fractional growth of the per-node "
+                             "memory metrics (default 0.25)")
     args = parser.parse_args()
 
     with open(args.fresh) as f:
@@ -51,13 +62,35 @@ def main() -> int:
           f"{base['ns_per_event']:.1f} ns/event, "
           f"calib {base['calibration_score']:.1f}")
 
+    failed = False
     if ratio < 1.0 - args.tolerance:
         print(f"FAIL: normalized throughput regressed by {1 - ratio:.1%} "
               f"(> {args.tolerance:.0%} budget)")
-        return 1
+        failed = True
     if ratio > 1.0 + args.tolerance:
         print("NOTE: throughput improved past the tolerance band — refresh "
               "the committed baseline to lock in the gain")
+
+    # Per-node memory: deterministic byte counts, lower-is-better. Skip a
+    # key only when the baseline predates it (older BENCH json).
+    for mem_key in ("bytes_per_node_1000", "marginal_bytes_per_node"):
+        if mem_key not in fresh or mem_key not in base:
+            print(f"note: {mem_key} missing from fresh or baseline, skipped")
+            continue
+        fresh_m, base_m = fresh[mem_key], base[mem_key]
+        mem_ratio = fresh_m / base_m if base_m > 0 else 1.0
+        print(f"mem check: {mem_key} fresh={fresh_m:.0f} baseline={base_m:.0f} "
+              f"ratio={mem_ratio:.3f} (tolerance +{args.mem_tolerance:.0%})")
+        if mem_ratio > 1.0 + args.mem_tolerance:
+            print(f"FAIL: {mem_key} grew by {mem_ratio - 1:.1%} "
+                  f"(> {args.mem_tolerance:.0%} budget)")
+            failed = True
+        elif mem_ratio < 1.0 - args.mem_tolerance:
+            print(f"NOTE: {mem_key} shrank past the tolerance band — refresh "
+                  "the committed baseline to lock in the gain")
+
+    if failed:
+        return 1
     print("OK")
     return 0
 
