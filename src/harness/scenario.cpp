@@ -4,6 +4,7 @@
 #include <memory>
 #include <ostream>
 #include <stdexcept>
+#include <utility>
 
 #include "src/core/maintenance.h"
 #include "src/energy/duty_cycle.h"
@@ -171,7 +172,7 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
         routing::TreeSetupParams{
             .finalize_after = config.setup_duration * 4 / 5,
             .max_dist_from_root = config.deployment.max_tree_dist_m},
-        setup_rng, parent_policy.get());
+        std::move(setup_rng), parent_policy.get());
     for (std::size_t i = 0; i < n; ++i) {
       setup_protocol->attach_mac(static_cast<net::NodeId>(i), nodes[i].mac.get());
     }

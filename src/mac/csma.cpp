@@ -1,6 +1,7 @@
 #include "src/mac/csma.h"
 
 #include <algorithm>
+#include <utility>
 #include <cassert>
 
 #include "src/util/logging.h"
@@ -8,13 +9,13 @@
 namespace essat::mac {
 
 CsmaMac::CsmaMac(sim::Simulator& sim, net::Channel& channel, energy::Radio& radio,
-                 net::NodeId self, MacParams params, util::Rng rng)
+                 net::NodeId self, MacParams params, util::Rng&& rng)
     : sim_{sim},
       channel_{channel},
       radio_{radio},
       self_{self},
       params_{params},
-      rng_{rng},
+      rng_{std::move(rng)},
       backoff_timer_{sim},
       ack_timer_{sim},
       tx_end_timer_{sim},

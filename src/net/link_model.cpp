@@ -10,7 +10,7 @@ namespace essat::net {
 // ------------------------------------------------------- log-normal shadowing
 
 LogNormalShadowingModel::LogNormalShadowingModel(ShadowingParams params,
-                                                 double range_m, util::Rng rng)
+                                                 double range_m, util::Rng&& rng)
     : params_{params},
       range_m_{range_m},
       gain_rng_{rng.fork(1)},
@@ -57,7 +57,7 @@ bool LogNormalShadowingModel::deliver(NodeId src, NodeId dst,
 
 GilbertElliottModel::GilbertElliottModel(GilbertElliottParams params,
                                          std::unique_ptr<LinkModel> base,
-                                         util::Rng rng)
+                                         util::Rng&& rng)
     : params_{params},
       base_{std::move(base)},
       init_rng_{rng.fork(1)},
@@ -99,8 +99,8 @@ bool GilbertElliottModel::deliver(NodeId src, NodeId dst, double distance_m) {
 // ------------------------------------------------------------- PRR thinning
 
 PrrScaledModel::PrrScaledModel(std::unique_ptr<LinkModel> base,
-                               double prr_scale, util::Rng rng)
-    : base_{std::move(base)}, prr_scale_{prr_scale}, rng_{rng} {}
+                               double prr_scale, util::Rng&& rng)
+    : base_{std::move(base)}, prr_scale_{prr_scale}, rng_{std::move(rng)} {}
 
 bool PrrScaledModel::deliver(NodeId src, NodeId dst, double distance_m) {
   // Draw the thinning coin before the base so stateless and stateful bases
@@ -132,7 +132,7 @@ LinkModelKind link_model_kind_from_name(const std::string& name) {
 }
 
 std::unique_ptr<LinkModel> ChannelModelSpec::build(double range_m,
-                                                   util::Rng rng) const {
+                                                   util::Rng&& rng) const {
   std::unique_ptr<LinkModel> model;
   switch (kind) {
     case LinkModelKind::kNone:

@@ -100,7 +100,7 @@ struct ShadowingParams {
 // it is static. Every frame is an independent Bernoulli(PRR) draw.
 class LogNormalShadowingModel : public LinkModel {
  public:
-  LogNormalShadowingModel(ShadowingParams params, double range_m, util::Rng rng);
+  LogNormalShadowingModel(ShadowingParams params, double range_m, util::Rng&& rng);
 
   bool deliver(NodeId src, NodeId dst, double distance_m) override;
   const char* name() const override { return "shadowing"; }
@@ -147,7 +147,7 @@ struct GilbertElliottParams {
 class GilbertElliottModel : public LinkModel {
  public:
   GilbertElliottModel(GilbertElliottParams params, std::unique_ptr<LinkModel> base,
-                      util::Rng rng);
+                      util::Rng&& rng);
 
   bool deliver(NodeId src, NodeId dst, double distance_m) override;
   const char* name() const override { return "gilbert-elliott"; }
@@ -173,7 +173,7 @@ class GilbertElliottModel : public LinkModel {
 // loss-sensitivity bench sweeps.
 class PrrScaledModel : public LinkModel {
  public:
-  PrrScaledModel(std::unique_ptr<LinkModel> base, double prr_scale, util::Rng rng);
+  PrrScaledModel(std::unique_ptr<LinkModel> base, double prr_scale, util::Rng&& rng);
 
   bool deliver(NodeId src, NodeId dst, double distance_m) override;
   const char* name() const override { return base_->name(); }
@@ -231,7 +231,7 @@ struct ChannelModelSpec {
   // no per-frame hook); kUnitDisc builds a real UnitDiscModel so the hook
   // layer itself is exercised — the equivalence test asserts the two are
   // byte-identical.
-  std::unique_ptr<LinkModel> build(double range_m, util::Rng rng) const;
+  std::unique_ptr<LinkModel> build(double range_m, util::Rng&& rng) const;
 
   // Sink/axis label: the kind name, with non-default thinning appended
   // ("shadowing@0.9").

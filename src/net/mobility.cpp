@@ -1,6 +1,7 @@
 #include "src/net/mobility.h"
 
 #include <algorithm>
+#include <utility>
 #include <cstdio>
 #include <stdexcept>
 
@@ -11,7 +12,7 @@ namespace essat::net {
 RandomWaypointMobility::RandomWaypointMobility(std::vector<Position> initial,
                                                double width_m, double height_m,
                                                RandomWaypointParams params,
-                                               util::Rng rng)
+                                               util::Rng&& rng)
     : width_m_{width_m}, height_m_{height_m}, params_{params} {
   if (width_m_ < 0.0 || height_m_ < 0.0) {
     throw std::invalid_argument{"RandomWaypointMobility: negative bounds"};
@@ -137,7 +138,7 @@ MobilityKind mobility_kind_from_name(const std::string& name) {
 std::unique_ptr<MobilityModel> MobilitySpec::build(std::vector<Position> initial,
                                                    double width_m,
                                                    double height_m,
-                                                   util::Rng rng) const {
+                                                   util::Rng&& rng) const {
   switch (kind) {
     case MobilityKind::kStatic:
       return nullptr;

@@ -79,7 +79,7 @@ class RandomWaypointMobility : public MobilityModel {
  public:
   RandomWaypointMobility(std::vector<Position> initial, double width_m,
                          double height_m, RandomWaypointParams params,
-                         util::Rng rng);
+                         util::Rng&& rng);
 
   void positions_at(util::Time t, std::vector<Position>& out) override;
   const char* name() const override { return "waypoint"; }
@@ -157,7 +157,7 @@ struct MobilitySpec {
   // path at zero cost.
   std::unique_ptr<MobilityModel> build(std::vector<Position> initial,
                                        double width_m, double height_m,
-                                       util::Rng rng) const;
+                                       util::Rng&& rng) const;
 
   util::Time epoch() const { return util::Time::from_seconds(epoch_s); }
 

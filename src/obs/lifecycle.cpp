@@ -117,7 +117,15 @@ ConservationReport check_conservation(const std::vector<TraceRecord>& records,
     }
   }
 
-  for (const auto& [tx_id, s] : txs) {
+  // Drain in sorted tx-id order: the map is a hash table, and the first
+  // mismatch's detail string (below) must not depend on iteration order —
+  // essat-deterministic-iteration would flag the raw range-for.
+  std::vector<std::uint64_t> tx_ids;
+  tx_ids.reserve(txs.size());
+  for (const auto& kv : txs) tx_ids.push_back(kv.first);
+  std::sort(tx_ids.begin(), tx_ids.end());
+  for (const std::uint64_t tx_id : tx_ids) {
+    const TxState& s = txs.find(tx_id)->second;
     if (s.t_begin == 0 && s.expected == 0) continue;  // begin outside trace
     if (s.t_begin > last_ns - grace.ns()) {
       ++rep.skipped_in_flight;

@@ -1,18 +1,19 @@
 #include "src/routing/tree_protocol.h"
 
 #include <algorithm>
+#include <utility>
 #include <stdexcept>
 
 namespace essat::routing {
 
 TreeSetupProtocol::TreeSetupProtocol(sim::Simulator& sim, const net::Topology& topo,
                                      net::NodeId root, TreeSetupParams params,
-                                     util::Rng rng, ParentPolicy* policy)
+                                     util::Rng&& rng, ParentPolicy* policy)
     : sim_{sim},
       topo_{topo},
       root_{root},
       params_{params},
-      rng_{rng},
+      rng_{std::move(rng)},
       policy_{policy},
       nodes_(topo.num_nodes()),
       macs_(topo.num_nodes(), nullptr) {

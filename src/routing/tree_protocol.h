@@ -46,7 +46,7 @@ class TreeSetupProtocol {
   // `policy` selects parents (non-owning, may outlive setup); nullptr runs
   // the legacy lowest-level comparison.
   TreeSetupProtocol(sim::Simulator& sim, const net::Topology& topo,
-                    net::NodeId root, TreeSetupParams params, util::Rng rng,
+                    net::NodeId root, TreeSetupParams params, util::Rng&& rng,
                     ParentPolicy* policy = nullptr);
 
   // All node MACs must be attached before start().

@@ -16,6 +16,16 @@ class Rng {
  public:
   explicit Rng(std::uint64_t seed);
 
+  // Move-only: a copied generator silently replays the same random sequence
+  // in two places, which breaks run reproducibility in ways no test sees
+  // directly. Components own their stream (constructed from `fork`) and
+  // everything else takes `Rng&` — the essat-rng-by-ref lint check enforces
+  // the signatures, this enforces the call sites.
+  Rng(const Rng&) = delete;
+  Rng& operator=(const Rng&) = delete;
+  Rng(Rng&&) = default;
+  Rng& operator=(Rng&&) = default;
+
   // Derives an independent generator; deterministic in (seed, stream).
   Rng fork(std::uint64_t stream) const;
 

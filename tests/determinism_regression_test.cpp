@@ -1,0 +1,109 @@
+// Regression tests pinning behavior corrected (or newly machine-enforced)
+// by the essat-tidy static-analysis pass:
+//
+//  * check_conservation used to pick its `detail` string from the first
+//    mismatched transmission in unordered_map iteration order, so the
+//    reported violation depended on the hash table's layout. It now drains
+//    in sorted tx-id order and must name the lowest mismatched tx id
+//    regardless of record order.
+//  * util::Rng is move-only: a component's stream travels by move, and a
+//    moved-in stream must continue exactly where the source was — no reset,
+//    no duplicated sequence.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/obs/lifecycle.h"
+#include "src/obs/trace_record.h"
+#include "src/util/rng.h"
+
+namespace essat {
+namespace {
+
+obs::TraceRecord make_record(obs::TraceType type, std::int64_t t_ns,
+                             std::int32_t node, std::uint16_t arg16,
+                             std::uint64_t a, std::uint64_t b) {
+  obs::TraceRecord r;
+  r.t_ns = t_ns;
+  r.node = node;
+  r.type = static_cast<std::uint16_t>(type);
+  r.arg16 = arg16;
+  r.a = a;
+  r.b = b;
+  return r;
+}
+
+// Two transmissions (tx ids 5 and 9) each expect 2 arrivals but only see 1:
+// both are mismatched. The report must name tx 5 — the lowest id — no
+// matter which order the records (and thus the map inserts) arrive in.
+std::vector<obs::TraceRecord> mismatch_records(bool reversed) {
+  // A trailing late record pushes the trace tail far past the grace window
+  // so neither tx is skipped as in-flight.
+  const auto tx = [](std::uint64_t id, std::int64_t t) {
+    return make_record(obs::TraceType::kChanTxBegin, t, 0, /*expected=*/2,
+                       /*tx id=*/id, /*prov=*/0);
+  };
+  const auto deliver = [](std::uint64_t id, std::int64_t t) {
+    return make_record(obs::TraceType::kChanDeliver, t, 1, 0, id, 0);
+  };
+  std::vector<obs::TraceRecord> records;
+  if (reversed) {
+    records = {tx(9, 2000), deliver(9, 2100), tx(5, 1000), deliver(5, 1100)};
+  } else {
+    records = {tx(5, 1000), deliver(5, 1100), tx(9, 2000), deliver(9, 2100)};
+  }
+  records.push_back(make_record(obs::TraceType::kEpochStart,
+                                util::Time::seconds(10).ns(), 0, 0, 0, 0));
+  return records;
+}
+
+TEST(ConservationDeterminism, DetailNamesLowestMismatchedTxId) {
+  for (const bool reversed : {false, true}) {
+    const auto rep = obs::check_conservation(mismatch_records(reversed));
+    EXPECT_FALSE(rep.ok);
+    EXPECT_EQ(rep.mismatched, 2u);
+    EXPECT_EQ(rep.detail.rfind("tx 5 ", 0), 0u)
+        << "reversed=" << reversed << " detail=" << rep.detail;
+  }
+}
+
+TEST(ConservationDeterminism, DetailIdenticalAcrossRecordOrders) {
+  const auto a = obs::check_conservation(mismatch_records(false));
+  const auto b = obs::check_conservation(mismatch_records(true));
+  EXPECT_EQ(a.detail, b.detail);
+  EXPECT_EQ(a.transmissions, b.transmissions);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.mismatched, b.mismatched);
+}
+
+TEST(RngStreamDiscipline, MovedStreamContinuesWhereSourceWas) {
+  util::Rng source{42};
+  util::Rng twin{42};
+  // Advance both identically, then move `source` — the moved-to generator
+  // must produce exactly the twin's continuation.
+  for (int i = 0; i < 17; ++i) {
+    source.uniform_int(0, 1 << 30);
+    twin.uniform_int(0, 1 << 30);
+  }
+  util::Rng moved = std::move(source);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(moved.uniform_int(0, 1 << 30), twin.uniform_int(0, 1 << 30));
+  }
+}
+
+TEST(RngStreamDiscipline, SinkSignaturesConsumeTheStream) {
+  // Compile-time contract: Rng is move-only, so any component that stores a
+  // stream must have taken it by Rng&& (or built it from fork()) — a silent
+  // by-value copy no longer compiles anywhere in the tree.
+  static_assert(!std::is_copy_constructible_v<util::Rng>,
+                "Rng must not be copyable");
+  static_assert(!std::is_copy_assignable_v<util::Rng>,
+                "Rng must not be copy-assignable");
+  static_assert(std::is_move_constructible_v<util::Rng>,
+                "Rng must stay movable");
+}
+
+}  // namespace
+}  // namespace essat

@@ -1,0 +1,78 @@
+#include "DeterministicIterationCheck.h"
+
+#include "Suppression.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::essat {
+
+namespace {
+
+// True when the loop body is (only) the key-collection idiom:
+//     for (const auto& kv : m) keys.push_back(kv.first);
+// possibly wrapped in a compound statement with a single statement.
+bool isKeyCollectionBody(const Stmt *Body) {
+  if (const auto *Compound = dyn_cast_or_null<CompoundStmt>(Body)) {
+    if (Compound->size() != 1)
+      return false;
+    Body = *Compound->body_begin();
+  }
+  const auto *Call = dyn_cast_or_null<CXXMemberCallExpr>(Body);
+  if (!Call || Call->getNumArgs() != 1)
+    return false;
+  const auto *Method = Call->getMethodDecl();
+  if (!Method || Method->getName() != "push_back")
+    return false;
+  const Expr *Arg = Call->getArg(0)->IgnoreParenImpCasts();
+  const auto *Member = dyn_cast<MemberExpr>(Arg);
+  return Member && Member->getMemberDecl()->getName() == "first";
+}
+
+}  // namespace
+
+void DeterministicIterationCheck::registerMatchers(MatchFinder *Finder) {
+  const auto UnorderedType = hasUnqualifiedDesugaredType(recordType(
+      hasDeclaration(cxxRecordDecl(hasAnyName("::std::unordered_map",
+                                              "::std::unordered_set",
+                                              "::std::unordered_multimap",
+                                              "::std::unordered_multiset")))));
+  Finder->addMatcher(
+      cxxForRangeStmt(hasRangeInit(expr(hasType(qualType(UnorderedType)))))
+          .bind("loop"),
+      this);
+  // Iterator-style loops: for (auto it = m.begin(); ...).
+  Finder->addMatcher(
+      forStmt(hasLoopInit(declStmt(hasSingleDecl(varDecl(hasInitializer(
+                  cxxMemberCallExpr(
+                      callee(cxxMethodDecl(hasAnyName("begin", "cbegin"))),
+                      on(expr(hasType(qualType(UnorderedType)))))))))))
+          .bind("iterloop"),
+      this);
+}
+
+void DeterministicIterationCheck::check(
+    const MatchFinder::MatchResult &Result) {
+  SourceLocation Loc;
+  if (const auto *Loop = Result.Nodes.getNodeAs<CXXForRangeStmt>("loop")) {
+    if (isKeyCollectionBody(Loop->getBody()))
+      return;
+    Loc = Loop->getForLoc();
+  } else if (const auto *Loop = Result.Nodes.getNodeAs<ForStmt>("iterloop")) {
+    Loc = Loop->getForLoc();
+  } else {
+    return;
+  }
+  const SourceManager &SM = *Result.SourceManager;
+  if (Loc.isInvalid() || !SM.isInWrittenMainFile(SM.getSpellingLoc(Loc)))
+    return;
+  if (isSuppressedAt(SM, Loc, "deterministic-iteration"))
+    return;
+  diag(Loc,
+       "iteration over an unordered container leaks hash-table layout into "
+       "side effects; collect keys and sort them, or use util::FlatMap with "
+       "a sorted drain");
+}
+
+}  // namespace clang::tidy::essat

@@ -1,0 +1,24 @@
+// essat-deterministic-iteration: flags loops over std::unordered_map /
+// std::unordered_set whose body has side effects. Hash-table iteration
+// order is unspecified, so an order-dependent fold, a "first match wins"
+// pick, or ordered output silently couples results to allocator layout —
+// exactly the class of bug that broke conservation-report details before
+// obs/lifecycle.cpp switched to a sorted key drain.
+//
+// The blessed key-collection idiom is allowed: a range-for whose body is a
+// single `keys.push_back(kv.first)` call (collect, then sort, then drain).
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::essat {
+
+class DeterministicIterationCheck : public ClangTidyCheck {
+ public:
+  using ClangTidyCheck::ClangTidyCheck;
+
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace clang::tidy::essat

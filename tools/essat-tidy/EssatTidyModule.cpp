@@ -1,0 +1,43 @@
+// essat-tidy: project-specific clang-tidy checks for the ESSAT simulator.
+//
+// Built as a shared module and loaded with
+//     clang-tidy -load=libessat-tidy.so -checks='essat-*' -p build ...
+//
+// Four checks, mirrored 1:1 by the portable lexical implementation in
+// tools/essat-tidy/essat_tidy.py (which runs everywhere, including
+// toolchains without clang dev headers):
+//
+//   essat-no-wallclock            host time / host entropy in sim code
+//   essat-deterministic-iteration order-sensitive unordered iteration
+//   essat-hot-path-alloc          allocation machinery on the hot path
+//   essat-rng-by-ref              util::Rng copied by value
+#include "DeterministicIterationCheck.h"
+#include "HotPathAllocCheck.h"
+#include "NoWallclockCheck.h"
+#include "RngByRefCheck.h"
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+namespace clang::tidy::essat {
+
+class EssatTidyModule : public ClangTidyModule {
+ public:
+  void addCheckFactories(ClangTidyCheckFactories &Factories) override {
+    Factories.registerCheck<NoWallclockCheck>("essat-no-wallclock");
+    Factories.registerCheck<DeterministicIterationCheck>(
+        "essat-deterministic-iteration");
+    Factories.registerCheck<HotPathAllocCheck>("essat-hot-path-alloc");
+    Factories.registerCheck<RngByRefCheck>("essat-rng-by-ref");
+  }
+};
+
+namespace {
+ClangTidyModuleRegistry::Add<EssatTidyModule> X(
+    "essat-tidy-module", "ESSAT determinism and hot-path invariant checks.");
+}  // namespace
+
+}  // namespace clang::tidy::essat
+
+// Pull the module into any binary that links this object.
+// NOLINTNEXTLINE(misc-use-internal-linkage)
+volatile int EssatTidyModuleAnchorSource = 0;

@@ -1,0 +1,71 @@
+#include "HotPathAllocCheck.h"
+
+#include "Suppression.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::essat {
+
+HotPathAllocCheck::HotPathAllocCheck(llvm::StringRef Name,
+                                     ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      HotPathFiles(Options.get("HotPathFiles",
+                               "src/sim/;src/net/channel.;src/mac/csma.")) {}
+
+void HotPathAllocCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "HotPathFiles", HotPathFiles);
+}
+
+void HotPathAllocCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(cxxNewExpr().bind("new"), this);
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName("::std::make_shared",
+                                              "::std::make_unique",
+                                              "::std::allocate_shared"))))
+          .bind("make"),
+      this);
+  const auto AllocatingType = hasUnqualifiedDesugaredType(recordType(
+      hasDeclaration(cxxRecordDecl(hasAnyName(
+          "::std::function", "::std::map", "::std::multimap", "::std::list",
+          "::std::deque", "::std::unordered_map", "::std::unordered_set",
+          "::std::unordered_multimap", "::std::unordered_multiset")))));
+  Finder->addMatcher(valueDecl(hasType(qualType(AllocatingType))).bind("decl"),
+                     this);
+}
+
+void HotPathAllocCheck::check(const MatchFinder::MatchResult &Result) {
+  SourceLocation Loc;
+  llvm::StringRef What;
+  if (const auto *New = Result.Nodes.getNodeAs<CXXNewExpr>("new")) {
+    // Placement new constructs into existing storage (InlineCallback SBO).
+    if (New->getNumPlacementArgs() > 0)
+      return;
+    Loc = New->getBeginLoc();
+    What = "operator new";
+  } else if (const auto *Make = Result.Nodes.getNodeAs<CallExpr>("make")) {
+    Loc = Make->getBeginLoc();
+    What = "heap-allocating factory";
+  } else if (const auto *Decl = Result.Nodes.getNodeAs<ValueDecl>("decl")) {
+    Loc = Decl->getBeginLoc();
+    What = "allocating container / type-erased callable";
+  } else {
+    return;
+  }
+  const SourceManager &SM = *Result.SourceManager;
+  if (Loc.isInvalid())
+    return;
+  llvm::StringRef Path = SM.getFilename(SM.getSpellingLoc(Loc));
+  if (!pathMatchesList(Path, HotPathFiles))
+    return;
+  if (isSuppressedAt(SM, Loc, "hot-path-alloc"))
+    return;
+  diag(Loc,
+       "%0 in a hot-path file; use InlineCallback, util::FlatMap, "
+       "util::RingQueue, or pre-sized vectors (suppress deliberate "
+       "setup-time use with '// essat-lint: allow(hot-path-alloc)')")
+      << What;
+}
+
+}  // namespace clang::tidy::essat

@@ -1,0 +1,36 @@
+// essat-hot-path-alloc: flags per-event allocation machinery in the files
+// that run on the simulation hot path. PR 5 made the core allocation-free
+// (calendar-wheel queue, InlineCallback SBO, FlatMap); this check keeps it
+// that way by rejecting, in hot-path files:
+//
+//   * non-placement `new` expressions
+//   * std::make_shared / std::make_unique / std::allocate_shared calls
+//   * declarations of std::function, std::map, std::multimap, std::list,
+//     std::deque, std::unordered_map, std::unordered_set
+//
+// Placement new is allowed — InlineCallback's SBO uses `::new (buf) T` and
+// does not allocate. Setup-time exceptions are suppressed with
+// `// essat-lint: allow(hot-path-alloc)` and counted against the CI cap.
+//
+// Options:
+//   essat-hot-path-alloc.HotPathFiles — ';'-separated path substrings the
+//   check applies to (default: "src/sim/;src/net/channel.;src/mac/csma.").
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::essat {
+
+class HotPathAllocCheck : public ClangTidyCheck {
+ public:
+  HotPathAllocCheck(llvm::StringRef Name, ClangTidyContext *Context);
+
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+ private:
+  const std::string HotPathFiles;
+};
+
+}  // namespace clang::tidy::essat

@@ -1,0 +1,68 @@
+#include "NoWallclockCheck.h"
+
+#include "Suppression.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::essat {
+
+NoWallclockCheck::NoWallclockCheck(llvm::StringRef Name,
+                                   ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      AllowedFiles(Options.get(
+          "AllowedFiles", "src/util/rng.;src/exp/;src/obs/trace_export.")) {}
+
+void NoWallclockCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "AllowedFiles", AllowedFiles);
+}
+
+void NoWallclockCheck::registerMatchers(MatchFinder *Finder) {
+  // Free functions that read host time or host entropy.
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName(
+                   "::time", "::gettimeofday", "::clock", "::rand", "::srand",
+                   "::std::rand", "::std::srand", "::std::time"))))
+          .bind("call"),
+      this);
+  // Static member calls on the banned chrono clocks (now(), etc.).
+  Finder->addMatcher(
+      callExpr(callee(cxxMethodDecl(ofClass(hasAnyName(
+                   "::std::chrono::system_clock", "::std::chrono::steady_clock",
+                   "::std::chrono::high_resolution_clock")))))
+          .bind("call"),
+      this);
+  // Any declaration of a std::random_device (host entropy).
+  Finder->addMatcher(
+      varDecl(hasType(namedDecl(hasName("::std::random_device"))))
+          .bind("decl"),
+      this);
+}
+
+void NoWallclockCheck::check(const MatchFinder::MatchResult &Result) {
+  SourceLocation Loc;
+  llvm::StringRef What;
+  if (const auto *Call = Result.Nodes.getNodeAs<CallExpr>("call")) {
+    Loc = Call->getBeginLoc();
+    What = "wall-clock / host-entropy call";
+  } else if (const auto *Decl = Result.Nodes.getNodeAs<VarDecl>("decl")) {
+    Loc = Decl->getBeginLoc();
+    What = "std::random_device";
+  } else {
+    return;
+  }
+  const SourceManager &SM = *Result.SourceManager;
+  if (Loc.isInvalid() || !SM.isInWrittenMainFile(SM.getSpellingLoc(Loc)))
+    return;
+  llvm::StringRef Path = SM.getFilename(SM.getSpellingLoc(Loc));
+  if (pathMatchesList(Path, AllowedFiles))
+    return;
+  if (isSuppressedAt(SM, Loc, "no-wallclock"))
+    return;
+  diag(Loc, "%0 breaks run reproducibility; use Simulator::now() for time "
+            "and a forked util::Rng stream for randomness")
+      << What;
+}
+
+}  // namespace clang::tidy::essat

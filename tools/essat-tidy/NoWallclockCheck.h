@@ -1,0 +1,35 @@
+// essat-no-wallclock: bans wall-clock and ambient-randomness APIs in
+// simulation code. Bit-identical RunMetrics across ESSAT_JOBS worker
+// counts — the repo's core reproducibility contract — survives only if no
+// code path reads host time or host entropy: simulation code must use
+// Simulator::now() and forked util::Rng streams.
+//
+// Flags:
+//   * std::chrono::{system,steady,high_resolution}_clock::now()
+//   * ::time(), ::gettimeofday(), ::clock()
+//   * ::rand(), ::srand()
+//   * std::random_device (construction or use)
+//
+// Options:
+//   essat-no-wallclock.AllowedFiles — ';'-separated path substrings exempt
+//   from the check (default: "src/util/rng.;src/exp/;src/obs/trace_export."
+//   — the RNG implementation, sweep progress reporting, export timestamps).
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::essat {
+
+class NoWallclockCheck : public ClangTidyCheck {
+ public:
+  NoWallclockCheck(llvm::StringRef Name, ClangTidyContext *Context);
+
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+ private:
+  const std::string AllowedFiles;
+};
+
+}  // namespace clang::tidy::essat

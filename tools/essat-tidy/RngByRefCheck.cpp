@@ -1,0 +1,57 @@
+#include "RngByRefCheck.h"
+
+#include "Suppression.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::essat {
+
+void RngByRefCheck::registerMatchers(MatchFinder *Finder) {
+  const auto RngType = hasUnqualifiedDesugaredType(recordType(
+      hasDeclaration(cxxRecordDecl(hasName("::essat::util::Rng")))));
+  // Parameters of plain (non-reference) Rng type.
+  Finder->addMatcher(
+      parmVarDecl(hasType(qualType(RngType))).bind("param"), this);
+  // Lambdas whose captures copy an Rng.
+  Finder->addMatcher(lambdaExpr().bind("lambda"), this);
+}
+
+void RngByRefCheck::check(const MatchFinder::MatchResult &Result) {
+  const SourceManager &SM = *Result.SourceManager;
+  if (const auto *Param = Result.Nodes.getNodeAs<ParmVarDecl>("param")) {
+    SourceLocation Loc = Param->getBeginLoc();
+    if (Loc.isInvalid() || !SM.isInWrittenMainFile(SM.getSpellingLoc(Loc)))
+      return;
+    if (isSuppressedAt(SM, Loc, "rng-by-ref"))
+      return;
+    diag(Loc,
+         "util::Rng passed by value duplicates the stream; take util::Rng&& "
+         "and std::move into storage, or util::Rng& to borrow");
+    return;
+  }
+  if (const auto *Lambda = Result.Nodes.getNodeAs<LambdaExpr>("lambda")) {
+    for (const LambdaCapture &Cap : Lambda->captures()) {
+      if (Cap.getCaptureKind() != LCK_ByCopy || !Cap.capturesVariable())
+        continue;
+      const ValueDecl *Var = Cap.getCapturedVar();
+      const auto *Record = Var->getType()
+                               .getNonReferenceType()
+                               .getCanonicalType()
+                               ->getAsCXXRecordDecl();
+      if (!Record || Record->getQualifiedNameAsString() != "essat::util::Rng")
+        continue;
+      SourceLocation Loc = Cap.getLocation();
+      if (Loc.isInvalid() || !SM.isInWrittenMainFile(SM.getSpellingLoc(Loc)))
+        continue;
+      if (isSuppressedAt(SM, Loc, "rng-by-ref"))
+        continue;
+      diag(Loc,
+           "lambda copies a util::Rng; capture by reference, or move the "
+           "generator in with an init-capture");
+    }
+  }
+}
+
+}  // namespace clang::tidy::essat

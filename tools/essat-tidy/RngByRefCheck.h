@@ -1,0 +1,28 @@
+// essat-rng-by-ref: flags util::Rng passed or captured by value. A copied
+// generator replays the same draw sequence as its source, silently
+// correlating two streams that were meant to be independent — the worst
+// kind of statistics bug, because every run still "works". Rng is move-only
+// precisely to stop this at compile time; this check catches the cases the
+// type system can't, and predates code that might add a copy ctor back.
+//
+// Flags:
+//   * function/constructor parameters of non-reference Rng type
+//   * lambda by-copy captures of an Rng
+//
+// Correct signatures: `util::Rng&&` for sinks that keep the stream (store
+// with std::move), `util::Rng&` for borrowers that draw and return.
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::essat {
+
+class RngByRefCheck : public ClangTidyCheck {
+ public:
+  using ClangTidyCheck::ClangTidyCheck;
+
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace clang::tidy::essat

@@ -1,0 +1,79 @@
+// Shared suppression-comment support for the essat-tidy checks.
+//
+// A diagnostic at source location L is suppressed when the line holding L,
+// or the line immediately above it, carries
+//
+//     // essat-lint: allow(<check-name>)
+//
+// This mirrors tools/essat-tidy/essat_tidy.py (the portable implementation
+// of the same checks): both honor the same comment, and CI counts the
+// comments and caps them, so a suppression is always a deliberate,
+// reviewed exception rather than a silent bypass.
+#pragma once
+
+#include "clang/Basic/SourceManager.h"
+#include "llvm/ADT/StringRef.h"
+
+namespace clang::tidy::essat {
+
+inline llvm::StringRef lineAt(const SourceManager &SM, FileID FID,
+                              unsigned Line) {
+  bool Invalid = false;
+  llvm::StringRef Buffer = SM.getBufferData(FID, &Invalid);
+  if (Invalid || Line == 0)
+    return {};
+  // Walk to the requested 1-based line. Files this project lints are small
+  // enough that the linear scan is irrelevant next to the AST traversal.
+  size_t Pos = 0;
+  for (unsigned L = 1; L < Line; ++L) {
+    Pos = Buffer.find('\n', Pos);
+    if (Pos == llvm::StringRef::npos)
+      return {};
+    ++Pos;
+  }
+  size_t End = Buffer.find('\n', Pos);
+  return Buffer.slice(Pos, End == llvm::StringRef::npos ? Buffer.size() : End);
+}
+
+inline bool lineAllows(llvm::StringRef LineText, llvm::StringRef CheckName) {
+  size_t At = LineText.find("essat-lint:");
+  if (At == llvm::StringRef::npos)
+    return false;
+  llvm::StringRef Rest = LineText.drop_front(At);
+  size_t Open = Rest.find("allow(");
+  if (Open == llvm::StringRef::npos)
+    return false;
+  llvm::StringRef Arg = Rest.drop_front(Open + 6);
+  size_t Close = Arg.find(')');
+  if (Close == llvm::StringRef::npos)
+    return false;
+  return Arg.take_front(Close).trim() == CheckName;
+}
+
+// `CheckName` is the short name without the "essat-" prefix, matching the
+// allow() argument syntax documented in the README.
+inline bool isSuppressedAt(const SourceManager &SM, SourceLocation Loc,
+                           llvm::StringRef CheckName) {
+  if (Loc.isInvalid())
+    return false;
+  SourceLocation Spelling = SM.getSpellingLoc(Loc);
+  FileID FID = SM.getFileID(Spelling);
+  unsigned Line = SM.getSpellingLineNumber(Spelling);
+  return lineAllows(lineAt(SM, FID, Line), CheckName) ||
+         (Line > 1 && lineAllows(lineAt(SM, FID, Line - 1), CheckName));
+}
+
+// True when `Path` matches any ';'-separated substring pattern in `List`.
+// Used for the no-wallclock allowlist and the hot-path file list so both
+// are configurable from .clang-tidy without rebuilding the plugin.
+inline bool pathMatchesList(llvm::StringRef Path, llvm::StringRef List) {
+  llvm::SmallVector<llvm::StringRef, 8> Parts;
+  List.split(Parts, ';', /*MaxSplit=*/-1, /*KeepEmpty=*/false);
+  for (llvm::StringRef Part : Parts) {
+    if (Path.contains(Part.trim()))
+      return true;
+  }
+  return false;
+}
+
+}  // namespace clang::tidy::essat

@@ -1,0 +1,49 @@
+// Fixture for essat-deterministic-iteration.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+struct Stats {
+  std::unordered_map<std::uint64_t, int> per_link;
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<int> ordered;
+};
+
+int bad_side_effecting_iteration(Stats& s) {
+  int acc = 0;
+  for (const auto& kv : s.per_link) {                    // expect: deterministic-iteration
+    acc = acc * 31 + kv.second;  // order-dependent fold
+  }
+  return acc;
+}
+
+int bad_iterator_loop(Stats& s) {
+  int n = 0;
+  for (auto it = s.seen.begin(); it != s.seen.end(); ++it) {  // expect: deterministic-iteration
+    if (n == 0) n = static_cast<int>(*it);  // "first element" is layout-defined
+  }
+  return n;
+}
+
+// Blessed idiom: collect keys, sort, drain deterministically.
+int good_sorted_drain(const Stats& s) {
+  std::vector<std::uint64_t> keys;
+  for (const auto& kv : s.per_link) keys.push_back(kv.first);
+  std::sort(keys.begin(), keys.end());
+  int acc = 0;
+  for (std::uint64_t k : keys) acc = acc * 31 + s.per_link.at(k);
+  return acc;
+}
+
+// Ordered containers iterate deterministically — no finding.
+int good_vector_iteration(const Stats& s) {
+  int acc = 0;
+  for (int v : s.ordered) acc += v;
+  return acc;
+}
+
+}  // namespace fixture

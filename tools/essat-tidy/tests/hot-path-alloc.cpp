@@ -1,0 +1,47 @@
+// Fixture for essat-hot-path-alloc. Scanned with --assume-hot-path so the
+// fixture counts as hot-path code.
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <new>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Packet {
+  int size = 0;
+};
+
+Packet* bad_raw_new() {
+  return new Packet{};                                   // expect: hot-path-alloc
+}
+
+std::shared_ptr<Packet> bad_make_shared() {
+  return std::make_shared<Packet>();                     // expect: hot-path-alloc
+}
+
+std::unique_ptr<Packet> bad_make_unique() {
+  return std::make_unique<Packet>();                     // expect: hot-path-alloc
+}
+
+struct BadMembers {
+  std::function<void()> callback;                        // expect: hot-path-alloc
+  std::map<int, int> per_node;                           // expect: hot-path-alloc
+  std::unordered_map<std::uint64_t, int> per_link;       // expect: hot-path-alloc
+};
+
+// Placement new constructs in caller-owned storage — no allocation, the
+// sim::InlineCallback small-buffer idiom.
+struct Slot {
+  alignas(8) unsigned char buf[48];
+  void emplace() { ::new (static_cast<void*>(buf)) Packet{}; }
+  void emplace_unqualified() { new (static_cast<void*>(buf)) Packet{}; }
+};
+
+// A suppressed deliberate exception still parses and is counted.
+struct Allowed {
+  std::function<void()> setup_hook;  // essat-lint: allow(hot-path-alloc)
+};
+
+}  // namespace fixture

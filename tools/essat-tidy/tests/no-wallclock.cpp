@@ -1,0 +1,45 @@
+// Fixture for essat-no-wallclock. Lines tagged `expect: no-wallclock` must
+// produce exactly one finding of that check; untagged lines must not.
+// Scanned with --no-allowlist so the fixture path itself is in scope.
+#include <chrono>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+struct Simulator {
+  long now() const { return 0; }
+};
+
+long bad_wall_time() {
+  auto t0 = std::chrono::steady_clock::now();            // expect: no-wallclock
+  (void)t0;
+  auto t1 = std::chrono::system_clock::now();            // expect: no-wallclock
+  (void)t1;
+  return time(nullptr);                                  // expect: no-wallclock
+}
+
+int bad_ambient_randomness() {
+  std::random_device rd;                                 // expect: no-wallclock
+  int x = rand();                                        // expect: no-wallclock
+  srand(42);                                             // expect: no-wallclock
+  return static_cast<int>(rd()) + x;
+}
+
+// Negative cases: sim-time and Rng-style APIs that merely contain the
+// banned substrings must not fire.
+struct Timer {
+  long fire_time() const { return 0; }
+  long uniform_time(long lo, long hi) { return lo + hi; }
+};
+
+long good_sim_time(const Simulator& sim, Timer& t) {
+  const long now = sim.now();
+  return now + t.fire_time() + t.uniform_time(0, 10);
+}
+
+// A string literal mentioning rand() is not a call.
+const char* kDoc = "never call rand() in sim code";
+// Nor is a comment: rand(), time(nullptr), std::chrono.
+
+}  // namespace fixture

@@ -1,0 +1,47 @@
+// Fixture for essat-rng-by-ref.
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace util {
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : seed_{seed} {}
+  Rng(const Rng&) = delete;
+  Rng& operator=(const Rng&) = delete;
+  Rng(Rng&&) = default;
+  Rng& operator=(Rng&&) = default;
+  Rng fork(std::uint64_t s) const { return Rng{seed_ ^ s}; }
+  double uniform() { return 0.5; }
+
+ private:
+  std::uint64_t seed_;
+};
+}  // namespace util
+
+namespace fixture {
+
+void bad_by_value_param(util::Rng rng);                  // expect: rng-by-ref
+
+struct BadSink {
+  BadSink(int nodes, util::Rng rng);                     // expect: rng-by-ref
+};
+
+// Sinks take the stream by rvalue reference and move it in.
+struct GoodSink {
+  explicit GoodSink(util::Rng&& rng) : rng_{std::move(rng)} {}
+
+ private:
+  util::Rng rng_;  // owned stream member — fine
+};
+
+// Borrowers take a mutable reference.
+double good_borrower(util::Rng& rng) { return rng.uniform(); }
+
+// Local streams built from fork are fine.
+double good_local(util::Rng& parent) {
+  util::Rng local = parent.fork(7);
+  return local.uniform();
+}
+
+}  // namespace fixture

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Fixture tests for the essat-tidy checks (check_clang_tidy.py-style).
+
+Each fixture .cpp tags offending lines with `// expect: <check>`. A test
+run scans the fixture with exactly one check enabled and asserts the set
+of (line, check) findings equals the set of tags — missing findings and
+unexpected findings both fail, so the fixtures pin false negatives AND
+false positives.
+
+Usage:
+    run_fixture_tests.py <check-name>     one check's fixture
+    run_fixture_tests.py suppressions     suppression machinery + cap
+    run_fixture_tests.py all              everything
+"""
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.dirname(HERE))  # tools/essat-tidy
+import essat_tidy  # noqa: E402
+
+EXPECT_RE = re.compile(r"//\s*expect:\s*([a-z-]+)")
+
+FIXTURES = {
+    "no-wallclock": ("no-wallclock.cpp", ["--no-allowlist"]),
+    "deterministic-iteration": ("deterministic-iteration.cpp", []),
+    "hot-path-alloc": ("hot-path-alloc.cpp", ["--assume-hot-path"]),
+    "rng-by-ref": ("rng-by-ref.cpp", []),
+}
+
+
+def expected_tags(path: str) -> set:
+    out = set()
+    with open(path, encoding="utf-8") as f:
+        for ln, line in enumerate(f, 1):
+            m = EXPECT_RE.search(line)
+            if m:
+                out.add((ln, m.group(1)))
+    return out
+
+
+def scan(path: str, checks: list, assume_hot: bool, no_allowlist: bool):
+    rel = os.path.basename(path)
+    return essat_tidy.scan_file(path, rel, checks, assume_hot, not no_allowlist)
+
+
+def run_check_fixture(check: str) -> int:
+    fname, flags = FIXTURES[check]
+    path = os.path.join(HERE, fname)
+    active, suppressed, _ = scan(
+        path, [check],
+        assume_hot="--assume-hot-path" in flags,
+        no_allowlist="--no-allowlist" in flags)
+    got = {(f.line, f.check) for f in active}
+    want = expected_tags(path)
+    ok = True
+    for missing in sorted(want - got):
+        print(f"FAIL {fname}:{missing[0]}: expected essat-{missing[1]}, "
+              f"not reported")
+        ok = False
+    for extra in sorted(got - want):
+        print(f"FAIL {fname}:{extra[0]}: unexpected essat-{extra[1]}")
+        ok = False
+    # Suppressed findings must never appear among active ones; fixtures with
+    # allow() comments pin that too.
+    for f in suppressed:
+        if (f.line, f.check) in want:
+            print(f"FAIL {fname}:{f.line}: tagged line was suppressed")
+            ok = False
+    status = "OK" if ok else "FAIL"
+    print(f"{status} fixture {fname}: {len(want)} expected finding(s), "
+          f"{len(got)} reported, {len(suppressed)} suppressed")
+    return 0 if ok else 1
+
+
+def run_suppression_fixture() -> int:
+    path = os.path.join(HERE, "suppressions.cpp")
+    active, suppressed, n_comments = scan(
+        path, list(essat_tidy.CHECKS), assume_hot=True, no_allowlist=True)
+    ok = True
+    if active:
+        for f in active:
+            print(f"FAIL suppressions.cpp:{f.line}: unsuppressed "
+                  f"essat-{f.check}")
+        ok = False
+    if len(suppressed) != 3:
+        print(f"FAIL suppressions.cpp: expected 3 suppressed findings, "
+              f"got {len(suppressed)}")
+        ok = False
+    if n_comments != 3:
+        print(f"FAIL suppressions.cpp: expected 3 suppression comments, "
+              f"counted {n_comments}")
+        ok = False
+
+    # Cap enforcement goes through the CLI: 3 comments, cap 2 -> exit 1.
+    rc_over = essat_tidy.main(
+        [path, "--root", HERE, "--assume-hot-path", "--no-allowlist",
+         "--max-suppressions", "2", "--quiet"])
+    if rc_over != 1:
+        print(f"FAIL suppression cap: expected exit 1 with cap 2, "
+              f"got {rc_over}")
+        ok = False
+    rc_under = essat_tidy.main(
+        [path, "--root", HERE, "--assume-hot-path", "--no-allowlist",
+         "--max-suppressions", "3", "--quiet"])
+    if rc_under != 0:
+        print(f"FAIL suppression cap: expected exit 0 with cap 3, "
+              f"got {rc_under}")
+        ok = False
+    print(("OK" if ok else "FAIL") + " fixture suppressions.cpp: "
+          "3 suppressed, cap enforced")
+    return 0 if ok else 1
+
+
+def main(argv: list) -> int:
+    if len(argv) != 1:
+        print(__doc__)
+        return 2
+    what = argv[0]
+    if what == "all":
+        rc = 0
+        for check in FIXTURES:
+            rc |= run_check_fixture(check)
+        rc |= run_suppression_fixture()
+        return rc
+    if what == "suppressions":
+        return run_suppression_fixture()
+    if what in FIXTURES:
+        return run_check_fixture(what)
+    print(f"unknown fixture '{what}'")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

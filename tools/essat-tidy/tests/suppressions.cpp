@@ -1,0 +1,20 @@
+// Fixture for the suppression-comment machinery: every finding here is
+// covered by an `essat-lint: allow(...)` comment (same line or the line
+// above), so a scan must exit 0 with 3 suppressed findings — and fail when
+// the cap is set below 3.
+#include <functional>
+
+namespace fixture {
+
+struct Hooks {
+  std::function<void()> on_idle;  // essat-lint: allow(hot-path-alloc)
+
+  // essat-lint: allow(hot-path-alloc) — covers the next line
+  std::function<void()> on_wake;
+};
+
+int ambient() {
+  return rand();  // essat-lint: allow(no-wallclock)
+}
+
+}  // namespace fixture

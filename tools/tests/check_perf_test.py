@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Unit coverage for tools/check_perf.py — the perf-regression gate.
+
+The gate guards every merge, so its own semantics need pinning: the
+normalized-throughput ratio test, the workload-mismatch refusal, the
+separate memory band with --mem-tolerance, the skip path for baselines
+that predate a metric, and sane failure on malformed input.
+
+Runs under the stdlib unittest runner (registered in CTest as
+check_perf_selftest); each case invokes the script as a subprocess, the
+same way CI does, so exit codes and argument parsing are covered too.
+"""
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOLS_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+CHECK_PERF = os.path.join(TOOLS_DIR, "check_perf.py")
+
+WORKLOAD = {"nodes": 160, "seeds": 4, "measure_s": 30}
+
+
+def report(norm=1000.0, workload=WORKLOAD, mem_1000=48000.0, marginal=32000.0,
+           **overrides):
+    rep = {
+        "workload": workload,
+        "normalized_events_per_calib": norm,
+        "events_per_sec": norm * 100.0,
+        "ns_per_event": 1e9 / (norm * 100.0),
+        "calibration_score": 100.0,
+    }
+    if mem_1000 is not None:
+        rep["bytes_per_node_1000"] = mem_1000
+    if marginal is not None:
+        rep["marginal_bytes_per_node"] = marginal
+    rep.update(overrides)
+    return rep
+
+
+class CheckPerfTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def write(self, name, content):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w") as f:
+            if isinstance(content, str):
+                f.write(content)
+            else:
+                json.dump(content, f)
+        return path
+
+    def run_gate(self, fresh, baseline, *extra):
+        return subprocess.run(
+            [sys.executable, CHECK_PERF, fresh, baseline, *extra],
+            capture_output=True, text=True)
+
+    def test_identical_reports_pass(self):
+        fresh = self.write("fresh.json", report())
+        base = self.write("base.json", report())
+        result = self.run_gate(fresh, base)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("OK", result.stdout)
+
+    def test_regression_within_tolerance_passes(self):
+        fresh = self.write("fresh.json", report(norm=850.0))
+        base = self.write("base.json", report(norm=1000.0))
+        result = self.run_gate(fresh, base)  # -15% < default 20% budget
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_regression_beyond_tolerance_fails(self):
+        fresh = self.write("fresh.json", report(norm=700.0))
+        base = self.write("base.json", report(norm=1000.0))
+        result = self.run_gate(fresh, base)  # -30% > default 20% budget
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("normalized throughput regressed", result.stdout)
+
+    def test_tolerance_flag_tightens_the_gate(self):
+        fresh = self.write("fresh.json", report(norm=900.0))
+        base = self.write("base.json", report(norm=1000.0))
+        self.assertEqual(self.run_gate(fresh, base).returncode, 0)
+        tight = self.run_gate(fresh, base, "--tolerance", "0.05")
+        self.assertEqual(tight.returncode, 1, tight.stdout + tight.stderr)
+
+    def test_improvement_never_fails_and_notes_refresh(self):
+        fresh = self.write("fresh.json", report(norm=1500.0))
+        base = self.write("base.json", report(norm=1000.0))
+        result = self.run_gate(fresh, base)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("refresh", result.stdout)
+
+    def test_workload_mismatch_fails_before_comparing(self):
+        fresh = self.write("fresh.json",
+                           report(workload={"nodes": 160, "seeds": 1,
+                                            "measure_s": 2}))
+        base = self.write("base.json", report())
+        result = self.run_gate(fresh, base)
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("workload mismatch", result.stdout)
+
+    def test_memory_growth_beyond_band_fails(self):
+        fresh = self.write("fresh.json", report(mem_1000=48000.0 * 1.40))
+        base = self.write("base.json", report())
+        result = self.run_gate(fresh, base)  # +40% > default 25% budget
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("bytes_per_node_1000 grew", result.stdout)
+
+    def test_mem_tolerance_flag_widens_the_band(self):
+        fresh = self.write("fresh.json", report(mem_1000=48000.0 * 1.40))
+        base = self.write("base.json", report())
+        result = self.run_gate(fresh, base, "--mem-tolerance", "0.50")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_marginal_bytes_gated_independently(self):
+        fresh = self.write("fresh.json", report(marginal=32000.0 * 1.40))
+        base = self.write("base.json", report())
+        result = self.run_gate(fresh, base)
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("marginal_bytes_per_node grew", result.stdout)
+
+    def test_missing_mem_key_is_skipped_not_failed(self):
+        # A baseline that predates the memory metrics must not fail the gate.
+        fresh = self.write("fresh.json", report())
+        base = self.write("base.json", report(mem_1000=None, marginal=None))
+        result = self.run_gate(fresh, base)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("skipped", result.stdout)
+
+    def test_malformed_fresh_json_exits_nonzero(self):
+        fresh = self.write("fresh.json", "{not json")
+        base = self.write("base.json", report())
+        result = self.run_gate(fresh, base)
+        self.assertNotEqual(result.returncode, 0)
+
+    def test_missing_baseline_file_exits_nonzero(self):
+        fresh = self.write("fresh.json", report())
+        result = self.run_gate(fresh, os.path.join(self.tmp.name, "absent.json"))
+        self.assertNotEqual(result.returncode, 0)
+
+
+if __name__ == "__main__":
+    unittest.main()
