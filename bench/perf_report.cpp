@@ -19,19 +19,28 @@
 //     per-node cost isolated by differencing the two sizes (fixed harness
 //     overhead cancels)
 //   * peak_rss_bytes — getrusage high-water mark for the whole process
+//   * fork_runs_per_sec / seq_runs_per_sec / fork_speedup — A/B of the
+//     fork-based sweep acceleration (src/exp/fork_sweep): N workload
+//     variants over one shared, setup-heavy prefix, forked vs re-simulated
+//     from scratch. The two paths' RunMetrics are diffed bit-for-bit; a
+//     mismatch fails the bench outright.
 //
 // Knobs: ESSAT_BENCH_MEASURE_S (measurement window, default 20),
 // ESSAT_BENCH_RUNS (runs per rate point, default 5), ESSAT_BENCH_JSON or
-// argv[1] (output path, default BENCH_7.json).
+// argv[1] (output path, default BENCH_9.json).
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 #include "bench/alloc_hook.h"
 #include "bench/bench_common.h"
 #include "src/essat.h"
+#include "src/exp/fork_sweep.h"
+#include "src/snap/metrics_codec.h"
 
 namespace {
 
@@ -100,7 +109,7 @@ int main(int argc, char** argv) {
 
   const char* out_path = argc > 1 ? argv[1] : nullptr;
   if (out_path == nullptr) out_path = std::getenv("ESSAT_BENCH_JSON");
-  if (out_path == nullptr) out_path = "BENCH_7.json";
+  if (out_path == nullptr) out_path = "BENCH_9.json";
 
   std::printf("perf_report: DTS-SS x uniform-160 x {1,2,4} Hz, %gs window, "
               "%d runs/rate, serial\n",
@@ -149,6 +158,62 @@ int main(int argc, char** argv) {
   const double d_allocs = static_cast<double>((a2 - a1) - (a1 - a0));
   const double allocs_per_event = d_events > 0 ? d_allocs / d_events : 0.0;
 
+  // --- Fork-sweep acceleration A/B ---------------------------------------
+  // A prefix-heavy grid of rate variants: 120 mobile nodes (random-waypoint
+  // with a deliberately dense 10 ms neighbor-recompute epoch, tree
+  // maintenance on) over a 60 s setup window, then a short measurement
+  // window per variant. The dense epochs put thousands of topology rebuilds
+  // into the shared setup prefix — the regime fork acceleration targets,
+  // where re-simulating the prefix per variant dominates a sweep's cost.
+  // The sequential baseline does exactly that re-simulation — what a sweep
+  // without snapshots does — and the fork path (src/exp/fork_sweep)
+  // simulates the prefix once and forks. This section's timings are fixed
+  // (not scaled by ESSAT_BENCH_MEASURE_S) so the gated fork_speedup metric
+  // is comparable across smoke and full runs. Both paths' RunMetrics must
+  // encode bit-identically; anything else is a correctness bug, not a perf
+  // result.
+  const util::Time fork_measure = util::Time::seconds(1);
+  harness::ScenarioConfig fork_base = workload_config(1.0, fork_measure, 3);
+  fork_base.deployment.num_nodes = 120;
+  fork_base.deployment.area_m = 420.0;
+  fork_base.setup_duration = util::Time::seconds(60);
+  fork_base.latency_grace = util::Time::from_seconds(0.5);
+  fork_base.mobility.kind = net::MobilityKind::kRandomWaypoint;
+  fork_base.mobility.epoch_s = 0.01;
+  fork_base.enable_maintenance = true;
+  std::vector<harness::WorkloadSpec> fork_variants;
+  for (double rate : {1.0, 1.25, 1.5, 1.75, 2.0, 2.25, 2.5, 2.75}) {
+    harness::WorkloadSpec w = fork_base.workload;
+    w.base_rate_hz = rate;
+    fork_variants.push_back(w);
+  }
+  const auto seq_t0 = std::chrono::steady_clock::now();
+  std::vector<harness::RunMetrics> seq_results;
+  for (const harness::WorkloadSpec& w : fork_variants) {
+    harness::ScenarioConfig c = fork_base;
+    c.workload = w;
+    seq_results.push_back(harness::run_scenario(c));
+  }
+  const double seq_wall = wall_seconds_since(seq_t0);
+  const auto fork_t0 = std::chrono::steady_clock::now();
+  const std::vector<harness::RunMetrics> fork_results =
+      exp::run_fork_sweep(fork_base, fork_variants);
+  const double fork_wall = wall_seconds_since(fork_t0);
+  for (std::size_t i = 0; i < fork_variants.size(); ++i) {
+    if (snap::run_metrics_to_bytes(fork_results[i]) !=
+        snap::run_metrics_to_bytes(seq_results[i])) {
+      std::fprintf(stderr,
+                   "perf_report: FORK MISMATCH — variant %zu metrics differ "
+                   "between forked and from-scratch runs\n",
+                   i);
+      return 1;
+    }
+  }
+  const double n_variants = static_cast<double>(fork_variants.size());
+  const double seq_runs_per_sec = n_variants / seq_wall;
+  const double fork_runs_per_sec = n_variants / fork_wall;
+  const double fork_speedup = seq_wall / fork_wall;
+
   const double calib = calibration_score();
 
   std::FILE* f = std::fopen(out_path, "w");
@@ -159,7 +224,7 @@ int main(int argc, char** argv) {
   std::fprintf(f,
                "{\n"
                "  \"bench\": \"perf_report\",\n"
-               "  \"pr\": 7,\n"
+               "  \"pr\": 9,\n"
                "  \"workload\": {\"protocol\": \"DTS-SS\", \"topology\": "
                "\"uniform-160\", \"rates_hz\": [1, 2, 4], "
                "\"measure_s\": %g, \"runs_per_rate\": %d},\n"
@@ -176,7 +241,14 @@ int main(int argc, char** argv) {
                "  \"marginal_bytes_per_node\": %.0f,\n"
                "  \"peak_rss_bytes\": %llu,\n"
                "  \"calibration_score\": %.1f,\n"
-               "  \"normalized_events_per_calib\": %.0f\n"
+               "  \"normalized_events_per_calib\": %.0f,\n"
+               "  \"fork_workload\": {\"protocol\": \"DTS-SS\", \"nodes\": 120, "
+               "\"mobility\": \"waypoint\", \"epoch_s\": 0.01, "
+               "\"setup_s\": 60, \"measure_s\": %g, \"variants\": %d},\n"
+               "  \"fork_available\": %s,\n"
+               "  \"seq_runs_per_sec\": %.3f,\n"
+               "  \"fork_runs_per_sec\": %.3f,\n"
+               "  \"fork_speedup\": %.3f\n"
                "}\n",
                measure.to_seconds(), runs, trials, wall,
                static_cast<unsigned long long>(events), events_per_sec,
@@ -186,7 +258,10 @@ int main(int argc, char** argv) {
                static_cast<double>(bytes_1000) / 1000.0,
                marginal_bytes_per_node,
                static_cast<unsigned long long>(peak_rss_bytes()), calib,
-               events_per_sec / calib);
+               events_per_sec / calib, fork_measure.to_seconds(),
+               static_cast<int>(fork_variants.size()),
+               exp::fork_sweep_available() ? "true" : "false",
+               seq_runs_per_sec, fork_runs_per_sec, fork_speedup);
   std::fclose(f);
 
   std::printf(
@@ -200,5 +275,9 @@ int main(int argc, char** argv) {
               static_cast<double>(bytes_160) / 160.0,
               static_cast<double>(bytes_1000) / 1000.0, marginal_bytes_per_node,
               static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0));
+  std::printf("fork sweep: %zu variants, seq=%.3f runs/s fork=%.3f runs/s "
+              "speedup=%.2fx (bit-identical)\n",
+              fork_variants.size(), seq_runs_per_sec, fork_runs_per_sec,
+              fork_speedup);
   return 0;
 }

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "src/snap/serializer.h"
+#include "src/snap/timer_codec.h"
+
 namespace essat::baselines {
 
 PsmNode::PsmNode(sim::Simulator& sim, energy::Radio& radio, mac::CsmaMac& mac,
@@ -71,6 +74,17 @@ void PsmNode::handle_packet(const net::Packet& p) {
   if (std::find(dests.begin(), dests.end(), mac_.self()) != dests.end()) {
     involved_ = true;  // a neighbor will send to us: stay awake
   }
+}
+
+void PsmNode::save_state(snap::Serializer& out) const {
+  out.begin("PSMN");
+  out.u8(static_cast<std::uint8_t>(phase_));
+  out.boolean(involved_);
+  out.u64(cleared_.size());
+  for (net::NodeId n : cleared_) out.i32(n);
+  out.u64(atims_sent_);
+  snap::save_timer(out, timer_);
+  out.end();
 }
 
 }  // namespace essat::baselines

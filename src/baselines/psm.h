@@ -23,6 +23,10 @@
 #include "src/sim/timer.h"
 #include "src/util/time.h"
 
+namespace essat::snap {
+class Serializer;
+}  // namespace essat::snap
+
 namespace essat::baselines {
 
 struct PsmParams {
@@ -45,6 +49,10 @@ class PsmNode {
 
   bool involved_this_interval() const { return involved_; }
   std::uint64_t atims_sent() const { return atims_sent_; }
+
+  // Snapshot hook: beacon phase, interval involvement, and the schedule
+  // timer.
+  void save_state(snap::Serializer& out) const;
 
  private:
   enum class Phase { kSleep, kAtim, kData };

@@ -3,6 +3,7 @@
 #include "src/core/nts.h"
 #include "src/harness/scenario.h"
 #include "src/harness/stack_registry.h"
+#include "src/snap/serializer.h"
 
 namespace essat::baselines {
 
@@ -29,6 +30,16 @@ void PsmPowerManager::handle_packet(net::NodeId id, const net::Packet& packet) {
   if (packet.type != net::PacketType::kAtim) return;
   const auto i = static_cast<std::size_t>(id);
   if (i < psm_nodes_.size() && psm_nodes_[i]) psm_nodes_[i]->handle_packet(packet);
+}
+
+void PsmPowerManager::save_state(snap::Serializer& out) const {
+  out.begin("PMPS");
+  out.u64(psm_nodes_.size());
+  for (const auto& node : psm_nodes_) {
+    out.boolean(node != nullptr);
+    if (node) node->save_state(out);
+  }
+  out.end();
 }
 
 void register_psm_power_manager() {

@@ -21,6 +21,9 @@ class PsmPowerManager : public harness::PowerManager {
                                const harness::NodeHandles& node) override;
   void handle_packet(net::NodeId id, const net::Packet& packet) override;
 
+  // Snapshot hook: every PsmNode by node id (absent slots flagged).
+  void save_state(snap::Serializer& out) const override;
+
  private:
   PsmParams params_;
   std::vector<std::unique_ptr<PsmNode>> psm_nodes_;  // indexed by node id

@@ -3,6 +3,7 @@
 #include "src/core/nts.h"
 #include "src/harness/scenario.h"
 #include "src/harness/stack_registry.h"
+#include "src/snap/serializer.h"
 
 namespace essat::baselines {
 
@@ -19,6 +20,15 @@ SpanPowerManager::SpanPowerManager()
 
 void SpanPowerManager::on_tree_ready(const harness::StackContext& ctx) {
   election_ = elect_coordinators(ctx.topo, ctx.tree, ctx.rng);
+}
+
+void SpanPowerManager::save_state(snap::Serializer& out) const {
+  out.begin("PMSP");
+  out.i32(election_.coordinator_count);
+  out.u64(election_.coordinator.size());
+  for (bool c : election_.coordinator) out.boolean(c);
+  core::EssatPowerManager::save_state(out);
+  out.end();
 }
 
 void register_span_power_manager() {

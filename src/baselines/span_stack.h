@@ -18,6 +18,9 @@ class SpanPowerManager : public core::EssatPowerManager {
   void on_tree_ready(const harness::StackContext& ctx) override;
   int backbone_size() const override { return election_.coordinator_count; }
 
+  // Snapshot hook: the elected backbone plus the base's SafeSleep fleet.
+  void save_state(snap::Serializer& out) const override;
+
  private:
   SpanElection election_;
 };

@@ -1,5 +1,8 @@
 #include "src/baselines/sync.h"
 
+#include "src/snap/serializer.h"
+#include "src/snap/timer_codec.h"
+
 namespace essat::baselines {
 
 SyncNode::SyncNode(sim::Simulator& sim, energy::Radio& radio, mac::CsmaMac& mac,
@@ -27,6 +30,14 @@ void SyncNode::on_window_end_() {
   active_ = false;
   radio_.turn_off();
   timer_.arm_in(params_.period - active_window(), [this] { on_window_start_(); });
+}
+
+void SyncNode::save_state(snap::Serializer& out) const {
+  out.begin("SYNN");
+  out.boolean(active_);
+  out.time(window_end_);
+  snap::save_timer(out, timer_);
+  out.end();
 }
 
 }  // namespace essat::baselines

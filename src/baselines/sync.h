@@ -12,6 +12,10 @@
 #include "src/sim/timer.h"
 #include "src/util/time.h"
 
+namespace essat::snap {
+class Serializer;
+}  // namespace essat::snap
+
 namespace essat::baselines {
 
 struct SyncParams {
@@ -34,6 +38,9 @@ class SyncNode {
 
   util::Time active_window() const { return params_.period * params_.duty_cycle; }
   bool in_active_window() const;
+
+  // Snapshot hook: window phase and the schedule timer.
+  void save_state(snap::Serializer& out) const;
 
  private:
   void on_window_start_();

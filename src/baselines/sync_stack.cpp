@@ -3,6 +3,7 @@
 #include "src/core/nts.h"
 #include "src/harness/scenario.h"
 #include "src/harness/stack_registry.h"
+#include "src/snap/serializer.h"
 
 namespace essat::baselines {
 
@@ -21,6 +22,13 @@ core::SafeSleep* SyncPowerManager::attach_node(const harness::StackContext& ctx,
   sync->start(ctx.setup_end);
   sync_nodes_.push_back(std::move(sync));
   return nullptr;  // the duty schedule manages the radio, not Safe Sleep
+}
+
+void SyncPowerManager::save_state(snap::Serializer& out) const {
+  out.begin("PMSY");
+  out.u64(sync_nodes_.size());
+  for (const auto& node : sync_nodes_) node->save_state(out);
+  out.end();
 }
 
 void register_sync_power_manager() {

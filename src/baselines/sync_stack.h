@@ -21,6 +21,9 @@ class SyncPowerManager : public harness::PowerManager {
   core::SafeSleep* attach_node(const harness::StackContext& ctx,
                                const harness::NodeHandles& node) override;
 
+  // Snapshot hook: every SyncNode in attach order.
+  void save_state(snap::Serializer& out) const override;
+
  private:
   SyncParams params_;
   std::vector<std::unique_ptr<SyncNode>> sync_nodes_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/snap/serializer.h"
+
 namespace essat::core {
 
 void DtsShaper::register_query(const query::Query& q) {
@@ -126,5 +128,27 @@ void DtsShaper::on_child_removed(const query::Query& q, net::NodeId child) {
 }
 
 void DtsShaper::on_phase_request(net::QueryId q) { force_advertise_.insert(q); }
+
+void DtsShaper::save_state(snap::Serializer& out) const {
+  out.begin("SHDT");
+  out.u64(send_.size());
+  for (const auto& [q, e] : send_) {
+    out.i32(q);
+    out.i64(e.epoch);
+    out.time(e.at);
+  }
+  out.u64(receive_.size());
+  for (const auto& [key, e] : receive_) {
+    out.i32(key.first);
+    out.i32(key.second);
+    out.i64(e.epoch);
+    out.time(e.at);
+  }
+  out.u64(force_advertise_.size());
+  for (net::QueryId q : force_advertise_) out.i32(q);
+  out.u64(phase_updates_);
+  out.u64(phase_shifts_);
+  out.end();
+}
 
 }  // namespace essat::core

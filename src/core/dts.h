@@ -61,6 +61,10 @@ class DtsShaper final : public query::TrafficShaper {
   std::uint64_t phase_updates_sent() const override { return phase_updates_; }
   std::uint64_t phase_shifts() const { return phase_shifts_; }
 
+  // Snapshot hook: the adaptive expectations (DTS's whole point is that
+  // these drift with observed delay), resync flags, and counters.
+  void save_state(snap::Serializer& out) const override;
+
  private:
   // Next expected epoch and its expected time; times for later epochs
   // extrapolate by whole periods.

@@ -5,6 +5,7 @@
 #include "src/core/sts.h"
 #include "src/harness/scenario.h"
 #include "src/harness/stack_registry.h"
+#include "src/snap/serializer.h"
 
 namespace essat::core {
 
@@ -17,6 +18,13 @@ SafeSleep* EssatPowerManager::attach_node(const harness::StackContext& ctx,
   sleeper->set_setup_end(ctx.setup_end);
   sleepers_.push_back(std::move(sleeper));
   return sleepers_.back().get();
+}
+
+void EssatPowerManager::save_state(snap::Serializer& out) const {
+  out.begin("PMES");
+  out.u64(sleepers_.size());
+  for (const auto& s : sleepers_) s->save_state(out);
+  out.end();
 }
 
 void register_essat_power_managers() {

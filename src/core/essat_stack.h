@@ -34,6 +34,10 @@ class EssatPowerManager : public harness::PowerManager {
   core::SafeSleep* attach_node(const harness::StackContext& ctx,
                                const harness::NodeHandles& node) override;
 
+  // Snapshot hook: every attached SafeSleep, in attach order (== ascending
+  // member id, the order run_scenario builds per-node stacks).
+  void save_state(snap::Serializer& out) const override;
+
  private:
   ShaperFactory factory_;
   SleepEnabledFn sleep_enabled_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/snap/serializer.h"
+
 namespace essat::core {
 
 void FormulaShaper::register_query(const query::Query& q) {
@@ -97,6 +99,22 @@ void FormulaShaper::push_recv_(const query::Query& q, net::NodeId child) {
     ctx_.sink->update_next_receive(q.id, child,
                                    recv_formula(q, next_recv_epoch(q.id, child), child));
   }
+}
+
+void FormulaShaper::save_state(snap::Serializer& out) const {
+  out.begin("SHFM");
+  out.u64(next_send_epoch_.size());
+  for (const auto& [q, k] : next_send_epoch_) {
+    out.i32(q);
+    out.i64(k);
+  }
+  out.u64(next_recv_epoch_.size());
+  for (const auto& [key, k] : next_recv_epoch_) {
+    out.i32(key.first);
+    out.i32(key.second);
+    out.i64(k);
+  }
+  out.end();
 }
 
 }  // namespace essat::core

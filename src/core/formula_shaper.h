@@ -34,6 +34,10 @@ class FormulaShaper : public query::TrafficShaper {
   void on_child_added(const query::Query& q, net::NodeId child) override;
   void on_child_removed(const query::Query& q, net::NodeId child) override;
 
+  // Snapshot hook: the epoch cursors (the only mutable state; the formulas
+  // themselves are pure functions of query and rank).
+  void save_state(snap::Serializer& out) const override;
+
  protected:
   // s(q,k) and r(q,k,c).
   virtual util::Time send_formula(const query::Query& q, std::int64_t k) const = 0;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "src/snap/serializer.h"
+#include "src/snap/timer_codec.h"
+
 namespace essat::core {
 
 SafeSleep::SafeSleep(sim::Simulator& sim, energy::Radio& radio, mac::CsmaMac& mac,
@@ -108,6 +111,26 @@ void SafeSleep::check_state() {
   // Wake early enough that the OFF->ON transition completes at t_wakeup.
   const util::Time wake_at = std::max(now, t_wakeup - radio_.params().t_off_on);
   wake_timer_.arm_at(wake_at, [this] { radio_.turn_on(); });
+}
+
+void SafeSleep::save_state(snap::Serializer& out) const {
+  out.begin("SSLP");
+  out.time(setup_end_);
+  out.u64(next_send_.size());
+  for (const auto& [q, t] : next_send_) {
+    out.i32(q);
+    out.time(t);
+  }
+  out.u64(next_receive_.size());
+  for (const auto& [key, t] : next_receive_) {
+    out.i32(key.first);
+    out.i32(key.second);
+    out.time(t);
+  }
+  snap::save_timer(out, wake_timer_);
+  out.u64(sleeps_);
+  out.u64(short_skips_);
+  out.end();
 }
 
 }  // namespace essat::core

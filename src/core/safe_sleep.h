@@ -28,6 +28,10 @@
 #include "src/sim/timer.h"
 #include "src/util/time.h"
 
+namespace essat::snap {
+class Serializer;
+}  // namespace essat::snap
+
 namespace essat::core {
 
 struct SafeSleepParams {
@@ -70,6 +74,9 @@ class SafeSleep final : public query::ExpectedTimeSink {
   std::uint64_t sleeps_skipped_short() const { return short_skips_; }
 
   const SafeSleepParams& params() const { return params_; }
+
+  // Snapshot hook: the expected-time tables, wake timer, and counters.
+  void save_state(snap::Serializer& out) const;
 
  private:
   sim::Simulator& sim_;

@@ -1,5 +1,7 @@
 #include "src/energy/radio.h"
 
+#include "src/snap/timer_codec.h"
+
 namespace essat::energy {
 
 Radio::Radio(sim::Simulator& sim, RadioParams params)
@@ -171,6 +173,27 @@ double Radio::duty_cycle() const {
 double Radio::energy_mj() const {
   const_cast<Radio*>(this)->account_to_now_();
   return energy_mj_;
+}
+
+void Radio::save_state(snap::Serializer& out) const {
+  out.begin("RADI");
+  out.u8(static_cast<std::uint8_t>(state_));
+  out.boolean(failed_);
+  out.boolean(pending_on_);
+  out.boolean(pending_off_);
+  out.boolean(tx_active_);
+  out.boolean(rx_active_);
+  snap::save_timer(out, transition_timer_);
+  out.time(window_start_);
+  out.time(segment_start_);
+  out.time(off_accum_);
+  out.time(on_accum_);
+  out.f64(energy_mj_);
+  out.time(off_enter_time_);
+  out.boolean(in_off_interval_);
+  out.u64(sleep_intervals_.size());
+  for (double s : sleep_intervals_) out.f64(s);
+  out.end();
 }
 
 }  // namespace essat::energy

@@ -18,6 +18,10 @@
 #include "src/sim/timer.h"
 #include "src/util/time.h"
 
+namespace essat::snap {
+class Serializer;
+}  // namespace essat::snap
+
 namespace essat::energy {
 
 enum class RadioState : std::uint8_t { kOff, kTurningOn, kOn, kTurningOff };
@@ -92,6 +96,11 @@ class Radio {
   // Completed OFF intervals (entering OFF to leaving OFF), seconds, recorded
   // within the measurement window. Paper Fig. 8.
   const std::vector<double>& sleep_intervals_s() const { return sleep_intervals_; }
+
+  // Snapshot hook: the full state machine plus accounting, with the
+  // transition timer as (armed, fire time) — observers are wiring, rebuilt
+  // by replay.
+  void save_state(snap::Serializer& out) const;
 
  private:
   void enter_(RadioState next);

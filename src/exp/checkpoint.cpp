@@ -1,0 +1,162 @@
+#include "src/exp/checkpoint.h"
+
+#include <cstddef>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include "src/snap/config_codec.h"
+#include "src/snap/metrics_codec.h"
+#include "src/snap/serializer.h"
+#include "src/snap/snapshot.h"
+
+namespace essat::exp {
+namespace {
+
+// Framed snapshot layout (snapshot.cpp): magic(8) version(4) kind(4)
+// payload-len(8) payload crc(4).
+constexpr std::size_t kFrameHeader = 8 + 4 + 4 + 8;
+constexpr std::size_t kFrameTrailer = 4;
+
+std::vector<std::uint8_t> read_whole_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) return {};
+  return std::vector<std::uint8_t>{std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>()};
+}
+
+}  // namespace
+
+std::uint32_t sweep_fingerprint(const std::vector<SweepPoint>& points,
+                                int runs_per_point) {
+  snap::Serializer s;
+  s.u64(points.size());
+  s.i32(runs_per_point);
+  for (const SweepPoint& p : points) snap::save_scenario_config(s, p.config);
+  return snap::crc32(s.data().data(), s.data().size());
+}
+
+SweepLedger::SweepLedger(std::string path, std::uint32_t fingerprint)
+    : path_(std::move(path)) {
+  const std::vector<std::uint8_t> file = read_whole_file(path_);
+
+  // Parse frames until the first undecodable one (torn tail). Every
+  // successfully parsed frame advances the known-good boundary.
+  std::size_t good = 0;
+  bool have_spec = false;
+  std::size_t at = 0;
+  while (at + kFrameHeader + kFrameTrailer <= file.size()) {
+    std::uint64_t payload_len = 0;
+    for (int i = 0; i < 8; ++i) {
+      payload_len |= static_cast<std::uint64_t>(file[at + 16 + i]) << (8 * i);
+    }
+    const std::uint64_t frame = kFrameHeader + payload_len + kFrameTrailer;
+    if (at + frame > file.size()) break;  // torn mid-frame
+    snap::Snapshot snapshot;
+    try {
+      snapshot = snap::Snapshot::from_bytes(file.data() + at,
+                                            static_cast<std::size_t>(frame));
+    } catch (const snap::SnapError&) {
+      break;  // corrupted frame: everything from here on is suspect
+    }
+    if (snapshot.kind != snap::SnapshotKind::kLedger) break;
+
+    snap::Deserializer in{snapshot.payload};
+    const std::string tag = in.next_tag();
+    if (tag == "SPEC") {
+      in.enter("SPEC");
+      const std::uint32_t recorded = in.u32();
+      in.finish();
+      if (recorded != fingerprint) {
+        throw std::runtime_error{
+            "SweepLedger: " + path_ +
+            " records a different sweep (fingerprint mismatch); refusing to "
+            "resume — point a fresh checkpoint_dir at this sweep instead"};
+      }
+      have_spec = true;
+    } else if (tag == "TRIA") {
+      in.enter("TRIA");
+      CompletedTrial t;
+      t.point = in.u64();
+      t.rep = in.i32();
+      t.metrics = snap::load_run_metrics(in);
+      in.finish();
+      completed_.push_back(std::move(t));
+    } else if (tag == "MARK") {
+      in.enter("MARK");
+      points_emitted_ = in.u64();
+      sink_offsets_.assign(static_cast<std::size_t>(in.u64()), 0);
+      for (std::int64_t& off : sink_offsets_) off = in.i64();
+      in.finish();
+    } else {
+      break;  // unknown record type: treat as tail corruption
+    }
+    at += static_cast<std::size_t>(frame);
+    good = at;
+  }
+
+  if (!file.empty() && !have_spec) {
+    // The file exists but its first frame is not a readable SPEC: it is
+    // either foreign or torn beyond use. Refuse rather than clobber.
+    throw std::runtime_error{"SweepLedger: " + path_ +
+                             " is not a sweep ledger (no SPEC record)"};
+  }
+  if (good < file.size()) {
+    std::filesystem::resize_file(path_, static_cast<std::uintmax_t>(good));
+  }
+
+  out_.open(path_, std::ios::binary | std::ios::out | std::ios::app);
+  if (!out_) {
+    throw std::runtime_error{"SweepLedger: cannot open " + path_};
+  }
+  if (!have_spec) {
+    snap::Serializer s;
+    s.begin("SPEC");
+    s.u32(fingerprint);
+    s.end();
+    snap::Snapshot snapshot;
+    snapshot.kind = snap::SnapshotKind::kLedger;
+    snapshot.payload = s.take();
+    append_(snapshot);
+  }
+}
+
+void SweepLedger::record_trial(std::uint64_t point, std::int32_t rep,
+                               const harness::RunMetrics& metrics) {
+  snap::Serializer s;
+  s.begin("TRIA");
+  s.u64(point);
+  s.i32(rep);
+  snap::save_run_metrics(s, metrics);
+  s.end();
+  snap::Snapshot snapshot;
+  snapshot.kind = snap::SnapshotKind::kLedger;
+  snapshot.payload = s.take();
+  append_(snapshot);
+}
+
+void SweepLedger::record_mark(std::uint64_t points_emitted,
+                              const std::vector<std::int64_t>& sink_offsets) {
+  snap::Serializer s;
+  s.begin("MARK");
+  s.u64(points_emitted);
+  s.u64(sink_offsets.size());
+  for (std::int64_t off : sink_offsets) s.i64(off);
+  s.end();
+  snap::Snapshot snapshot;
+  snapshot.kind = snap::SnapshotKind::kLedger;
+  snapshot.payload = s.take();
+  append_(snapshot);
+}
+
+void SweepLedger::append_(const snap::Snapshot& snapshot) {
+  const std::vector<std::uint8_t> wire = snapshot.to_bytes();
+  out_.write(reinterpret_cast<const char*>(wire.data()),
+             static_cast<std::streamsize>(wire.size()));
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error{"SweepLedger: write failed on " + path_};
+  }
+}
+
+}  // namespace essat::exp

@@ -1,0 +1,80 @@
+// Sweep checkpoint ledger: the on-disk record that makes a sweep
+// crash-resumable.
+//
+// The ledger is one append-only file of CRC-framed kLedger snapshots
+// (src/snap), three record types distinguished by the payload's section
+// tag:
+//   "SPEC" — first record: a fingerprint of the sweep grid (every point's
+//            config-codec bytes plus the repetition count). A resume
+//            against a ledger whose fingerprint differs throws — resuming
+//            a different sweep into the same directory would silently
+//            interleave unrelated results.
+//   "TRIA" — one completed trial: point index, repetition, and the full
+//            RunMetrics encoding. On resume these trials are skipped and
+//            their stored metrics fed into the aggregator in repetition
+//            order, so a resumed sweep's output is bit-identical to an
+//            uninterrupted one's.
+//   "MARK" — emission watermark: how many grid points have been fed to the
+//            sinks, and each sink's byte offset after its row. On resume,
+//            path-backed sinks truncate to their recorded offset — a row a
+//            crash tore mid-write is dropped and rewritten, never
+//            duplicated.
+// A crash can tear the ledger's own tail too; the parser keeps every frame
+// up to the first undecodable one and truncates the rest.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/exp/sweep.h"
+#include "src/harness/metrics.h"
+
+namespace essat::snap {
+struct Snapshot;
+}  // namespace essat::snap
+
+namespace essat::exp {
+
+// Identity of a sweep grid: CRC-32 over the point count, repetition count,
+// and every point's scenario-config encoding.
+std::uint32_t sweep_fingerprint(const std::vector<SweepPoint>& points,
+                                int runs_per_point);
+
+struct CompletedTrial {
+  std::uint64_t point = 0;
+  std::int32_t rep = 0;
+  harness::RunMetrics metrics;
+};
+
+class SweepLedger {
+ public:
+  // Opens (creating if absent) the ledger at `path` for the sweep
+  // identified by `fingerprint`. Parses existing records, truncating a
+  // torn tail in place; throws std::runtime_error if the file records a
+  // different sweep.
+  SweepLedger(std::string path, std::uint32_t fingerprint);
+
+  // State recovered from the existing file (empty/zero on a fresh ledger).
+  const std::vector<CompletedTrial>& completed() const { return completed_; }
+  std::uint64_t points_emitted() const { return points_emitted_; }
+  const std::vector<std::int64_t>& sink_offsets() const { return sink_offsets_; }
+
+  // Appends a record and flushes. Not thread-safe; callers serialize.
+  void record_trial(std::uint64_t point, std::int32_t rep,
+                    const harness::RunMetrics& metrics);
+  void record_mark(std::uint64_t points_emitted,
+                   const std::vector<std::int64_t>& sink_offsets);
+
+ private:
+  void append_(const snap::Snapshot& snapshot);
+
+  std::string path_;
+  std::ofstream out_;
+  std::vector<CompletedTrial> completed_;
+  std::uint64_t points_emitted_ = 0;
+  std::vector<std::int64_t> sink_offsets_;
+};
+
+}  // namespace essat::exp

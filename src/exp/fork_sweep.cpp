@@ -1,0 +1,188 @@
+#include "src/exp/fork_sweep.h"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "src/exp/thread_pool.h"
+#include "src/snap/hook.h"
+#include "src/snap/metrics_codec.h"
+#include "src/snap/snapshot.h"
+#include "src/snap/trial.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define ESSAT_FORK_SWEEP 1
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace essat::exp {
+namespace {
+
+void check_variants(const harness::ScenarioConfig& base,
+                    const std::vector<harness::WorkloadSpec>& workloads) {
+  for (const harness::WorkloadSpec& w : workloads) {
+    if (w.query_start_window != base.workload.query_start_window) {
+      throw std::invalid_argument{
+          "run_fork_sweep: variant query_start_window differs from the "
+          "base's; the measurement schedule is fixed before the fork "
+          "barrier, so this field cannot vary across variants"};
+    }
+  }
+}
+
+}  // namespace
+
+#if defined(ESSAT_FORK_SWEEP)
+
+bool fork_sweep_available() { return true; }
+
+namespace {
+
+void write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // The parent died or closed the pipe; nothing useful left to do.
+      ::_exit(3);
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+std::vector<std::uint8_t> read_until_eof(int fd) {
+  std::vector<std::uint8_t> buf;
+  std::uint8_t chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error{std::string{"run_fork_sweep: pipe read: "} +
+                               std::strerror(errno)};
+    }
+    if (n == 0) return buf;
+    buf.insert(buf.end(), chunk, chunk + n);
+  }
+}
+
+struct PendingChild {
+  pid_t pid = -1;
+  int read_fd = -1;
+  std::size_t variant = 0;
+};
+
+}  // namespace
+
+std::vector<harness::RunMetrics> run_fork_sweep(
+    const harness::ScenarioConfig& base,
+    const std::vector<harness::WorkloadSpec>& workloads, int max_parallel) {
+  check_variants(base, workloads);
+  if (workloads.empty()) return {};
+  const std::size_t batch =
+      static_cast<std::size_t>(max_parallel > 0 ? max_parallel : default_jobs());
+
+  std::vector<harness::RunMetrics> results(workloads.size());
+  // Set in a child between the hook and run_scenario returning; the child
+  // then ships its metrics and never reaches the parent-only code below.
+  int child_write_fd = -1;
+
+  snap::TrialHookSpec spec;
+  spec.enabled = true;
+  spec.at = snap::capture_barrier(base);
+  spec.hook = [&](snap::TrialCheckpoint& cp) {
+    std::vector<PendingChild> pending;
+    auto drain = [&] {
+      for (const PendingChild& c : pending) {
+        // The child writes only after its run completes, so this read is
+        // also the wait for the slowest child in the batch.
+        const std::vector<std::uint8_t> wire = read_until_eof(c.read_fd);
+        ::close(c.read_fd);
+        int status = 0;
+        while (::waitpid(c.pid, &status, 0) < 0 && errno == EINTR) {
+        }
+        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+          throw std::runtime_error{
+              "run_fork_sweep: child for variant " +
+              std::to_string(c.variant) + " exited abnormally"};
+        }
+        const snap::Snapshot snap =
+            snap::Snapshot::from_bytes(wire.data(), wire.size());
+        results[c.variant] = snap::run_metrics_from_bytes(snap.payload);
+      }
+      pending.clear();
+    };
+
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+      if (pending.size() >= batch) drain();
+      int fds[2];
+      if (::pipe(fds) != 0) {
+        throw std::runtime_error{std::string{"run_fork_sweep: pipe: "} +
+                                 std::strerror(errno)};
+      }
+      const pid_t pid = ::fork();
+      if (pid < 0) {
+        ::close(fds[0]);
+        ::close(fds[1]);
+        throw std::runtime_error{std::string{"run_fork_sweep: fork: "} +
+                                 std::strerror(errno)};
+      }
+      if (pid == 0) {
+        // Child: adopt variant i's workload (the window is pinned — see
+        // check_variants) and let the run continue from the shared prefix.
+        ::close(fds[0]);
+        child_write_fd = fds[1];
+        harness::WorkloadSpec w = workloads[i];
+        w.query_start_window = cp.config.workload.query_start_window;
+        cp.config.workload = std::move(w);
+        return;
+      }
+      ::close(fds[1]);
+      pending.push_back(PendingChild{pid, fds[0], i});
+    }
+    drain();
+    cp.stop = true;  // parent: all variants delegated, abandon this run
+  };
+
+  const harness::RunMetrics own = harness::run_scenario(base, spec);
+  if (child_write_fd >= 0) {
+    // Child: `own` is the completed variant run. Frame it (CRC included)
+    // and exit without running atexit handlers or static destructors — the
+    // process shares them with the parent.
+    snap::Snapshot snap;
+    snap.kind = snap::SnapshotKind::kMetrics;
+    snap.payload = snap::run_metrics_to_bytes(own);
+    const std::vector<std::uint8_t> wire = snap.to_bytes();
+    write_all(child_write_fd, wire.data(), wire.size());
+    ::close(child_write_fd);
+    ::_exit(0);
+  }
+  return results;
+}
+
+#else  // !ESSAT_FORK_SWEEP
+
+bool fork_sweep_available() { return false; }
+
+// Identical results without fork(2): every variant re-simulates the prefix.
+std::vector<harness::RunMetrics> run_fork_sweep(
+    const harness::ScenarioConfig& base,
+    const std::vector<harness::WorkloadSpec>& workloads, int /*max_parallel*/) {
+  check_variants(base, workloads);
+  std::vector<harness::RunMetrics> results;
+  results.reserve(workloads.size());
+  for (const harness::WorkloadSpec& w : workloads) {
+    harness::ScenarioConfig config = base;
+    config.workload = w;
+    results.push_back(harness::run_scenario(config));
+  }
+  return results;
+}
+
+#endif
+
+}  // namespace essat::exp

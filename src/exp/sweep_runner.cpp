@@ -1,9 +1,12 @@
 #include "src/exp/sweep_runner.h"
 
 #include <exception>
+#include <filesystem>
+#include <memory>
 #include <mutex>
 #include <utility>
 
+#include "src/exp/checkpoint.h"
 #include "src/exp/thread_pool.h"
 
 namespace essat::exp {
@@ -19,6 +22,10 @@ std::vector<PointResult> SweepRunner::run(const SweepSpec& spec,
                     : [](const harness::ScenarioConfig& c) {
                         return harness::run_scenario(c);
                       };
+
+  if (!options_.checkpoint_dir.empty()) {
+    return run_checkpointed_(spec, sinks, points, runs, run_fn);
+  }
 
   // Result slots are pre-assigned per (point, repetition) so completion
   // order cannot influence anything downstream.
@@ -97,6 +104,143 @@ std::vector<PointResult> SweepRunner::run(const SweepSpec& spec,
   out.reserve(points.size());
   for (std::size_t p = 0; p < points.size(); ++p) out.push_back(aggregate_point(p));
   emit(out);
+  return out;
+}
+
+std::vector<PointResult> SweepRunner::run_checkpointed_(
+    const SweepSpec& spec, const std::vector<ResultSink*>& sinks,
+    const std::vector<SweepPoint>& points, int runs,
+    const std::function<harness::RunMetrics(const harness::ScenarioConfig&)>&
+        run_fn) {
+  const std::size_t total_trials = points.size() * static_cast<std::size_t>(runs);
+  std::filesystem::create_directories(options_.checkpoint_dir);
+  SweepLedger ledger{
+      (std::filesystem::path(options_.checkpoint_dir) / "sweep.ledger")
+          .string(),
+      sweep_fingerprint(points, runs)};
+
+  std::vector<std::vector<harness::RunMetrics>> results(points.size());
+  for (auto& slot : results) slot.resize(static_cast<std::size_t>(runs));
+  std::vector<std::vector<char>> trial_ok(points.size());
+  for (auto& slot : trial_ok) slot.assign(static_cast<std::size_t>(runs), 0);
+
+  // Feed recorded trials into their pre-assigned slots; they are skipped
+  // below, and aggregation still folds every point's runs in repetition
+  // order — so a resumed sweep is bit-identical to an uninterrupted one.
+  std::size_t done = 0;
+  for (const CompletedTrial& t : ledger.completed()) {
+    if (t.point >= points.size()) continue;
+    if (t.rep < 0 || t.rep >= runs) continue;
+    char& ok = trial_ok[t.point][static_cast<std::size_t>(t.rep)];
+    if (ok) continue;
+    results[t.point][static_cast<std::size_t>(t.rep)] = t.metrics;
+    ok = 1;
+    ++done;
+  }
+
+  // Re-attach the sinks at the last watermark: path-backed sinks truncate
+  // any torn row and append from there; stream sinks (not resumable) just
+  // receive the not-yet-emitted points.
+  std::uint64_t emitted = ledger.points_emitted();
+  {
+    const std::vector<std::int64_t>& offs = ledger.sink_offsets();
+    for (std::size_t i = 0; i < sinks.size(); ++i) {
+      sinks[i]->resume_at(i < offs.size() ? offs[i] : 0);
+    }
+  }
+  for (ResultSink* sink : sinks) sink->begin(spec.axis_names());
+
+  std::vector<PointResult> out(points.size());
+  std::vector<char> aggregated(points.size(), 0);
+  std::mutex mu;  // orders ledger appends, sink rows, result slots, progress
+  std::exception_ptr first_error;
+
+  auto aggregate_point = [&](std::size_t p) {
+    Aggregator agg;
+    for (auto& m : results[p]) agg.add(std::move(m));
+    out[p] = PointResult{points[p], agg.take()};
+    aggregated[p] = 1;
+  };
+
+  // Incremental in-order emission (caller holds mu): whenever the lowest
+  // unemitted point has every repetition done, emit its row to each sink
+  // and write a watermark recording the sinks' new offsets.
+  auto emit_ready_points = [&] {
+    while (emitted < points.size()) {
+      const std::size_t p = static_cast<std::size_t>(emitted);
+      bool complete = true;
+      for (char ok : trial_ok[p]) complete = complete && ok != 0;
+      if (!complete) break;
+      if (!aggregated[p]) aggregate_point(p);
+      for (ResultSink* sink : sinks) sink->on_point(out[p]);
+      ++emitted;
+      std::vector<std::int64_t> offs;
+      offs.reserve(sinks.size());
+      for (ResultSink* sink : sinks) offs.push_back(sink->output_offset());
+      ledger.record_mark(emitted, offs);
+    }
+  };
+
+  {
+    // A crash can land after a point's last TRIA record but before its
+    // MARK; recover that emission before running anything.
+    std::lock_guard<std::mutex> lock(mu);
+    emit_ready_points();
+  }
+
+  auto run_trial = [&](std::size_t p, int rep) {
+    try {
+      harness::ScenarioConfig config = points[p].config;
+      config.seed = config.seed + static_cast<std::uint64_t>(rep);
+      harness::RunMetrics m = run_fn(config);
+      std::lock_guard<std::mutex> lock(mu);
+      ledger.record_trial(p, rep, m);
+      results[p][static_cast<std::size_t>(rep)] = std::move(m);
+      trial_ok[p][static_cast<std::size_t>(rep)] = 1;
+      emit_ready_points();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!first_error) first_error = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    ++done;
+    if (options_.progress) options_.progress(done, total_trials);
+  };
+
+  std::vector<std::pair<std::size_t, int>> pending;
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    for (int rep = 0; rep < runs; ++rep) {
+      if (!trial_ok[p][static_cast<std::size_t>(rep)]) pending.push_back({p, rep});
+    }
+  }
+
+  int jobs = options_.jobs > 0 ? options_.jobs : default_jobs();
+  if (static_cast<std::size_t>(jobs) > pending.size()) {
+    jobs = static_cast<int>(pending.size());
+  }
+  if (jobs <= 1 || pending.size() <= 1) {
+    for (const auto& [p, rep] : pending) run_trial(p, rep);
+  } else {
+    ThreadPool pool(jobs);
+    for (const auto& [p, rep] : pending) {
+      pool.submit([&run_trial, p = p, rep = rep] { run_trial(p, rep); });
+    }
+    pool.wait_idle();
+  }
+
+  if (first_error) {
+    // Completed trials are already in the ledger and complete points
+    // already emitted; the next run against this checkpoint_dir resumes.
+    std::rethrow_exception(first_error);
+  }
+
+  for (ResultSink* sink : sinks) sink->finish();
+  // Points emitted by a previous (crashed) run were skipped by the
+  // emission loop; aggregate them from their ledger-recorded trials for
+  // the return value.
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    if (!aggregated[p]) aggregate_point(p);
+  }
   return out;
 }
 

@@ -28,6 +28,16 @@ class SweepRunner {
     // Called after each trial completes with (trials done, trials total).
     // Invoked under a lock, possibly from worker threads.
     std::function<void(std::size_t done, std::size_t total)> progress;
+    // Crash-resumable mode: when non-empty, the directory holds a
+    // checkpoint ledger (see src/exp/checkpoint.h). Completed trials are
+    // appended as they finish, aggregated points are emitted to the sinks
+    // incrementally (in point order) with an emission watermark after
+    // each, and a re-run against the same directory skips the recorded
+    // trials and resumes path-backed sinks at their recorded offsets —
+    // producing output byte-identical to an uninterrupted sweep. Resume
+    // with the same spec (fingerprint-checked) and the same sink list.
+    // Empty (default) preserves the legacy all-at-the-end emission path.
+    std::string checkpoint_dir;
   };
 
   SweepRunner() = default;
@@ -43,6 +53,14 @@ class SweepRunner {
                                const std::vector<ResultSink*>& sinks = {});
 
  private:
+  // The checkpoint_dir path: ledger-backed trial skipping plus incremental
+  // in-point-order emission with a watermark after every point.
+  std::vector<PointResult> run_checkpointed_(
+      const SweepSpec& spec, const std::vector<ResultSink*>& sinks,
+      const std::vector<SweepPoint>& points, int runs,
+      const std::function<harness::RunMetrics(const harness::ScenarioConfig&)>&
+          run_fn);
+
   Options options_;
 };
 

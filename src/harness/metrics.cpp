@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/snap/serializer.h"
 #include "src/util/stats.h"
 
 namespace essat::harness {
@@ -43,6 +44,31 @@ LatencyCollector::Summary LatencyCollector::summarize(
   out.delivery_ratio = delivery.mean();
   out.epochs = latency.count();
   return out;
+}
+
+void LatencyCollector::save_state(snap::Serializer& out) const {
+  out.u64(epochs_.size());
+  for (const auto& [key, rec] : epochs_) {
+    out.i32(key.first);
+    out.i64(key.second);
+    out.time(rec.epoch_start);
+    out.time(rec.last_arrival);
+    out.i32(rec.contributions);
+  }
+}
+
+void LatencyCollector::restore_state(snap::Deserializer& in) {
+  epochs_.clear();
+  const std::uint64_t n = in.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const net::QueryId query = in.i32();
+    const std::int64_t epoch = in.i64();
+    EpochRecord rec;
+    rec.epoch_start = in.time();
+    rec.last_arrival = in.time();
+    rec.contributions = in.i32();
+    epochs_.emplace(std::make_pair(query, epoch), rec);
+  }
 }
 
 }  // namespace essat::harness

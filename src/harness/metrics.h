@@ -10,6 +10,11 @@
 #include "src/util/histogram.h"
 #include "src/util/time.h"
 
+namespace essat::snap {
+class Serializer;
+class Deserializer;
+}  // namespace essat::snap
+
 namespace essat::harness {
 
 // Per-run results.
@@ -97,6 +102,11 @@ class LatencyCollector {
   // the number of source readings per epoch (tree members minus the root).
   Summary summarize(util::Time begin, util::Time end, util::Time grace,
                     int expected_contributions) const;
+
+  // Snapshot hooks. epochs_ is an ordered map, so serialization order is
+  // deterministic and a restored collector summarizes identically.
+  void save_state(snap::Serializer& out) const;
+  void restore_state(snap::Deserializer& in);
 
  private:
   struct EpochRecord {

@@ -25,6 +25,10 @@
 #include "src/util/rng.h"
 #include "src/util/time.h"
 
+namespace essat::snap {
+class Serializer;
+}  // namespace essat::snap
+
 namespace essat::harness {
 
 struct ScenarioConfig;
@@ -78,6 +82,11 @@ class PowerManager {
 
   // Number of nodes the policy keeps always-on (RunMetrics::backbone_size).
   virtual int backbone_size() const { return 0; }
+
+  // Snapshot hook covering all protocol-private state the policy allocated
+  // (SafeSleep schedulers, beacon nodes, backbones). The default writes
+  // nothing: a stateless policy has nothing to attest.
+  virtual void save_state(snap::Serializer& /*out*/) const {}
 };
 
 }  // namespace essat::harness

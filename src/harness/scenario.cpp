@@ -21,6 +21,8 @@
 #include "src/routing/tree.h"
 #include "src/routing/tree_protocol.h"
 #include "src/sim/simulator.h"
+#include "src/snap/hook.h"
+#include "src/snap/serializer.h"
 #include "src/util/logging.h"
 #include "src/util/rng.h"
 
@@ -68,6 +70,15 @@ std::string substitute_seed(std::string path, std::uint64_t seed) {
 }  // namespace
 
 RunMetrics run_scenario(const ScenarioConfig& config) {
+  return run_scenario(config, snap::TrialHookSpec{});
+}
+
+RunMetrics run_scenario(const ScenarioConfig& config_in,
+                        const snap::TrialHookSpec& hook) {
+  // The run's private mutable copy: a checkpoint hook may adjust the
+  // lazily-materialized workload fields mid-run (forked sweep variants).
+  ScenarioConfig config = config_in;
+
   util::Rng master{config.seed};
   util::Rng placement_rng = master.fork(1);
   util::Rng workload_rng = master.fork(2);
@@ -259,22 +270,62 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
   };
 
   // --- Workload ------------------------------------------------------------
-  query::WorkloadParams wl;
-  wl.base_rate_hz = config.workload.base_rate_hz;
-  wl.queries_per_class = config.workload.queries_per_class;
-  wl.start_window_begin = setup_end + util::Time::seconds(1);
-  wl.start_window_length = config.workload.query_start_window;
-  std::vector<query::Query> queries = query::make_workload(wl, workload_rng);
-  for (query::Query q : config.workload.extra_queries) {
-    q.id = static_cast<net::QueryId>(queries.size());
-    queries.push_back(q);
-  }
-
+  // Materialized lazily, when the setup-boundary event fires: a checkpoint
+  // hook pausing just before setup_end may still change base_rate_hz /
+  // queries_per_class / extra_queries (forked sweep variants draw their own
+  // workloads from the shared prefix). workload_rng is a private forked
+  // stream consumed nowhere else, so drawing from it here instead of at
+  // construction is bit-identical. query_start_window is the exception:
+  // the measurement schedule below bakes it in, so hooks must not touch it.
   auto register_queries = [&] {
+    query::WorkloadParams wl;
+    wl.base_rate_hz = config.workload.base_rate_hz;
+    wl.queries_per_class = config.workload.queries_per_class;
+    wl.start_window_begin = setup_end + util::Time::seconds(1);
+    wl.start_window_length = config.workload.query_start_window;
+    std::vector<query::Query> queries = query::make_workload(wl, workload_rng);
+    for (query::Query q : config.workload.extra_queries) {
+      q.id = static_cast<net::QueryId>(queries.size());
+      queries.push_back(q);
+    }
     for (net::NodeId id : tree.members()) {
       auto& node = nodes[static_cast<std::size_t>(id)];
       for (const auto& q : queries) node.agent->register_query(q);
     }
+  };
+
+  // --- Snapshot hook --------------------------------------------------------
+  // Serializes every live component into one "TRST" section — the byte
+  // layout the capture and restore-attestation paths diff. Pure reads.
+  auto serialize_components = [&]() -> std::vector<std::uint8_t> {
+    snap::Serializer out;
+    out.begin("TRST");
+    sim.save_state(out);
+    out.begin("RNGS");
+    master.save_state(out);
+    placement_rng.save_state(out);
+    workload_rng.save_state(out);
+    policy_rng.save_state(out);
+    out.end();
+    topo.save_state(out);
+    channel.save_state(out);
+    tree.save_state(out);
+    out.boolean(setup_protocol != nullptr);
+    if (setup_protocol) setup_protocol->save_state(out);
+    link_estimator.save_state(out);
+    out.u64(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      nodes[i].radio->save_state(out);
+      nodes[i].mac->save_state(out);
+      out.boolean(nodes[i].shaper != nullptr);
+      if (nodes[i].shaper) nodes[i].shaper->save_state(out);
+      out.boolean(nodes[i].agent != nullptr);
+      if (nodes[i].agent) nodes[i].agent->save_state(out);
+    }
+    policy->save_state(out);
+    latency.save_state(out);
+    out.end();
+    return out.take();
   };
 
   // --- Phase plan -----------------------------------------------------------
@@ -325,7 +376,18 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
     });
   }
 
-  sim.run_until(measure_end);
+  if (hook.enabled) {
+    // Split run: execute every event with time <= hook.at, pause (no event
+    // is injected, so the stream is identical to the unhooked run), hand
+    // control to the hook, then run out the remainder.
+    sim.run_until(hook.at);
+    snap::TrialCheckpoint cp{sim, config, serialize_components};
+    hook.hook(cp);
+    if (cp.stop) return RunMetrics{};
+    sim.run_until(measure_end);
+  } else {
+    sim.run_until(measure_end);
+  }
 
   // --- Export traces -------------------------------------------------------
   if (tracer) {

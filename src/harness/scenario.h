@@ -30,6 +30,10 @@
 #include "src/routing/parent_policy.h"
 #include "src/util/time.h"
 
+namespace essat::snap {
+struct TrialHookSpec;
+}  // namespace essat::snap
+
 namespace essat::harness {
 
 // The paper's six protocols, for convenient enumeration; the open-ended
@@ -149,5 +153,14 @@ struct ScenarioConfig {
 };
 
 RunMetrics run_scenario(const ScenarioConfig& config);
+
+// Checkpoint-hooked variant (src/snap): runs the identical event stream,
+// pausing the event loop at hook.at to let the hook serialize the trial,
+// mutate the not-yet-materialized workload fields, or abandon the run (the
+// hook sets TrialCheckpoint::stop; the returned RunMetrics is then a
+// discardable default). With hook.enabled == false this IS run_scenario —
+// the single-run_until path and the split path execute the same events.
+RunMetrics run_scenario(const ScenarioConfig& config,
+                        const snap::TrialHookSpec& hook);
 
 }  // namespace essat::harness

@@ -4,6 +4,8 @@
 #include <utility>
 #include <cassert>
 
+#include "src/snap/packet_codec.h"
+#include "src/snap/timer_codec.h"
 #include "src/util/logging.h"
 
 namespace essat::mac {
@@ -361,6 +363,48 @@ void CsmaMac::on_channel_activity() {
       radio_.is_on()) {
     begin_contention_();  // defers internally to the NAV if needed
   }
+}
+
+void CsmaMac::save_state(snap::Serializer& out) const {
+  out.begin("CMAC");
+  const auto save_outgoing = [](snap::Serializer& o, const Outgoing& og) {
+    snap::save_packet(o, og.packet);
+    o.boolean(og.cb != nullptr);
+    o.i32(og.attempts);
+    o.i32(og.cw);
+    o.i32(og.backoff_slots);
+  };
+  queue_.save_state(out, save_outgoing);
+  out.boolean(in_flight_.has_value());
+  if (in_flight_.has_value()) save_outgoing(out, *in_flight_);
+  out.boolean(transmitting_);
+  out.boolean(waiting_ack_);
+  out.boolean(in_backoff_);
+  out.time(countdown_start_);
+  out.time(nav_until_);
+  out.boolean(saw_busy_);
+  out.boolean(decoded_last_busy_);
+  out.i32(pending_acks_);
+  snap::save_timer(out, backoff_timer_);
+  snap::save_timer(out, ack_timer_);
+  snap::save_timer(out, tx_end_timer_);
+  snap::save_timer(out, nav_timer_);
+  rng_.save_state(out);
+  out.u32(next_mac_seq_);
+  out.boolean(dense_dup_table_);
+  out.u64(last_delivered_seq_.size());
+  for (std::uint32_t s : last_delivered_seq_) out.u32(s);
+  sparse_delivered_seq_.save_state(
+      out, [](snap::Serializer& o, std::uint32_t s) { o.u32(s); });
+  out.u64(stats_.frames_sent);
+  out.u64(stats_.frames_failed);
+  out.u64(stats_.transmissions);
+  out.u64(stats_.retries);
+  out.u64(stats_.cca_busy_defers);
+  out.u64(stats_.frames_received);
+  out.u64(stats_.duplicates);
+  out.u64(stats_.acks_sent);
+  out.end();
 }
 
 }  // namespace essat::mac

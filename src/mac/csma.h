@@ -39,6 +39,10 @@
 #include "src/util/ring_queue.h"
 #include "src/util/rng.h"
 
+namespace essat::snap {
+class Serializer;
+}  // namespace essat::snap
+
 namespace essat::mac {
 
 struct MacStats {
@@ -110,6 +114,12 @@ class CsmaMac : public net::ChannelListener {
   }
 
   const MacStats& stats() const { return stats_; }
+
+  // Snapshot hook: queue contents (packets by value, exact ring layout),
+  // the in-flight frame, contention/NAV/ACK state, all four timers, the
+  // backoff RNG, dup tables as stored, and counters. The upper-layer
+  // callbacks (tx cb, rx handler, filter) are wiring, rebuilt by replay.
+  void save_state(snap::Serializer& out) const;
 
  private:
   struct Outgoing {

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/snap/packet_codec.h"
+
 namespace essat::net {
 
 namespace {
@@ -259,6 +261,48 @@ void Channel::end_arrival_(NodeId receiver, const PacketRef& p) {
 void Channel::notify_(NodeId node) {
   ChannelListener* l = node_(node).listener;
   if (l != nullptr) l->on_channel_activity();
+}
+
+void Channel::save_state(snap::Serializer& out) const {
+  out.begin("CHAN");
+  out.boolean(model_active_);
+  out.boolean(link_stats_enabled_);
+  out.boolean(dense_stats_);
+  out.u64(nodes_.size());
+  for (const PerNode& n : nodes_) {
+    out.boolean(n.listening);
+    out.boolean(n.transmitting);
+    out.i32(n.arriving_count);
+    out.boolean(n.rx.active);
+    out.boolean(n.rx.corrupted);
+    const bool has_frame = n.rx.active && n.rx.frame != nullptr;
+    out.boolean(has_frame);
+    if (has_frame) snap::save_packet(out, *n.rx.frame);
+  }
+  out.u64(transmissions_);
+  out.u64(collisions_);
+  out.u64(delivered_);
+  out.u64(dropped_by_model_);
+  out.u64(next_tx_id_);
+  // Link statistics, as stored. Dense rows append in observation order and
+  // the sparse map's save_state captures slot layout, so both are already
+  // deterministic for a deterministic run.
+  out.u64(link_stats_.size());
+  for (const auto& row : link_stats_) {
+    out.u64(row.size());
+    for (const LinkStat& s : row) {
+      out.i32(s.dst);
+      out.u64(s.counters.frames);
+      out.u64(s.counters.drops);
+    }
+  }
+  sparse_stats_.save_state(out, [](snap::Serializer& o, const LinkCounters& c) {
+    o.u64(c.frames);
+    o.u64(c.drops);
+  });
+  out.u64(pool_.recycled_blocks());
+  if (link_model_ != nullptr) link_model_->save_state(out);
+  out.end();
 }
 
 }  // namespace essat::net

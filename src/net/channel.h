@@ -42,6 +42,10 @@
 #include "src/sim/simulator.h"
 #include "src/util/flat_map.h"
 
+namespace essat::snap {
+class Serializer;
+}  // namespace essat::snap
+
 namespace essat::net {
 
 struct ChannelParams {
@@ -148,6 +152,12 @@ class Channel {
   // active ParentPolicy declares uses_link_estimator().
   void set_link_stats_enabled(bool on) { link_stats_enabled_ = on; }
   bool link_stats_enabled() const { return link_stats_enabled_; }
+
+  // Snapshot hook: per-node carrier/reception state (in-flight frames by
+  // content), medium counters, link statistics (dense rows or sparse map —
+  // serialized as-stored, so the bytes also attest the storage mode), the
+  // link model's state, and the tx-id counter. Listener pointers are wiring.
+  void save_state(snap::Serializer& out) const;
 
  private:
   struct Reception {

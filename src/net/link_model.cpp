@@ -1,9 +1,13 @@
 #include "src/net/link_model.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
 #include <utility>
+#include <vector>
+
+#include "src/snap/serializer.h"
 
 namespace essat::net {
 
@@ -173,6 +177,51 @@ std::unique_ptr<LinkModel> ChannelModelSpec::build(double range_m,
                                              rng.fork(3));
   }
   return model;
+}
+
+void LogNormalShadowingModel::save_state(snap::Serializer& out) const {
+  out.begin("LMSH");
+  // links_ is an unordered_map; serialize in sorted-key order so the bytes
+  // are a pure function of the logical state.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(links_.size());
+  for (const auto& [k, unused] : links_) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  out.u64(keys.size());
+  for (std::uint64_t k : keys) {
+    const LinkState& s = links_.at(k);
+    out.u64(k);
+    out.f64(s.gain_db);
+    out.f64(s.distance_m);
+    out.f64(s.prr);
+  }
+  gain_rng_.save_state(out);
+  frame_rng_.save_state(out);
+  out.end();
+}
+
+void GilbertElliottModel::save_state(snap::Serializer& out) const {
+  out.begin("LMGE");
+  std::vector<std::uint64_t> keys;
+  keys.reserve(bad_.size());
+  for (const auto& [k, unused] : bad_) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  out.u64(keys.size());
+  for (std::uint64_t k : keys) {
+    out.u64(k);
+    out.boolean(bad_.at(k));
+  }
+  init_rng_.save_state(out);
+  frame_rng_.save_state(out);
+  if (base_ != nullptr) base_->save_state(out);
+  out.end();
+}
+
+void PrrScaledModel::save_state(snap::Serializer& out) const {
+  out.begin("LMPS");
+  rng_.save_state(out);
+  base_->save_state(out);
+  out.end();
 }
 
 std::string ChannelModelSpec::label() const {

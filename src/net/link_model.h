@@ -33,6 +33,10 @@
 #include "src/net/types.h"
 #include "src/util/rng.h"
 
+namespace essat::snap {
+class Serializer;
+}  // namespace essat::snap
+
 namespace essat::net {
 
 // Key of a directed link, usable as an unordered_map key.
@@ -65,6 +69,9 @@ class LinkModel {
     (void)distance_m;
     return 1.0;
   }
+  // Snapshot hook: per-link caches/chain states in sorted-key order plus
+  // the model's RNG streams. Stateless models write nothing.
+  virtual void save_state(snap::Serializer& out) const { (void)out; }
 };
 
 // The seed's lossless in-range channel. Draws no randomness.
@@ -115,6 +122,8 @@ class LogNormalShadowingModel : public LinkModel {
   // curve once per link while mobility-updated distances recompute it.
   double link_prr(NodeId src, NodeId dst, double distance_m) const;
 
+  void save_state(snap::Serializer& out) const override;
+
  private:
   struct LinkState {
     double gain_db = 0.0;
@@ -156,6 +165,8 @@ class GilbertElliottModel : public LinkModel {
 
   const LinkModel* base() const { return base_.get(); }
 
+  void save_state(snap::Serializer& out) const override;
+
  private:
   bool& link_state_(NodeId src, NodeId dst);
 
@@ -180,6 +191,8 @@ class PrrScaledModel : public LinkModel {
   double expected_prr(NodeId src, NodeId dst, double distance_m) const override {
     return prr_scale_ * base_->expected_prr(src, dst, distance_m);
   }
+
+  void save_state(snap::Serializer& out) const override;
 
  private:
   std::unique_ptr<LinkModel> base_;

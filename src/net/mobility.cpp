@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "src/snap/serializer.h"
+
 namespace essat::net {
 
 // ----------------------------------------------------------- random waypoint
@@ -149,6 +151,25 @@ std::unique_ptr<MobilityModel> MobilitySpec::build(std::vector<Position> initial
       return std::make_unique<WaypointTraceMobility>(std::move(initial), traces);
   }
   throw std::invalid_argument{"MobilitySpec::build: unknown MobilityKind"};
+}
+
+void RandomWaypointMobility::save_state(snap::Serializer& out) const {
+  out.begin("MOBW");
+  out.f64(width_m_);
+  out.f64(height_m_);
+  out.u64(legs_.size());
+  for (std::size_t i = 0; i < legs_.size(); ++i) {
+    const Leg& leg = legs_[i];
+    out.f64(leg.from.x);
+    out.f64(leg.from.y);
+    out.f64(leg.to.x);
+    out.f64(leg.to.y);
+    out.time(leg.depart);
+    out.time(leg.arrive);
+    out.time(leg.pause_until);
+    node_rng_[i].save_state(out);
+  }
+  out.end();
 }
 
 std::string MobilitySpec::label() const {

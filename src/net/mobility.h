@@ -35,6 +35,10 @@
 #include "src/util/rng.h"
 #include "src/util/time.h"
 
+namespace essat::snap {
+class Serializer;
+}  // namespace essat::snap
+
 namespace essat::net {
 
 class MobilityModel {
@@ -45,6 +49,9 @@ class MobilityModel {
   // internal state monotonically.
   virtual void positions_at(util::Time t, std::vector<Position>& out) = 0;
   virtual const char* name() const = 0;
+  // Snapshot hook: monotonic per-node state (legs, RNG streams). Models
+  // whose output is a pure function of t write nothing.
+  virtual void save_state(snap::Serializer& out) const { (void)out; }
 };
 
 // The frozen deployment as a model: positions_at returns the initial
@@ -83,6 +90,7 @@ class RandomWaypointMobility : public MobilityModel {
 
   void positions_at(util::Time t, std::vector<Position>& out) override;
   const char* name() const override { return "waypoint"; }
+  void save_state(snap::Serializer& out) const override;
 
  private:
   struct Leg {

@@ -6,6 +6,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "src/snap/serializer.h"
+
 namespace essat::net {
 
 Topology::Topology(std::vector<Position> positions, double range_m)
@@ -307,6 +309,27 @@ Position DeploymentSpec::extent() const {
     case TopologyKind::kCorridor: return Position{area_m, corridor_width_m};
     default: return Position{area_m, area_m};
   }
+}
+
+void Topology::save_state(snap::Serializer& out) const {
+  out.begin("TOPO");
+  out.f64(range_m_);
+  out.u64(positions_.size());
+  for (const Position& p : positions_) {
+    out.f64(p.x);
+    out.f64(p.y);
+  }
+  out.u64(neighbors_.size());
+  for (const auto& list : neighbors_) {
+    out.u64(list->size());
+    for (NodeId n : *list) out.i32(n);
+  }
+  out.boolean(mobility_ != nullptr);
+  out.time(epoch_);
+  out.i64(epoch_index_);
+  out.u64(rebuilds_);
+  if (mobility_ != nullptr) mobility_->save_state(out);
+  out.end();
 }
 
 }  // namespace essat::net

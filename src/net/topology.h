@@ -27,6 +27,10 @@
 #include "src/util/rng.h"
 #include "src/util/time.h"
 
+namespace essat::snap {
+class Serializer;
+}  // namespace essat::snap
+
 namespace essat::net {
 
 class Topology {
@@ -97,6 +101,10 @@ class Topology {
   // Neighbor-set builds so far (1 after construction); introspection for
   // the epoch-tick tests.
   std::uint64_t neighbor_rebuilds() const { return rebuilds_; }
+
+  // Snapshot hook: positions, neighbor lists, and the mobility epoch
+  // cursor, plus the installed model's state.
+  void save_state(snap::Serializer& out) const;
 
  private:
   void build_neighbor_lists_();

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/snap/serializer.h"
+#include "src/snap/timer_codec.h"
 #include "src/util/logging.h"
 
 namespace essat::query {
@@ -304,6 +306,48 @@ void QueryAgent::halt() {
     }
     qs.open.clear();
   }
+}
+
+void QueryAgent::save_state(snap::Serializer& out) const {
+  out.begin("QAGT");
+  out.u64(queries_.size());
+  for (const auto& [qid, qs] : queries_) {  // std::map: key order
+    out.i32(qid);
+    out.i32(qs.q.id);
+    out.time(qs.q.period);
+    out.time(qs.q.phase);
+    out.i32(qs.q.query_class);
+    out.u64(qs.open.size());
+    for (const EpochState* es : qs.open) {
+      out.i64(es->k);
+      out.u64(es->pending.size());
+      for (net::NodeId c : es->pending) out.i32(c);
+      out.i32(es->contributions);
+      out.boolean(es->finalizing);
+      snap::save_timer(out, es->deadline);
+      snap::save_timer(out, es->send);
+    }
+    out.i64(qs.watermark);
+    out.u64(qs.last_app_seq.size());
+    for (const auto& [child, seq] : qs.last_app_seq) {
+      out.i32(child);
+      out.u32(seq);
+    }
+    out.u32(qs.my_app_seq);
+  }
+  out.u64(records_.size());
+  out.u64(free_.size());
+  out.boolean(halted_);
+  out.u64(prov_seq_);
+  out.u64(stats_.reports_sent);
+  out.u64(stats_.reports_received);
+  out.u64(stats_.pass_through_forwarded);
+  out.u64(stats_.send_failures);
+  out.u64(stats_.partial_finalizes);
+  out.u64(stats_.child_timeouts);
+  out.u64(stats_.phase_requests_sent);
+  out.u64(stats_.late_reports);
+  out.end();
 }
 
 }  // namespace essat::query

@@ -34,6 +34,10 @@
 #include "src/sim/timer.h"
 #include "src/util/small_vector.h"
 
+namespace essat::snap {
+class Serializer;
+}  // namespace essat::snap
+
 namespace essat::query {
 
 struct QueryAgentParams {
@@ -96,6 +100,11 @@ class QueryAgent {
   const QueryAgentStats& stats() const { return stats_; }
   bool is_leaf() const { return tree_.is_leaf(self_); }
   net::NodeId self() const { return self_; }
+
+  // Snapshot hook: every open epoch (pending children, timers), watermarks,
+  // dedup sequence maps, the provenance counter, pool high-water marks, and
+  // counters. The upper-layer hooks are wiring, rebuilt by replay.
+  void save_state(snap::Serializer& out) const;
 
  private:
   // Per-epoch record, pooled: the steady state of every node is "open

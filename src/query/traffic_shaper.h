@@ -17,6 +17,10 @@
 #include "src/routing/tree.h"
 #include "src/util/time.h"
 
+namespace essat::snap {
+class Serializer;
+}  // namespace essat::snap
+
 namespace essat::query {
 
 // Consumer of expected-time updates (core::SafeSleep). May be absent
@@ -99,6 +103,10 @@ class TrafficShaper {
 
   // Number of phase updates piggybacked so far (DTS overhead metric).
   virtual std::uint64_t phase_updates_sent() const { return 0; }
+
+  // Snapshot hook. The default writes nothing: a shaper with no mutable
+  // state (pure epoch formulas) has nothing to attest.
+  virtual void save_state(snap::Serializer& /*out*/) const {}
 
  protected:
   const ShaperContext& ctx() const { return ctx_; }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/snap/serializer.h"
+
 namespace essat::routing {
 
 LinkEstimator::LinkEstimator(const net::Channel& channel,
@@ -29,6 +31,13 @@ double LinkEstimator::prr(net::NodeId src, net::NodeId dst) const {
 
 double LinkEstimator::etx(net::NodeId src, net::NodeId dst) const {
   return 1.0 / (prr(src, dst) * prr(dst, src));
+}
+
+void LinkEstimator::save_state(snap::Serializer& out) const {
+  out.begin("LEST");
+  out.f64(params_.prior_weight);
+  out.f64(params_.min_prr);
+  out.end();
 }
 
 }  // namespace essat::routing

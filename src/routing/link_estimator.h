@@ -25,6 +25,10 @@
 #include "src/net/types.h"
 #include "src/routing/parent_policy.h"
 
+namespace essat::snap {
+class Serializer;
+}  // namespace essat::snap
+
 namespace essat::routing {
 
 class LinkEstimator {
@@ -44,6 +48,11 @@ class LinkEstimator {
   // data frame must cross forward and the MAC-level ACK back, so
   // etx = 1 / (prr_fwd * prr_rev). 1 on a lossless channel.
   double etx(net::NodeId src, net::NodeId dst) const;
+
+  // Snapshot hook: the smoothing knobs only. Every estimate is a pure
+  // function of those plus the channel's link statistics and the topology's
+  // positions, both serialized by their owners.
+  void save_state(snap::Serializer& out) const;
 
  private:
   const net::Channel& channel_;

@@ -8,6 +8,7 @@
 #include <tuple>
 
 #include "src/routing/parent_policy.h"
+#include "src/snap/serializer.h"
 
 namespace essat::routing {
 
@@ -217,6 +218,21 @@ Tree build_policy_tree(const net::Topology& topo, net::NodeId root,
   }
   tree.recompute_ranks();
   return tree;
+}
+
+void Tree::save_state(snap::Serializer& out) const {
+  out.begin("TREE");
+  out.i32(root_);
+  out.u64(parent_.size());
+  for (std::size_t i = 0; i < parent_.size(); ++i) {
+    out.i32(parent_[i]);
+    out.i32(level_[i]);
+    out.i32(rank_[i]);
+    out.boolean(member_[i]);
+    out.u64(children_[i].size());
+    for (net::NodeId c : children_[i]) out.i32(c);
+  }
+  out.end();
 }
 
 }  // namespace essat::routing

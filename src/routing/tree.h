@@ -14,6 +14,10 @@
 #include "src/net/topology.h"
 #include "src/net/types.h"
 
+namespace essat::snap {
+class Serializer;
+}  // namespace essat::snap
+
 namespace essat::routing {
 
 class Tree {
@@ -55,6 +59,10 @@ class Tree {
   void recompute_ranks();
   // True if `descendant` lies in the subtree rooted at `ancestor`.
   bool in_subtree(net::NodeId ancestor, net::NodeId descendant) const;
+
+  // Snapshot hook: the full structure including child-list order (repair
+  // and pass-through traversal depend on it).
+  void save_state(snap::Serializer& out) const;
 
  private:
   static std::size_t idx(net::NodeId n) { return static_cast<std::size_t>(n); }

@@ -4,6 +4,8 @@
 #include <utility>
 #include <stdexcept>
 
+#include "src/snap/serializer.h"
+
 namespace essat::routing {
 
 TreeSetupProtocol::TreeSetupProtocol(sim::Simulator& sim, const net::Topology& topo,
@@ -156,6 +158,23 @@ Tree TreeSetupProtocol::assemble_() const {
   }
   tree.recompute_ranks();
   return tree;
+}
+
+void TreeSetupProtocol::save_state(snap::Serializer& out) const {
+  out.begin("TSUP");
+  out.i32(root_);
+  out.u64(nodes_.size());
+  for (const NodeState& ns : nodes_) {
+    out.i32(ns.parent);
+    out.i32(ns.level);
+    out.f64(ns.cost);
+    out.i32(ns.rebroadcasts);
+    out.boolean(ns.participates);
+    out.boolean(ns.rebroadcast_pending);
+  }
+  rng_.save_state(out);
+  out.u64(joins_received_);
+  out.end();
 }
 
 }  // namespace essat::routing

@@ -31,6 +31,10 @@
 #include "src/sim/timer.h"
 #include "src/util/rng.h"
 
+namespace essat::snap {
+class Serializer;
+}  // namespace essat::snap
+
 namespace essat::routing {
 
 struct TreeSetupParams {
@@ -67,6 +71,10 @@ class TreeSetupProtocol {
     return nodes_.at(static_cast<std::size_t>(n)).level;
   }
   std::uint64_t joins_received() const { return joins_received_; }
+
+  // Snapshot hook: per-node convergence state, the jitter RNG, and the JOIN
+  // counter. Rebroadcast events already scheduled live in the EventQueue.
+  void save_state(snap::Serializer& out) const;
 
  private:
   struct NodeState {

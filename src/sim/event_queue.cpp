@@ -4,6 +4,8 @@
 #include <cassert>
 #include <limits>
 
+#include "src/snap/serializer.h"
+
 namespace essat::sim {
 
 void EventQueue::file_(Entry e) const {
@@ -225,6 +227,40 @@ bool EventQueue::pop_until(util::Time limit, util::Time& t, Callback& cb,
   pop_head_();
   --live_;
   return true;
+}
+
+void EventQueue::save_state(snap::Serializer& out) const {
+  // Collect every live entry: an entry is live iff its slot is pending and
+  // it carries the slot's current seq (rearm tombstones, cancelled, and
+  // already-fired entries fail the seq match). Walking all buckets plus the
+  // overflow list visits dead entries too; the filter drops them.
+  std::vector<Entry> live;
+  live.reserve(live_);
+  auto consider = [&](const Entry& e) {
+    const std::uint32_t slot = e.slot();
+    if (slot < meta_.size() && meta_[slot].pending() &&
+        meta_[slot].live_seq == e.seq()) {
+      live.push_back(e);
+    }
+  };
+  for (const auto& bucket : buckets_) {
+    for (const Entry& e : bucket) consider(e);
+  }
+  for (const Entry& e : far_) consider(e);
+  assert(live.size() == live_);
+  // Pop order, independent of wheel geometry.
+  std::sort(live.begin(), live.end(),
+            [](const Entry& a, const Entry& b) { return a.before(b); });
+
+  out.begin("EVTQ");
+  out.u64(next_seq_);
+  out.u64(live_);
+  out.u64(peak_live_);
+  for (const Entry& e : live) {
+    out.time(e.time);
+    out.u64(e.seq());
+  }
+  out.end();
 }
 
 }  // namespace essat::sim

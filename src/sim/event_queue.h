@@ -39,6 +39,10 @@
 #include "src/sim/inline_callback.h"
 #include "src/util/time.h"
 
+namespace essat::snap {
+class Serializer;
+}  // namespace essat::snap
+
 namespace essat::sim {
 
 using EventId = std::uint64_t;
@@ -83,6 +87,15 @@ class EventQueue {
   // capacities for `expected_events` concurrently-live events, so
   // steady-state operation never reallocates.
   void reserve(std::size_t expected_events);
+
+  // Snapshot hook: serializes the live-event digest — every pending
+  // (time, seq) pair in pop order, plus the sequence counter and live/peak
+  // counts. Callbacks are code, not data; restore replays the scenario to
+  // the snapshot barrier (rebuilding identical callbacks along the way) and
+  // this digest is what the attestation byte-compares. Wheel geometry
+  // (bucket cursors, free lists) is excluded: the digest plus next_seq_
+  // fully determines all future pop ordering.
+  void save_state(snap::Serializer& out) const;
 
  private:
   // 16-byte wheel entry: the slot index rides in the low bits of the seq

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/snap/serializer.h"
+
 namespace essat::sim {
 
 EventId Simulator::schedule_at(util::Time t, Callback cb) {
@@ -53,6 +55,14 @@ void Simulator::run_until(util::Time end) {
     cb = nullptr;
   }
   if (!stopped_) now_ = std::max(now_, end);
+}
+
+void Simulator::save_state(snap::Serializer& out) const {
+  out.begin("SIMU");
+  out.time(now_);
+  out.u64(executed_);
+  queue_.save_state(out);
+  out.end();
 }
 
 }  // namespace essat::sim

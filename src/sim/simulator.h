@@ -11,6 +11,10 @@
 #include "src/sim/event_queue.h"
 #include "src/util/time.h"
 
+namespace essat::snap {
+class Serializer;
+}  // namespace essat::snap
+
 namespace essat::sim {
 
 class Simulator {
@@ -55,6 +59,10 @@ class Simulator {
   // it through its Simulator reference via ESSAT_TRACE.
   obs::Tracer* tracer() const { return tracer_; }
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  // Snapshot hook: clock, executed-event count, and the queue's live-event
+  // digest. The tracer is observability wiring, not simulation state.
+  void save_state(snap::Serializer& out) const;
 
  private:
   util::Time now_ = util::Time::zero();

@@ -1,0 +1,62 @@
+#include "src/snap/packet_codec.h"
+
+namespace essat::snap {
+namespace {
+
+struct PayloadSaver {
+  Serializer& out;
+
+  void operator()(const std::monostate&) { out.u8(0); }
+  void operator()(const net::DataHeader& h) {
+    out.u8(1);
+    out.i32(h.query);
+    out.i64(h.epoch);
+    out.i32(h.origin);
+    out.u32(h.app_seq);
+    out.i32(h.contributions);
+    out.boolean(h.pass_through);
+    out.boolean(h.phase_update.has_value());
+    out.time(h.phase_update.value_or(util::Time::zero()));
+  }
+  void operator()(const net::SetupHeader& h) {
+    out.u8(2);
+    out.i32(h.root);
+    out.i32(h.level);
+    out.f64(h.cost);
+  }
+  void operator()(const net::JoinHeader&) { out.u8(3); }
+  void operator()(const net::RankHeader& h) {
+    out.u8(4);
+    out.i32(h.rank);
+  }
+  void operator()(const net::AtimHeader& h) {
+    out.u8(5);
+    out.u64(h.destinations.size());
+    for (net::NodeId d : h.destinations) out.i32(d);
+  }
+  void operator()(const net::PhaseRequestHeader& h) {
+    out.u8(6);
+    out.i32(h.query);
+  }
+  void operator()(const net::DisseminationHeader& h) {
+    out.u8(7);
+    out.i32(h.task);
+    out.i64(h.epoch);
+    out.i32(h.origin);
+  }
+};
+
+}  // namespace
+
+void save_packet(Serializer& out, const net::Packet& p) {
+  out.u8(static_cast<std::uint8_t>(p.type));
+  out.i32(p.link_src);
+  out.i32(p.link_dst);
+  out.i32(p.size_bytes);
+  out.u32(p.mac_seq);
+  out.u64(p.channel_tx_id);
+  out.u64(p.prov);
+  std::visit(PayloadSaver{out}, p.payload);
+}
+
+}  // namespace essat::snap

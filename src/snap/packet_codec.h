@@ -1,0 +1,14 @@
+// Packet serialization for component save_state hooks (MAC queues, channel
+// receptions in flight at the snapshot barrier). Save-only: restore replays
+// the scenario, so packets are rebuilt by the protocols themselves and these
+// bytes exist to attest the replayed state.
+#pragma once
+
+#include "src/net/packet.h"
+#include "src/snap/serializer.h"
+
+namespace essat::snap {
+
+void save_packet(Serializer& out, const net::Packet& p);
+
+}  // namespace essat::snap

@@ -1,0 +1,52 @@
+// Versioned snapshot container.
+//
+// A Snapshot is the unit everything above the serializer exchanges: a kind
+// tag (full trial state, bare RunMetrics, sweep ledger record), a format
+// version, and an opaque payload produced by a Serializer. to_bytes() frames
+// it with a magic string and a CRC-32 of the payload so readers can reject
+// foreign files, version skew, and torn or corrupted writes with a precise
+// error instead of garbage state.
+//
+// Versioning policy (documented in README "Snapshots & resumable sweeps"):
+// kFormatVersion bumps on ANY change to the payload encoding of any
+// component — there are no in-place migrations. A snapshot is a cache of a
+// deterministic computation, never the only copy of data, so the cheap and
+// correct response to skew is "re-run the prefix", which from_bytes() forces
+// by refusing mismatched versions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/snap/serializer.h"
+
+namespace essat::snap {
+
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+enum class SnapshotKind : std::uint32_t {
+  kTrial = 1,    // full mid-run simulator state + scenario config
+  kMetrics = 2,  // a RunMetrics payload (fork pipes, sweep ledger)
+  kLedger = 3,   // sweep checkpoint ledger record
+};
+
+const char* snapshot_kind_name(SnapshotKind kind);
+
+struct Snapshot {
+  SnapshotKind kind = SnapshotKind::kTrial;
+  std::uint32_t version = kFormatVersion;
+  std::vector<std::uint8_t> payload;
+
+  // Framed wire form: magic, version, kind, payload length, payload bytes,
+  // CRC-32 of the payload. Deterministic given the payload.
+  std::vector<std::uint8_t> to_bytes() const;
+
+  // Parses and validates a framed snapshot. Throws SnapError on bad magic,
+  // version mismatch, unknown kind, truncation, or CRC failure.
+  static Snapshot from_bytes(const std::uint8_t* data, std::size_t size);
+  static Snapshot from_bytes(const std::vector<std::uint8_t>& buf) {
+    return from_bytes(buf.data(), buf.size());
+  }
+};
+
+}  // namespace essat::snap

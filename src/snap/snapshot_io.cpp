@@ -1,0 +1,57 @@
+#include "src/snap/snapshot_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace essat::snap {
+
+std::vector<std::uint8_t> read_file_bytes(const std::string& path) {
+  std::ifstream in{path, std::ios::binary | std::ios::ate};
+  if (!in) throw SnapError{"cannot open for read: " + path};
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(bytes.data()), size)) {
+    throw SnapError{"short read: " + path};
+  }
+  return bytes;
+}
+
+void write_file_bytes(const std::string& path,
+                      const std::vector<std::uint8_t>& bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out{tmp, std::ios::binary | std::ios::trunc};
+    if (!out) throw SnapError{"cannot open for write: " + tmp};
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) throw SnapError{"short write: " + tmp};
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw SnapError{"rename failed: " + tmp + " -> " + path};
+  }
+}
+
+Snapshot read_snapshot_file(const std::string& path) {
+  const std::vector<std::uint8_t> bytes = read_file_bytes(path);
+  try {
+    return Snapshot::from_bytes(bytes);
+  } catch (const SnapError& e) {
+    throw SnapError{path + ": " + e.what()};
+  }
+}
+
+void write_snapshot_file(const std::string& path, const Snapshot& snap) {
+  write_file_bytes(path, snap.to_bytes());
+}
+
+bool file_exists(const std::string& path) {
+  return std::ifstream{path}.good();
+}
+
+void remove_file(const std::string& path) {
+  std::remove(path.c_str());
+}
+
+}  // namespace essat::snap

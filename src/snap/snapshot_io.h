@@ -1,0 +1,33 @@
+// File I/O for snapshots — the ONLY snap translation unit that touches the
+// host filesystem. Keeping every open/rename/remove here (and allowlisting
+// exactly this TU in essat-tidy's host-environment checks) pins the rest of
+// the snap layer, which runs inside trials, to the simulator's virtual
+// world: a fixture test asserts that sim-side snap code stays banned from
+// host time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/snap/snapshot.h"
+
+namespace essat::snap {
+
+// Reads a whole file. Throws SnapError if the file cannot be opened or read.
+std::vector<std::uint8_t> read_file_bytes(const std::string& path);
+
+// Writes a whole file, replacing any existing content, via a same-directory
+// temporary + rename so readers never observe a half-written snapshot.
+// Throws SnapError on any I/O failure.
+void write_file_bytes(const std::string& path,
+                      const std::vector<std::uint8_t>& bytes);
+
+// Framed-snapshot convenience wrappers over the above.
+Snapshot read_snapshot_file(const std::string& path);
+void write_snapshot_file(const std::string& path, const Snapshot& snap);
+
+bool file_exists(const std::string& path);
+void remove_file(const std::string& path);  // ignores missing files
+
+}  // namespace essat::snap

@@ -1,0 +1,19 @@
+// Timer serialization helper shared by component save_state hooks.
+//
+// A sim::Timer's callback is code (rebuilt by replay); its observable state
+// is whether it is armed and when it fires. The fire time is normalized to
+// zero when disarmed so stale fire_time_ residue can never leak into the
+// attestation bytes.
+#pragma once
+
+#include "src/sim/timer.h"
+#include "src/snap/serializer.h"
+
+namespace essat::snap {
+
+inline void save_timer(Serializer& out, const sim::Timer& t) {
+  out.boolean(t.armed());
+  out.time(t.armed() ? t.fire_time() : util::Time::zero());
+}
+
+}  // namespace essat::snap

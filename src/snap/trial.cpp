@@ -1,0 +1,104 @@
+#include "src/snap/trial.h"
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "src/snap/config_codec.h"
+#include "src/snap/hook.h"
+#include "src/snap/serializer.h"
+
+namespace essat::snap {
+namespace {
+
+// Where the re-serialized state first diverges from the snapshot — the one
+// number that turns "attestation failed" into a debuggable report (section
+// tags are plain text in the stream, so the offset locates the component).
+std::size_t first_divergence(const std::vector<std::uint8_t>& a,
+                             const std::vector<std::uint8_t>& b) {
+  const std::size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return i;
+  }
+  return n;
+}
+
+}  // namespace
+
+util::Time capture_barrier(const harness::ScenarioConfig& config) {
+  return config.setup_duration - util::Time::nanoseconds(1);
+}
+
+TrialCapture capture_trial(const harness::ScenarioConfig& config) {
+  return capture_trial(config, capture_barrier(config));
+}
+
+TrialCapture capture_trial(const harness::ScenarioConfig& config,
+                           util::Time barrier) {
+  TrialCapture result;
+  TrialHookSpec spec;
+  spec.enabled = true;
+  spec.at = barrier;
+  spec.hook = [&result, barrier](TrialCheckpoint& cp) {
+    Serializer out;
+    out.begin("TRIL");
+    save_scenario_config(out, cp.config);
+    out.time(barrier);
+    const std::vector<std::uint8_t> state = cp.serialize();
+    out.bytes(state.data(), state.size());  // "TRST": self-framing
+    out.end();
+    result.snapshot.kind = SnapshotKind::kTrial;
+    result.snapshot.payload = out.take();
+  };
+  result.metrics = harness::run_scenario(config, spec);
+  return result;
+}
+
+TrialImage decode_trial(const Snapshot& snapshot) {
+  if (snapshot.kind != SnapshotKind::kTrial) {
+    throw SnapError{"decode_trial: snapshot kind is not kTrial"};
+  }
+  Deserializer in{snapshot.payload};
+  in.enter("TRIL");
+  TrialImage image;
+  image.config = load_scenario_config(in);
+  image.barrier = in.time();
+  const std::size_t state_at = in.offset();
+  const std::size_t state_len = in.remaining();
+  image.state.assign(snapshot.payload.data() + state_at,
+                     snapshot.payload.data() + state_at + state_len);
+  in.skip();  // the "TRST" section just copied out
+  in.finish();
+
+  // Strip export side effects; keep the event-affecting trace fields.
+  image.config.trace.perfetto_path.clear();
+  image.config.trace.jsonl_path.clear();
+  image.config.trace.sink = nullptr;
+  return image;
+}
+
+harness::RunMetrics resume_trial(const TrialImage& image) {
+  TrialHookSpec spec;
+  spec.enabled = true;
+  spec.at = image.barrier;
+  spec.hook = [&image](TrialCheckpoint& cp) {
+    const std::vector<std::uint8_t> replayed = cp.serialize();
+    if (replayed != image.state) {
+      throw SnapError{
+          "resume attestation failed: replayed state diverges from the "
+          "snapshot at byte " +
+          std::to_string(first_divergence(replayed, image.state)) + " of " +
+          std::to_string(image.state.size()) + " (replayed " +
+          std::to_string(replayed.size()) +
+          " bytes); the snapshot was taken by a different build or the "
+          "replay is nondeterministic"};
+    }
+  };
+  return harness::run_scenario(image.config, spec);
+}
+
+harness::RunMetrics resume_trial(const Snapshot& snapshot) {
+  return resume_trial(decode_trial(snapshot));
+}
+
+}  // namespace essat::snap

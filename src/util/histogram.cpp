@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/snap/serializer.h"
+
 namespace essat::util {
 
 Histogram::Histogram(double lo, double bin_width, std::size_t num_bins)
@@ -46,6 +48,28 @@ std::uint64_t Histogram::total() const {
 
 double Histogram::bin_upper_edge(std::size_t bin) const {
   return lo_ + bin_width_ * static_cast<double>(bin + 1);
+}
+
+void Histogram::save_state(snap::Serializer& out) const {
+  out.f64(lo_);
+  out.f64(bin_width_);
+  out.u64(counts_.size());
+  for (std::uint64_t c : counts_) out.u64(c);
+  out.u64(underflow_);
+  out.u64(overflow_);
+  out.u64(raw_.size());
+  for (double v : raw_) out.f64(v);
+}
+
+void Histogram::restore_state(snap::Deserializer& in) {
+  lo_ = in.f64();
+  bin_width_ = in.f64();
+  counts_.resize(static_cast<std::size_t>(in.u64()));
+  for (std::uint64_t& c : counts_) c = in.u64();
+  underflow_ = in.u64();
+  overflow_ = in.u64();
+  raw_.resize(static_cast<std::size_t>(in.u64()));
+  for (double& v : raw_) v = in.f64();
 }
 
 double Histogram::frac_below_(double threshold) const {

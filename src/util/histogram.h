@@ -6,6 +6,11 @@
 #include <cstdint>
 #include <vector>
 
+namespace essat::snap {
+class Serializer;
+class Deserializer;
+}  // namespace essat::snap
+
 namespace essat::util {
 
 class Histogram {
@@ -28,6 +33,11 @@ class Histogram {
   double bin_upper_edge(std::size_t bin) const;
   // Fraction of all recorded values strictly below `threshold`.
   double fraction_below(double threshold) const { return frac_below_(threshold); }
+
+  // Snapshot hooks: full state including the raw-value tail, so restored
+  // threshold queries are bit-exact. restore_state overwrites geometry too.
+  void save_state(snap::Serializer& out) const;
+  void restore_state(snap::Deserializer& in);
 
  private:
   double frac_below_(double threshold) const;

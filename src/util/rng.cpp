@@ -1,5 +1,9 @@
 #include "src/util/rng.h"
 
+#include <sstream>
+
+#include "src/snap/serializer.h"
+
 namespace essat::util {
 namespace {
 
@@ -47,6 +51,20 @@ double Rng::normal(double mean, double stddev) {
 bool Rng::bernoulli(double p) {
   std::bernoulli_distribution d{p};
   return d(gen_);
+}
+
+void Rng::save_state(snap::Serializer& out) const {
+  out.u64(seed_);
+  std::ostringstream ss;
+  ss << gen_;
+  out.str(ss.str());
+}
+
+void Rng::restore_state(snap::Deserializer& in) {
+  seed_ = in.u64();
+  std::istringstream ss{in.str()};
+  ss >> gen_;
+  if (!ss) throw snap::SnapError{"corrupt mt19937_64 engine state"};
 }
 
 }  // namespace essat::util

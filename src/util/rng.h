@@ -10,6 +10,11 @@
 
 #include "src/util/time.h"
 
+namespace essat::snap {
+class Serializer;
+class Deserializer;
+}  // namespace essat::snap
+
 namespace essat::util {
 
 class Rng {
@@ -42,6 +47,12 @@ class Rng {
   bool bernoulli(double p);
 
   std::uint64_t seed() const { return seed_; }
+
+  // Snapshot hooks. std::mt19937_64's stream insertion/extraction round-trip
+  // is exact per the standard, and every distribution above is constructed
+  // fresh per call, so (seed_, engine state) is the complete stream state.
+  void save_state(snap::Serializer& out) const;
+  void restore_state(snap::Deserializer& in);
 
  private:
   std::uint64_t seed_;

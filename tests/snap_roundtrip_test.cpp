@@ -1,0 +1,315 @@
+// Round-trip property tests for snapshot state hooks: util containers
+// (FlatMap/RingQueue preserve iteration order, capacity, capacity_bytes),
+// Rng engine state, Histogram/RunningStat accumulators, and the RunMetrics
+// codec. The invariant throughout: restore then re-serialize must reproduce
+// the original bytes exactly, and post-restore behavior must be
+// indistinguishable from the original object's.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/harness/metrics.h"
+#include "src/query/query.h"
+#include "src/snap/metrics_codec.h"
+#include "src/snap/serializer.h"
+#include "src/util/flat_map.h"
+#include "src/util/histogram.h"
+#include "src/util/ring_queue.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace essat {
+namespace {
+
+using snap::Deserializer;
+using snap::Serializer;
+
+void save_u64(Serializer& out, std::uint64_t v) { out.u64(v); }
+void load_u64(Deserializer& in, std::uint64_t& v) { v = in.u64(); }
+
+template <typename Map>
+std::vector<std::pair<std::uint64_t, std::uint64_t>> entries(const Map& m) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  m.for_each([&](std::uint64_t k, std::uint64_t v) { out.emplace_back(k, v); });
+  return out;
+}
+
+TEST(FlatMapRoundTrip, PreservesLayoutCapacityAndIterationOrder) {
+  util::Rng rng{20250807};
+  for (int trial = 0; trial < 20; ++trial) {
+    util::FlatMap<std::uint64_t, std::uint64_t> m;
+    const int n = static_cast<int>(rng.uniform_int(0, 300));
+    for (int i = 0; i < n; ++i) {
+      m[static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20))] =
+          static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 30));
+    }
+
+    Serializer out;
+    m.save_state(out, save_u64);
+    const auto bytes = out.take();
+
+    util::FlatMap<std::uint64_t, std::uint64_t> back;
+    Deserializer in{bytes};
+    back.restore_state(in, load_u64);
+    ASSERT_TRUE(in.at_end());
+
+    EXPECT_EQ(back.size(), m.size());
+    EXPECT_EQ(back.capacity_bytes(), m.capacity_bytes());
+    EXPECT_EQ(entries(back), entries(m));  // identical for_each order
+
+    // Re-serializing the restored map reproduces the bytes exactly.
+    Serializer again;
+    back.save_state(again, save_u64);
+    EXPECT_EQ(again.data(), bytes);
+
+    // Post-restore behavior matches: the same further inserts leave the two
+    // maps indistinguishable (probe layout and growth included).
+    for (int i = 0; i < 50; ++i) {
+      const auto k = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20));
+      const auto v = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 30));
+      m[k] = v;
+      back[k] = v;
+    }
+    EXPECT_EQ(back.capacity_bytes(), m.capacity_bytes());
+    EXPECT_EQ(entries(back), entries(m));
+  }
+}
+
+TEST(RingQueueRoundTrip, PreservesHeadOffsetCapacityAndContents) {
+  util::Rng rng{777};
+  for (int trial = 0; trial < 20; ++trial) {
+    util::RingQueue<std::uint64_t> q;
+    // Random push/pop churn so head_ lands at an arbitrary wrap offset.
+    std::uint64_t next = 1;
+    const int ops = static_cast<int>(rng.uniform_int(0, 200));
+    for (int i = 0; i < ops; ++i) {
+      if (!q.empty() && rng.bernoulli(0.45)) {
+        (void)q.pop_front();
+      } else {
+        q.push_back(next++);
+      }
+    }
+
+    Serializer out;
+    q.save_state(out, save_u64);
+    const auto bytes = out.take();
+
+    util::RingQueue<std::uint64_t> back;
+    Deserializer in{bytes};
+    back.restore_state(in, load_u64);
+    ASSERT_TRUE(in.at_end());
+
+    EXPECT_EQ(back.size(), q.size());
+    EXPECT_EQ(back.capacity(), q.capacity());
+    EXPECT_EQ(back.capacity_bytes(), q.capacity_bytes());
+    for (std::size_t i = 0; i < q.size(); ++i) EXPECT_EQ(back[i], q[i]);
+
+    Serializer again;
+    back.save_state(again, save_u64);
+    EXPECT_EQ(again.data(), bytes);  // includes the head offset
+
+    // The same further ops (growth, wrap-around, mid-queue take_at) keep the
+    // two queues in lockstep.
+    for (int i = 0; i < 60; ++i) {
+      if (!q.empty() && rng.bernoulli(0.3)) {
+        const auto at = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(q.size()) - 1));
+        EXPECT_EQ(q.take_at(at), back.take_at(at));
+      } else {
+        q.push_back(next);
+        back.push_back(next);
+        ++next;
+      }
+    }
+    EXPECT_EQ(back.capacity(), q.capacity());
+    for (std::size_t i = 0; i < q.size(); ++i) EXPECT_EQ(back[i], q[i]);
+  }
+}
+
+TEST(RngRoundTrip, RestoredStreamContinuesIdentically) {
+  util::Rng original{42};
+  // Burn an arbitrary prefix so the engine is mid-sequence.
+  for (int i = 0; i < 1000; ++i) (void)original.uniform(0.0, 1.0);
+
+  Serializer out;
+  original.save_state(out);
+  const auto bytes = out.take();
+
+  util::Rng restored{0};  // seed overwritten by restore
+  Deserializer in{bytes};
+  restored.restore_state(in);
+  EXPECT_EQ(restored.seed(), original.seed());
+
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(original.uniform(0.0, 1.0), restored.uniform(0.0, 1.0));
+    EXPECT_EQ(original.uniform_int(0, 1 << 20), restored.uniform_int(0, 1 << 20));
+    EXPECT_EQ(original.exponential(2.0), restored.exponential(2.0));
+    EXPECT_EQ(original.normal(0.0, 1.0), restored.normal(0.0, 1.0));
+    EXPECT_EQ(original.bernoulli(0.3), restored.bernoulli(0.3));
+  }
+  // Forked streams derive from seed_, so they match too.
+  EXPECT_EQ(original.fork(9).uniform(0.0, 1.0), restored.fork(9).uniform(0.0, 1.0));
+}
+
+TEST(HistogramRoundTrip, CountsRawTailAndGeometry) {
+  util::Histogram h{0.0, 0.025, 8};
+  util::Rng rng{5};
+  for (int i = 0; i < 500; ++i) h.add(rng.uniform(-0.05, 0.3));
+
+  Serializer out;
+  h.save_state(out);
+  const auto bytes = out.take();
+
+  util::Histogram back{1.0, 1.0, 1};  // geometry overwritten by restore
+  Deserializer in{bytes};
+  back.restore_state(in);
+
+  EXPECT_EQ(back.num_bins(), h.num_bins());
+  EXPECT_EQ(back.total(), h.total());
+  EXPECT_EQ(back.underflow(), h.underflow());
+  EXPECT_EQ(back.overflow(), h.overflow());
+  for (std::size_t b = 0; b < h.num_bins(); ++b) {
+    EXPECT_EQ(back.count(b), h.count(b));
+    EXPECT_EQ(back.bin_upper_edge(b), h.bin_upper_edge(b));
+  }
+  EXPECT_EQ(back.fraction_below(0.0025), h.fraction_below(0.0025));
+
+  Serializer again;
+  back.save_state(again);
+  EXPECT_EQ(again.data(), bytes);
+}
+
+TEST(RunningStatRoundTrip, WelfordStateBitExact) {
+  util::RunningStat s;
+  util::Rng rng{99};
+  for (int i = 0; i < 300; ++i) s.add(rng.normal(5.0, 2.0));
+
+  Serializer out;
+  s.save_state(out);
+  const auto bytes = out.take();
+
+  util::RunningStat back;
+  Deserializer in{bytes};
+  back.restore_state(in);
+
+  EXPECT_EQ(back.count(), s.count());
+  EXPECT_EQ(back.mean(), s.mean());
+  EXPECT_EQ(back.variance(), s.variance());
+  EXPECT_EQ(back.min(), s.min());
+  EXPECT_EQ(back.max(), s.max());
+
+  // Folding the same samples into both afterwards keeps them bit-equal
+  // (this is what lets a resumed sweep re-feed ledger metrics in order).
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    s.add(x);
+    back.add(x);
+  }
+  EXPECT_EQ(back.mean(), s.mean());
+  EXPECT_EQ(back.variance(), s.variance());
+}
+
+harness::RunMetrics sample_metrics() {
+  harness::RunMetrics m;
+  m.avg_duty_cycle = 0.123456789;
+  m.duty_by_rank = {0.5, 0.25, 0.125};
+  m.avg_latency_s = 1.5;
+  m.p95_latency_s = 2.5;
+  m.max_latency_s = 3.5;
+  m.delivery_ratio = 0.99;
+  m.epochs_measured = 40;
+  m.sleep_hist.add(0.01);
+  m.sleep_hist.add(0.15);
+  m.sleep_hist.add(0.9);
+  m.frac_sleep_below_2_5ms = 0.0625;
+  m.sleep_intervals = 3;
+  m.phase_update_bits_per_report = 0.75;
+  m.phase_updates = 12;
+  for (int i = 0; i < 5; ++i) {
+    harness::RunMetrics::NodeDiag d;
+    d.id = i;
+    d.rank = i % 3;
+    d.level = i;
+    d.leaf = (i % 2) == 0;
+    d.duty_cycle = 0.1 * i;
+    d.reports_sent = 10u * i;
+    d.send_failures = i;
+    d.retx_no_ack = 2u * i;
+    d.cca_busy_defers = 3u * i;
+    m.per_node.push_back(d);
+  }
+  m.reports_sent = 50;
+  m.mac_transmissions = 200;
+  m.mac_send_failures = 5;
+  m.mac_retx_no_ack = 20;
+  m.mac_cca_busy_defers = 30;
+  m.channel_collisions = 7;
+  m.channel_delivered = 180;
+  m.channel_dropped_by_model = 13;
+  m.pass_through_forwarded = 4;
+  m.tree_members = 5;
+  m.max_rank = 2;
+  m.backbone_size = 3;
+  m.sim_events = 123456;
+  m.peak_pending_events = 789;
+  return m;
+}
+
+TEST(RunMetricsCodec, RoundTripReproducesBytesExactly) {
+  const harness::RunMetrics m = sample_metrics();
+  const auto bytes = snap::run_metrics_to_bytes(m);
+  const harness::RunMetrics back = snap::run_metrics_from_bytes(bytes);
+  // Two RunMetrics are equal iff their encodings are equal — the same
+  // equivalence the restored-vs-straight-run conformance tests use.
+  EXPECT_EQ(snap::run_metrics_to_bytes(back), bytes);
+  EXPECT_EQ(back.avg_duty_cycle, m.avg_duty_cycle);
+  EXPECT_EQ(back.per_node.size(), m.per_node.size());
+  EXPECT_EQ(back.sleep_hist.total(), m.sleep_hist.total());
+  EXPECT_EQ(back.sim_events, m.sim_events);
+}
+
+TEST(LatencyCollectorRoundTrip, SummaryIdenticalAfterRestore) {
+  query::Query q;
+  q.id = 3;
+  q.period = util::Time::seconds(5);
+  q.phase = util::Time::seconds(10);
+
+  harness::LatencyCollector c;
+  util::Rng rng{31};
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    for (int n = 0; n < 4; ++n) {
+      c.on_root_arrival(q, epoch,
+                        q.epoch_start(epoch) +
+                            util::Time::milliseconds(rng.uniform_int(1, 4000)),
+                        1);
+    }
+  }
+
+  Serializer out;
+  c.save_state(out);
+  const auto bytes = out.take();
+
+  harness::LatencyCollector back;
+  Deserializer in{bytes};
+  back.restore_state(in);
+
+  const auto begin = util::Time::seconds(10);
+  const auto end = util::Time::seconds(160);
+  const auto grace = util::Time::seconds(5);
+  const auto a = c.summarize(begin, end, grace, 4);
+  const auto b = back.summarize(begin, end, grace, 4);
+  EXPECT_EQ(a.avg_s, b.avg_s);
+  EXPECT_EQ(a.p95_s, b.p95_s);
+  EXPECT_EQ(a.max_s, b.max_s);
+  EXPECT_EQ(a.delivery_ratio, b.delivery_ratio);
+  EXPECT_EQ(a.epochs, b.epochs);
+
+  Serializer again;
+  back.save_state(again);
+  EXPECT_EQ(again.data(), bytes);
+}
+
+}  // namespace
+}  // namespace essat

@@ -16,8 +16,16 @@ tighter) --mem-tolerance. A growth past the band fails the same way a
 throughput regression does — per-node memory is the city-scale
 scalability budget, not an advisory metric.
 
+The fork-sweep acceleration (src/exp/fork_sweep) is gated as an absolute
+floor rather than a baseline ratio: fork_speedup is already a same-host
+A/B (forked vs re-simulated prefix, same binary, same run), so the host's
+speed cancels by construction. --min-fork-speedup (default 2.0) fails the
+check when the measured speedup drops below the floor; the key is skipped
+when the report predates it or the platform has no fork(2)
+(fork_available false).
+
 Usage: check_perf.py <fresh.json> <baseline.json> [--tolerance 0.20]
-                     [--mem-tolerance 0.25]
+                     [--mem-tolerance 0.25] [--min-fork-speedup 2.0]
 """
 import argparse
 import json
@@ -33,6 +41,9 @@ def main() -> int:
     parser.add_argument("--mem-tolerance", type=float, default=0.25,
                         help="allowed fractional growth of the per-node "
                              "memory metrics (default 0.25)")
+    parser.add_argument("--min-fork-speedup", type=float, default=2.0,
+                        help="minimum fork-sweep speedup over re-simulating "
+                             "the shared prefix (default 2.0)")
     args = parser.parse_args()
 
     with open(args.fresh) as f:
@@ -88,6 +99,24 @@ def main() -> int:
         elif mem_ratio < 1.0 - args.mem_tolerance:
             print(f"NOTE: {mem_key} shrank past the tolerance band — refresh "
                   "the committed baseline to lock in the gain")
+
+    # Fork-sweep acceleration: an absolute floor, not a baseline ratio —
+    # the report's fork_speedup is a same-host, same-binary A/B already.
+    if "fork_speedup" not in fresh:
+        print("note: fork_speedup missing from fresh report, skipped")
+    elif not fresh.get("fork_available", False):
+        print("note: fork(2) unavailable on this platform, "
+              "fork_speedup skipped")
+    else:
+        speedup = fresh["fork_speedup"]
+        print(f"fork check: speedup={speedup:.2f}x "
+              f"(seq={fresh.get('seq_runs_per_sec', 0):.2f} runs/s, "
+              f"fork={fresh.get('fork_runs_per_sec', 0):.2f} runs/s, "
+              f"floor {args.min_fork_speedup:.1f}x)")
+        if speedup < args.min_fork_speedup:
+            print(f"FAIL: fork-sweep speedup {speedup:.2f}x is below the "
+                  f"{args.min_fork_speedup:.1f}x floor")
+            failed = True
 
     if failed:
         return 1

@@ -12,7 +12,8 @@ NoWallclockCheck::NoWallclockCheck(llvm::StringRef Name,
                                    ClangTidyContext *Context)
     : ClangTidyCheck(Name, Context),
       AllowedFiles(Options.get(
-          "AllowedFiles", "src/util/rng.;src/exp/;src/obs/trace_export.")) {}
+          "AllowedFiles",
+          "src/util/rng.;src/exp/;src/obs/trace_export.;src/snap/snapshot_io.")) {}
 
 void NoWallclockCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
   Options.store(Opts, "AllowedFiles", AllowedFiles);

@@ -12,8 +12,10 @@
 //
 // Options:
 //   essat-no-wallclock.AllowedFiles — ';'-separated path substrings exempt
-//   from the check (default: "src/util/rng.;src/exp/;src/obs/trace_export."
-//   — the RNG implementation, sweep progress reporting, export timestamps).
+//   from the check (default: "src/util/rng.;src/exp/;src/obs/trace_export.;
+//   src/snap/snapshot_io." — the RNG implementation, sweep progress
+//   reporting, export timestamps, and the snapshot file-I/O TU; the rest of
+//   src/snap runs inside trials and stays in scope).
 #pragma once
 
 #include "clang-tidy/ClangTidyCheck.h"

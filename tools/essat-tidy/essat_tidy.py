@@ -72,11 +72,15 @@ CHECKS = (
 
 # Paths (relative to --root, '/'-separated prefixes) exempt from
 # essat-no-wallclock: the RNG implementation itself, sweep-engine progress
-# reporting, and trace-export timestamps.
+# reporting, trace-export timestamps, and the snapshot file-I/O TU — the
+# ONLY snap translation unit allowed to touch the host environment; the
+# rest of src/snap runs inside trials and stays banned (pinned by the
+# wallclock-allowlist fixture).
 WALLCLOCK_ALLOWLIST = (
     "src/util/rng.",
     "src/exp/",
     "src/obs/trace_export.",
+    "src/snap/snapshot_io.",
 )
 
 # Hot-path surface: the event core, the channel, and the MAC. Everything

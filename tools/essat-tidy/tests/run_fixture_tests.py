@@ -76,6 +76,40 @@ def run_check_fixture(check: str) -> int:
     return 0 if ok else 1
 
 
+def run_wallclock_allowlist_fixture() -> int:
+    """Pins the no-wallclock allowlist boundary: the snapshot file-I/O TU
+    (and the other host-facing TUs) are exempt, while sim-side snap code —
+    which runs inside trials — stays banned. Scans the no-wallclock fixture
+    (which contains real findings) under different reported paths."""
+    path = os.path.join(HERE, "no-wallclock.cpp")
+    cases = [
+        # (path as reported, exempt?)
+        ("src/snap/snapshot_io.cpp", True),   # the ONLY host-I/O snap TU
+        ("src/util/rng.cpp", True),
+        ("src/exp/sinks.cpp", True),
+        ("src/obs/trace_export.cpp", True),
+        ("src/snap/trial.cpp", False),        # sim-side snap: banned
+        ("src/snap/serializer.cpp", False),
+        ("src/snap/config_codec.cpp", False),
+        ("src/sim/simulator.cpp", False),
+    ]
+    ok = True
+    for rel, exempt in cases:
+        active, _, _ = essat_tidy.scan_file(
+            path, rel, ["no-wallclock"], False, True)
+        if exempt and active:
+            print(f"FAIL allowlist: {rel} should be exempt, "
+                  f"{len(active)} finding(s) reported")
+            ok = False
+        if not exempt and not active:
+            print(f"FAIL allowlist: {rel} should be in scope, "
+                  f"no findings reported")
+            ok = False
+    print(("OK" if ok else "FAIL") + " fixture wallclock-allowlist: "
+          f"{len(cases)} path cases")
+    return 0 if ok else 1
+
+
 def run_suppression_fixture() -> int:
     path = os.path.join(HERE, "suppressions.cpp")
     active, suppressed, n_comments = scan(
@@ -124,8 +158,11 @@ def main(argv: list) -> int:
         rc = 0
         for check in FIXTURES:
             rc |= run_check_fixture(check)
+        rc |= run_wallclock_allowlist_fixture()
         rc |= run_suppression_fixture()
         return rc
+    if what == "wallclock-allowlist":
+        return run_wallclock_allowlist_fixture()
     if what == "suppressions":
         return run_suppression_fixture()
     if what in FIXTURES:

@@ -130,6 +130,38 @@ class CheckPerfTest(unittest.TestCase):
         self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
         self.assertIn("skipped", result.stdout)
 
+    def test_fork_speedup_below_floor_fails(self):
+        fresh = self.write("fresh.json",
+                           report(fork_available=True, fork_speedup=1.4,
+                                  seq_runs_per_sec=1.0,
+                                  fork_runs_per_sec=1.4))
+        base = self.write("base.json", report())
+        result = self.run_gate(fresh, base)  # 1.4x < default 2.0x floor
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("fork-sweep speedup", result.stdout)
+
+    def test_fork_speedup_at_floor_passes_and_flag_raises_it(self):
+        fresh = self.write("fresh.json",
+                           report(fork_available=True, fork_speedup=2.3,
+                                  seq_runs_per_sec=1.0,
+                                  fork_runs_per_sec=2.3))
+        base = self.write("base.json", report())
+        self.assertEqual(self.run_gate(fresh, base).returncode, 0)
+        raised = self.run_gate(fresh, base, "--min-fork-speedup", "3.0")
+        self.assertEqual(raised.returncode, 1, raised.stdout + raised.stderr)
+
+    def test_fork_speedup_skipped_without_fork_or_key(self):
+        # Reports predating the metric, and platforms without fork(2),
+        # skip the floor instead of failing.
+        base = self.write("base.json", report())
+        old = self.write("old.json", report())
+        self.assertEqual(self.run_gate(old, base).returncode, 0)
+        no_fork = self.write("no_fork.json",
+                             report(fork_available=False, fork_speedup=0.0))
+        result = self.run_gate(no_fork, base)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("skipped", result.stdout)
+
     def test_malformed_fresh_json_exits_nonzero(self):
         fresh = self.write("fresh.json", "{not json")
         base = self.write("base.json", report())
