@@ -21,6 +21,19 @@ void MaintenanceService::attach_agent(net::NodeId node, query::QueryAgent* agent
       [this, node](net::NodeId child) { note_child_heard(node, child); });
 }
 
+void MaintenanceService::detach_agent(net::NodeId node) {
+  agents_.erase(node);
+  consecutive_send_failures_.erase(node);
+  for (auto it = consecutive_child_misses_.begin();
+       it != consecutive_child_misses_.end();) {
+    if (it->first.first == node || it->first.second == node) {
+      it = consecutive_child_misses_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void MaintenanceService::set_alive_predicate(std::function<bool(net::NodeId)> alive) {
   alive_ = std::move(alive);
 }

@@ -38,6 +38,10 @@ class MaintenanceService {
   // Register a node's agent; installs the failure hooks. `alive` reports
   // whether a node is still up (radio not failed).
   void attach_agent(net::NodeId node, query::QueryAgent* agent);
+  // Forget a node's agent and its failure counters (node crash: the agent
+  // is about to be destroyed). A restarted node re-attaches its fresh agent
+  // via attach_agent, starting with clean counters.
+  void detach_agent(net::NodeId node);
   void set_alive_predicate(std::function<bool(net::NodeId)> alive);
 
   // Repair-service hooks, to be installed on the RepairService this object

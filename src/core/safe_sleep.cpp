@@ -64,8 +64,13 @@ util::Time SafeSleep::next_wakeup() const {
   return t;
 }
 
+void SafeSleep::deactivate() {
+  active_ = false;
+  wake_timer_.cancel();
+}
+
 void SafeSleep::check_state() {
-  if (!params_.enabled || radio_.failed()) return;
+  if (!active_ || !params_.enabled || radio_.failed()) return;
   const util::Time now = sim_.now();
   if (now < setup_end_) return;  // setup slot: stay on
 
@@ -76,7 +81,8 @@ void SafeSleep::check_state() {
     // registered that is earlier than the scheduled wake-up: bring the
     // wake-up forward so the no-delay-penalty guarantee holds.
     if (t_wakeup == util::Time::max()) return;
-    const util::Time wake_at = std::max(now, t_wakeup - radio_.params().t_off_on);
+    util::Time wake_at = std::max(now, t_wakeup - radio_.params().t_off_on);
+    if (wake_adjust_) wake_at = std::max(now, wake_adjust_(wake_at));
     if (!wake_timer_.armed() || wake_at < wake_timer_.fire_time()) {
       wake_timer_.arm_at(wake_at, [this] { radio_.turn_on(); });
     }
@@ -109,7 +115,11 @@ void SafeSleep::check_state() {
   radio_.turn_off();
   ++sleeps_;
   // Wake early enough that the OFF->ON transition completes at t_wakeup.
-  const util::Time wake_at = std::max(now, t_wakeup - radio_.params().t_off_on);
+  // A drifted clock (wake_adjust_) misses that target — the delivery
+  // penalty that mispredicted wake-ups cost is exactly what the fault
+  // engine's drift axis measures.
+  util::Time wake_at = std::max(now, t_wakeup - radio_.params().t_off_on);
+  if (wake_adjust_) wake_at = std::max(now, wake_adjust_(wake_at));
   wake_timer_.arm_at(wake_at, [this] { radio_.turn_on(); });
 }
 
@@ -128,6 +138,7 @@ void SafeSleep::save_state(snap::Serializer& out) const {
     out.time(t);
   }
   snap::save_timer(out, wake_timer_);
+  out.boolean(active_);
   out.u64(sleeps_);
   out.u64(short_skips_);
   out.end();

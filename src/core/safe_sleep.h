@@ -63,6 +63,21 @@ class SafeSleep final : public query::ExpectedTimeSink {
   // update and by the MAC idle callback; safe to call at any time.
   void check_state();
 
+  // Clock-drift hook (fault engine): maps an intended wake-up time to the
+  // time this node's skewed clock actually fires it. Applied wherever the
+  // wake timer is armed (never earlier than now); null means a perfect
+  // clock — the exact pre-hook behavior.
+  // essat-lint: allow(hot-path-alloc) — installed once per node at setup
+  void set_wake_adjust(std::function<util::Time(util::Time)> adjust) {
+    wake_adjust_ = std::move(adjust);
+  }
+
+  // Permanently retires this scheduler (node crash). The radio observer and
+  // MAC idle callback may keep firing — a replacement SafeSleep is built on
+  // restart while this one stays alive in its policy's ownership list — so
+  // a deactivated instance must never arm its timer or touch the radio.
+  void deactivate();
+
   // Earliest expected communication across all tracked queries, or
   // Time::max() if nothing is expected.
   util::Time next_wakeup() const;
@@ -88,6 +103,8 @@ class SafeSleep final : public query::ExpectedTimeSink {
   std::map<net::QueryId, util::Time> next_send_;
   std::map<std::pair<net::QueryId, net::NodeId>, util::Time> next_receive_;
   sim::Timer wake_timer_;
+  std::function<util::Time(util::Time)> wake_adjust_;  // essat-lint: allow(hot-path-alloc)
+  bool active_ = true;
   std::uint64_t sleeps_ = 0;
   std::uint64_t short_skips_ = 0;
 };

@@ -39,7 +39,9 @@ void Radio::account_to_now_() {
     } else {
       on_accum_ += dt;
     }
-    energy_mj_ += current_power_mw_() * dt.to_seconds();
+    const double spent_mj = current_power_mw_() * dt.to_seconds();
+    energy_mj_ += spent_mj;
+    lifetime_energy_mj_ += spent_mj;
   }
   segment_start_ = now;
 }
@@ -131,6 +133,18 @@ void Radio::fail() {
   in_off_interval_ = false;  // dead time is not a sleep interval
 }
 
+void Radio::crash() {
+  fail();  // no-op if already failed; the latch clears below still apply
+  tx_active_ = false;
+  rx_active_ = false;
+}
+
+void Radio::restore() {
+  if (!failed_) return;
+  account_to_now_();  // close the outage segment at p_off power
+  failed_ = false;
+}
+
 void Radio::note_tx(bool active) {
   account_to_now_();
   tx_active_ = active;
@@ -175,6 +189,11 @@ double Radio::energy_mj() const {
   return energy_mj_;
 }
 
+double Radio::lifetime_energy_mj() const {
+  const_cast<Radio*>(this)->account_to_now_();
+  return lifetime_energy_mj_;
+}
+
 void Radio::save_state(snap::Serializer& out) const {
   out.begin("RADI");
   out.u8(static_cast<std::uint8_t>(state_));
@@ -189,6 +208,7 @@ void Radio::save_state(snap::Serializer& out) const {
   out.time(off_accum_);
   out.time(on_accum_);
   out.f64(energy_mj_);
+  out.f64(lifetime_energy_mj_);
   out.time(off_enter_time_);
   out.boolean(in_off_interval_);
   out.u64(sleep_intervals_.size());

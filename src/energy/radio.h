@@ -68,6 +68,13 @@ class Radio {
   // Permanent node death (failure injection): radio drops to OFF and ignores
   // all future turn_on() calls.
   void fail();
+  // Churn-style crash: fail() plus clearing the MAC activity latches. The
+  // MAC's tx-end timer dies with the node, so nothing else would ever clear
+  // note_tx/note_rx and the radio would bill TX power across the outage.
+  void crash();
+  // Revives a crashed radio (node restart). The radio stays OFF; callers
+  // turn_on() it as part of rebuilding the node's stack.
+  void restore();
 
   // Observer invoked on every completed state change (new state passed).
   // Multiple observers are supported (Safe Sleep, MAC, protocols).
@@ -93,6 +100,10 @@ class Radio {
   double duty_cycle() const;
   // Energy spent in the window, in millijoules.
   double energy_mj() const;
+  // Energy spent since construction, in millijoules — unlike energy_mj()
+  // this survives begin_measurement(), so battery budgets (fault engine)
+  // drain across the whole run including setup.
+  double lifetime_energy_mj() const;
   // Completed OFF intervals (entering OFF to leaving OFF), seconds, recorded
   // within the measurement window. Paper Fig. 8.
   const std::vector<double>& sleep_intervals_s() const { return sleep_intervals_; }
@@ -125,6 +136,7 @@ class Radio {
   util::Time off_accum_;
   util::Time on_accum_;            // everything non-OFF
   double energy_mj_ = 0.0;
+  double lifetime_energy_mj_ = 0.0;  // never reset (battery budgets)
   util::Time off_enter_time_;      // for sleep-interval recording
   bool in_off_interval_ = false;
   std::vector<double> sleep_intervals_;

@@ -13,6 +13,9 @@
 //   query   — periodic-query service with in-network aggregation
 //   core    — the paper's contribution: Safe Sleep + NTS/STS/DTS shapers
 //   baselines — SYNC, PSM, SPAN comparison protocols
+//   fault   — deterministic fault injection: node churn, battery
+//             depletion, clock drift (declarative FaultSpec, pre-drawn
+//             per-node schedules)
 //   harness — scenario assembly, metrics, multi-run experiments
 //   exp     — parallel experiment-sweep engine (thread pool, parameter
 //             grids, deterministic seeding, aggregation, result sinks);
@@ -39,6 +42,8 @@
 #include "src/exp/sweep.h"
 #include "src/exp/sweep_runner.h"
 #include "src/exp/thread_pool.h"
+#include "src/fault/fault_engine.h"
+#include "src/fault/fault_spec.h"
 #include "src/harness/metrics.h"
 #include "src/harness/power_manager.h"
 #include "src/harness/runner.h"
@@ -47,6 +52,7 @@
 #include "src/harness/table.h"
 #include "src/mac/csma.h"
 #include "src/net/channel.h"
+#include "src/net/link_model.h"
 #include "src/net/packet.h"
 #include "src/net/topology.h"
 #include "src/obs/lifecycle.h"

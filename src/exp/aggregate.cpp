@@ -14,6 +14,9 @@ void Aggregator::add(harness::RunMetrics m) {
   out_.channel_dropped.add(static_cast<double>(m.channel_dropped_by_model));
   out_.retx_no_ack.add(static_cast<double>(m.mac_retx_no_ack));
   out_.cca_busy_defers.add(static_cast<double>(m.mac_cca_busy_defers));
+  out_.node_deaths.add(static_cast<double>(m.node_deaths));
+  out_.downtime_s.add(m.downtime_s);
+  out_.delivery_during_fault.add(m.delivery_during_fault);
   if (m.duty_by_rank.size() > out_.duty_by_rank.size()) {
     out_.duty_by_rank.resize(m.duty_by_rank.size());
   }

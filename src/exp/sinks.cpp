@@ -15,6 +15,7 @@ const char* const kMetricColumns[] = {
     "runs",          "duty_mean",     "duty_ci90",     "latency_mean",
     "latency_ci90",  "p95_latency",   "delivery_mean", "phase_bits_mean",
     "send_failures", "model_drops",   "retx_no_ack",   "cca_busy_defers",
+    "node_deaths",   "downtime_s",    "delivery_during_fault",
 };
 
 std::vector<double> metric_values(const PointResult& r) {
@@ -30,7 +31,10 @@ std::vector<double> metric_values(const PointResult& r) {
           m.mac_send_failures.mean(),
           m.channel_dropped.mean(),
           m.retx_no_ack.mean(),
-          m.cca_busy_defers.mean()};
+          m.cca_busy_defers.mean(),
+          m.node_deaths.mean(),
+          m.downtime_s.mean(),
+          m.delivery_during_fault.mean()};
 }
 
 std::string full_precision(double v) {

@@ -132,6 +132,39 @@ SweepSpec& SweepSpec::axis_routing(
   return axis("routing", spec_options(specs, &harness::ScenarioConfig::routing));
 }
 
+SweepSpec& SweepSpec::axis_faults(const std::vector<fault::FaultSpec>& specs) {
+  return axis("faults", spec_options(specs, &harness::ScenarioConfig::faults));
+}
+
+SweepSpec& SweepSpec::axis_faults(
+    const std::vector<std::pair<std::string, fault::FaultSpec>>& specs) {
+  return axis("faults", spec_options(specs, &harness::ScenarioConfig::faults));
+}
+
+SweepSpec& SweepSpec::axis_sinr(const std::vector<net::SinrParams>& specs) {
+  std::vector<std::pair<std::string, Apply>> options;
+  options.reserve(specs.size());
+  for (const net::SinrParams& s : specs) {
+    options.emplace_back(dedup_label(options, s.label()),
+                         [s](harness::ScenarioConfig& c) {
+                           c.channel_params.sinr = s;
+                         });
+  }
+  return axis("sinr", std::move(options));
+}
+
+SweepSpec& SweepSpec::axis_sinr(
+    const std::vector<std::pair<std::string, net::SinrParams>>& specs) {
+  std::vector<std::pair<std::string, Apply>> options;
+  options.reserve(specs.size());
+  for (const auto& [label, s] : specs) {
+    options.emplace_back(label, [s = s](harness::ScenarioConfig& c) {
+      c.channel_params.sinr = s;
+    });
+  }
+  return axis("sinr", std::move(options));
+}
+
 SweepSpec& SweepSpec::axis_rate(const std::vector<double>& rates_hz) {
   return axis("rate (Hz)", &harness::ScenarioConfig::workload,
               &harness::WorkloadSpec::base_rate_hz, rates_hz);

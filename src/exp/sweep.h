@@ -106,6 +106,21 @@ class SweepSpec {
   SweepSpec& axis_routing(
       const std::vector<std::pair<std::string, routing::RoutingSpec>>& specs);
 
+  // Vary the fault-injection spec (labels from FaultSpec::label, repeats
+  // disambiguated as "kind#2", ...)...
+  SweepSpec& axis_faults(const std::vector<fault::FaultSpec>& specs);
+  // ...or with explicit labels.
+  SweepSpec& axis_faults(
+      const std::vector<std::pair<std::string, fault::FaultSpec>>& specs);
+
+  // Vary the channel's SINR capture model (labels from SinrParams::label,
+  // deduped). This is a nested ChannelParams field, so the axis rewrites
+  // only channel_params.sinr and leaves the medium mechanics alone.
+  SweepSpec& axis_sinr(const std::vector<net::SinrParams>& specs);
+  // ...or with explicit labels.
+  SweepSpec& axis_sinr(
+      const std::vector<std::pair<std::string, net::SinrParams>>& specs);
+
   // Common workload/deployment axes, pre-labelled.
   SweepSpec& axis_rate(const std::vector<double>& rates_hz);
   SweepSpec& axis_queries(const std::vector<int>& queries_per_class);

@@ -23,6 +23,13 @@ void LatencyCollector::on_root_arrival(const query::Query& q, std::int64_t epoch
 LatencyCollector::Summary LatencyCollector::summarize(
     util::Time begin, util::Time end, util::Time grace,
     int expected_contributions) const {
+  return summarize(begin, end, grace, expected_contributions, nullptr);
+}
+
+LatencyCollector::Summary LatencyCollector::summarize(
+    util::Time begin, util::Time end, util::Time grace,
+    int expected_contributions,
+    const std::function<bool(util::Time)>& epoch_filter) const {
   Summary out;
   util::RunningStat latency;
   util::RunningStat delivery;
@@ -30,6 +37,7 @@ LatencyCollector::Summary LatencyCollector::summarize(
   const util::Time cutoff = end - grace;
   for (const auto& [key, rec] : epochs_) {
     if (rec.epoch_start < begin || rec.epoch_start >= cutoff) continue;
+    if (epoch_filter && !epoch_filter(rec.epoch_start)) continue;
     const double l = (rec.last_arrival - rec.epoch_start).to_seconds();
     latency.add(l);
     latencies.push_back(l);

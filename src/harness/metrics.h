@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -57,6 +58,9 @@ struct RunMetrics {
     // missing ACK vs carrier-busy access defers (which retransmit nothing).
     std::uint64_t retx_no_ack = 0;
     std::uint64_t cca_busy_defers = 0;
+    // Tree-repair attempts (reparents, orphan re-attaches, rejoin retries)
+    // made on this node's behalf (routing::RepairService).
+    std::uint64_t repair_attempts = 0;
   };
   std::vector<NodeDiag> per_node;
 
@@ -80,6 +84,13 @@ struct RunMetrics {
   // wall time into events/sec and ns/event; see bench/perf_report.cpp).
   std::uint64_t sim_events = 0;            // events executed by this run
   std::uint64_t peak_pending_events = 0;   // event-queue high-water mark
+
+  // Fault injection (src/fault). All zero when FaultSpec is disabled.
+  std::uint64_t node_deaths = 0;        // churn + battery deaths
+  double downtime_s = 0.0;              // node-seconds down in the window
+  // Delivery ratio over the epochs that started while >= 1 node was down
+  // (0 when no epoch overlapped an outage).
+  double delivery_during_fault = 0.0;
 };
 
 // Accumulates data-report arrivals at the root and turns them into the
@@ -102,6 +113,11 @@ class LatencyCollector {
   // the number of source readings per epoch (tree members minus the root).
   Summary summarize(util::Time begin, util::Time end, util::Time grace,
                     int expected_contributions) const;
+  // As above, restricted to epochs whose start also satisfies the filter
+  // (fault engine: epochs that began during an outage).
+  Summary summarize(util::Time begin, util::Time end, util::Time grace,
+                    int expected_contributions,
+                    const std::function<bool(util::Time)>& epoch_filter) const;
 
   // Snapshot hooks. epochs_ is an ordered map, so serialization order is
   // deterministic and a restored collector summarizes identically.

@@ -21,6 +21,10 @@ struct AveragedMetrics {
   util::RunningStat channel_dropped;      // link-model drops per run
   util::RunningStat retx_no_ack;          // no-ACK retransmissions per run
   util::RunningStat cca_busy_defers;      // carrier-busy access defers per run
+  // Fault injection (src/fault): all-zero when FaultSpec is disabled.
+  util::RunningStat node_deaths;
+  util::RunningStat downtime_s;
+  util::RunningStat delivery_during_fault;
   std::vector<util::RunningStat> duty_by_rank;
   RunMetrics last_run;                    // histograms etc. from the final run
 

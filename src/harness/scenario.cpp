@@ -7,7 +7,9 @@
 #include <utility>
 
 #include "src/core/maintenance.h"
+#include "src/core/safe_sleep.h"
 #include "src/energy/duty_cycle.h"
+#include "src/fault/fault_engine.h"
 #include "src/harness/power_manager.h"
 #include "src/harness/stack_registry.h"
 #include "src/mac/csma.h"
@@ -193,37 +195,72 @@ RunMetrics run_scenario(const ScenarioConfig& config_in,
                                       parent_policy.get());
   }
 
+  // --- Phasing constants ---------------------------------------------------
+  const util::Time setup_end = config.setup_duration;
+  // Measurement window: after all queries have started.
+  const util::Time measure_start =
+      setup_end + util::Time::seconds(1) + config.workload.query_start_window +
+      util::Time::seconds(1);
+  const util::Time measure_end = measure_start + config.measure_duration;
+
+  // --- Fault engine --------------------------------------------------------
+  // Constructed (and its RNG stream forked) only when faults are configured:
+  // Rng::fork is pure, so the conditional fork leaves every other stream's
+  // draws untouched and a disabled FaultSpec reproduces the legacy run byte
+  // for byte.
+  std::unique_ptr<fault::FaultEngine> fault_engine;
+  if (config.faults.enabled()) {
+    fault_engine = std::make_unique<fault::FaultEngine>(
+        sim,
+        fault::FaultEngineParams{config.faults, n, root, setup_end,
+                                 measure_start, measure_end},
+        master.fork(7));
+  }
+
   // --- Power-management policy -------------------------------------------
   // Declared after `nodes` so the policy (and everything it owns, e.g.
   // SafeSleep instances referencing the radios/MACs) is destroyed first.
-  const util::Time setup_end = config.setup_duration;
   std::unique_ptr<PowerManager> policy =
       StackRegistry::instance().create(config.protocol.name, config);
   const StackContext stack_ctx{sim,    topo,      tree,      root,
                                config, setup_end, policy_rng};
 
   LatencyCollector latency;
+  // The active SafeSleep per node (nullptr for policies without one); a
+  // crash deactivates it, a restart replaces it.
+  std::vector<core::SafeSleep*> sleepers(n, nullptr);
+  // The materialized workload, kept for restarts: a revived node re-registers
+  // every query with the epoch chain resuming after its outage.
+  std::vector<query::Query> active_queries;
+
+  auto build_one_stack = [&](net::NodeId id) {
+    auto& node = nodes[static_cast<std::size_t>(id)];
+    const NodeHandles handles{id, *node.radio, *node.mac};
+
+    node.shaper = policy->make_shaper(stack_ctx, handles);
+    core::SafeSleep* sleeper = policy->attach_node(stack_ctx, handles);
+    sleepers[static_cast<std::size_t>(id)] = sleeper;
+    if (sleeper != nullptr && fault_engine && fault_engine->has_drift()) {
+      sleeper->set_wake_adjust([engine = fault_engine.get(), id](util::Time t) {
+        return engine->adjust_wake(id, t);
+      });
+    }
+
+    node.shaper->set_context(query::ShaperContext{&tree, id, sleeper});
+    node.agent = std::make_unique<query::QueryAgent>(
+        sim, *node.mac, tree, id, *node.shaper,
+        query::QueryAgentParams{.t_comp = config.t_comp});
+    if (id == root) {
+      node.agent->set_root_arrival_hook(
+          [&latency](const query::Query& q, std::int64_t k, util::Time t, int c) {
+            latency.on_root_arrival(q, k, t, c);
+          });
+    }
+  };
 
   auto build_stacks = [&] {
     policy->on_tree_ready(stack_ctx);
-    for (net::NodeId id : tree.members()) {
-      auto& node = nodes[static_cast<std::size_t>(id)];
-      const NodeHandles handles{id, *node.radio, *node.mac};
-
-      node.shaper = policy->make_shaper(stack_ctx, handles);
-      core::SafeSleep* sleeper = policy->attach_node(stack_ctx, handles);
-
-      node.shaper->set_context(query::ShaperContext{&tree, id, sleeper});
-      node.agent = std::make_unique<query::QueryAgent>(
-          sim, *node.mac, tree, id, *node.shaper,
-          query::QueryAgentParams{.t_comp = config.t_comp});
-      if (id == root) {
-        node.agent->set_root_arrival_hook(
-            [&latency](const query::Query& q, std::int64_t k, util::Time t, int c) {
-              latency.on_root_arrival(q, k, t, c);
-            });
-      }
-    }
+    for (net::NodeId id : tree.members()) build_one_stack(id);
   };
 
   // Receive demultiplexing: core packet types go to their substrate
@@ -256,8 +293,13 @@ RunMetrics run_scenario(const ScenarioConfig& config_in,
   repair.set_policy(parent_policy.get());
   repair.set_tracer(&sim);
   std::unique_ptr<core::MaintenanceService> maintenance;
+  // Churn and battery faults imply maintenance: without detection, a dead
+  // interior node would silently black-hole its subtree forever.
+  const bool maintenance_on = config.enable_maintenance ||
+                              config.faults.churn.enabled() ||
+                              config.faults.battery.enabled();
   auto wire_maintenance = [&] {
-    if (!config.enable_maintenance) return;
+    if (!maintenance_on) return;
     maintenance = std::make_unique<core::MaintenanceService>(repair,
                                                              core::MaintenanceParams{});
     maintenance->set_alive_predicate([&nodes](net::NodeId m) {
@@ -283,16 +325,85 @@ RunMetrics run_scenario(const ScenarioConfig& config_in,
     wl.queries_per_class = config.workload.queries_per_class;
     wl.start_window_begin = setup_end + util::Time::seconds(1);
     wl.start_window_length = config.workload.query_start_window;
-    std::vector<query::Query> queries = query::make_workload(wl, workload_rng);
+    active_queries = query::make_workload(wl, workload_rng);
     for (query::Query q : config.workload.extra_queries) {
-      q.id = static_cast<net::QueryId>(queries.size());
-      queries.push_back(q);
+      q.id = static_cast<net::QueryId>(active_queries.size());
+      active_queries.push_back(q);
     }
     for (net::NodeId id : tree.members()) {
       auto& node = nodes[static_cast<std::size_t>(id)];
-      for (const auto& q : queries) node.agent->register_query(q);
+      if (!node.agent) continue;  // crashed before the workload started
+      for (const auto& q : active_queries) node.agent->register_query(q);
     }
   };
+
+  // --- Fault mechanics -----------------------------------------------------
+  // Crash: tear the node's stack down in dependency order — the MAC first
+  // (cancels its timers and drops the queue without firing callbacks), then
+  // the radio (fail + clear the activity latches), then the policy sleeper
+  // and the query agent. Maintenance forgets the node's counters; neighbors
+  // detect the death organically via child misses / send failures (§4.3).
+  std::vector<char> awaiting_rejoin(n, 0);
+  auto teardown_node = [&](net::NodeId id) {
+    const auto i = static_cast<std::size_t>(id);
+    auto& node = nodes[i];
+    node.mac->crash_reset();
+    node.radio->crash();
+    if (sleepers[i] != nullptr) {
+      sleepers[i]->deactivate();
+      sleepers[i] = nullptr;
+    }
+    if (node.agent) node.agent->halt();
+    if (maintenance) maintenance->detach_agent(id);
+    node.agent.reset();
+    node.shaper.reset();
+  };
+  // First epoch of q starting strictly after `now` — a restarted node treats
+  // the epochs it was dead for as already finalized.
+  auto first_epoch_after = [](const query::Query& q, util::Time now) {
+    if (now < q.phase) return std::int64_t{0};
+    return (now - q.phase).ns() / q.period.ns() + 1;
+  };
+  auto complete_restart = [&](net::NodeId id) {
+    auto& node = nodes[static_cast<std::size_t>(id)];
+    build_one_stack(id);
+    for (const query::Query& q : active_queries) {
+      node.agent->register_query_from(q, first_epoch_after(q, sim.now()));
+    }
+    if (maintenance) maintenance->attach_agent(id, node.agent.get());
+  };
+  auto restart_node = [&](net::NodeId id) {
+    auto& node = nodes[static_cast<std::size_t>(id)];
+    node.radio->restore();
+    node.radio->turn_on();
+    if (tree.is_member(id)) {
+      // The outage was short enough that maintenance never removed the
+      // node; its stack resumes on the existing tree position.
+      complete_restart(id);
+    } else {
+      awaiting_rejoin[static_cast<std::size_t>(id)] = 1;
+      repair.request_rejoin(id);
+    }
+  };
+  if (fault_engine) {
+    fault_engine->set_crash_callback(teardown_node);
+    fault_engine->set_restart_callback(restart_node);
+    fault_engine->set_energy_probe([&nodes](net::NodeId id) {
+      return nodes[static_cast<std::size_t>(id)].radio->lifetime_energy_mj();
+    });
+    // Rejoin retries ride a bounded exponential backoff with deterministic
+    // jitter from stream 8 (forked only here — see the engine note above).
+    repair.enable_retries(
+        sim, master.fork(8), routing::RepairService::RetryParams{},
+        [&nodes](net::NodeId m) {
+          return !nodes[static_cast<std::size_t>(m)].radio->failed();
+        });
+    repair.set_rejoin_callback([&](net::NodeId id) {
+      if (!awaiting_rejoin[static_cast<std::size_t>(id)]) return;
+      awaiting_rejoin[static_cast<std::size_t>(id)] = 0;
+      complete_restart(id);
+    });
+  }
 
   // --- Snapshot hook --------------------------------------------------------
   // Serializes every live component into one "TRST" section — the byte
@@ -324,6 +435,8 @@ RunMetrics run_scenario(const ScenarioConfig& config_in,
     }
     policy->save_state(out);
     latency.save_state(out);
+    out.boolean(fault_engine != nullptr);
+    if (fault_engine) fault_engine->save_state(out);
     out.end();
     return out.take();
   };
@@ -358,11 +471,6 @@ RunMetrics run_scenario(const ScenarioConfig& config_in,
     sim.schedule_in(topo.mobility_epoch(), mobility_tick);
   }
 
-  // Measurement window: after all queries have started.
-  const util::Time measure_start =
-      setup_end + util::Time::seconds(1) + config.workload.query_start_window +
-      util::Time::seconds(1);
-  const util::Time measure_end = measure_start + config.measure_duration;
   sim.schedule_at(measure_start, [&] {
     for (auto& node : nodes) node.radio->begin_measurement();
   });
@@ -375,6 +483,10 @@ RunMetrics run_scenario(const ScenarioConfig& config_in,
       if (node.agent) node.agent->halt();
     });
   }
+
+  // Fault schedule: started last, so a same-time churn event (offset zero)
+  // fires after the setup-boundary stack build it tears down.
+  if (fault_engine) fault_engine->start();
 
   if (hook.enabled) {
     // Split run: execute every event with time <= hook.at, pause (no event
@@ -469,6 +581,7 @@ RunMetrics run_scenario(const ScenarioConfig& config_in,
     }
     diag.retx_no_ack = node.mac->stats().retries;
     diag.cca_busy_defers = node.mac->stats().cca_busy_defers;
+    diag.repair_attempts = repair.repair_attempts(id);
     out.mac_retx_no_ack += diag.retx_no_ack;
     out.mac_cca_busy_defers += diag.cca_busy_defers;
     out.per_node.push_back(diag);
@@ -497,6 +610,15 @@ RunMetrics run_scenario(const ScenarioConfig& config_in,
   out.channel_dropped_by_model = channel.dropped_by_model();
   out.sim_events = sim.executed_events();
   out.peak_pending_events = sim.peak_pending_events();
+
+  if (fault_engine) {
+    out.node_deaths = fault_engine->node_deaths();
+    out.downtime_s = fault_engine->downtime_s();
+    const auto fault_lat = latency.summarize(
+        measure_start, measure_end, config.latency_grace, live_members - 1,
+        [&](util::Time t) { return fault_engine->any_down_at(t); });
+    out.delivery_during_fault = fault_lat.delivery_ratio;
+  }
   return out;
 }
 

@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/fault/fault_spec.h"
 #include "src/harness/metrics.h"
 #include "src/mac/mac_params.h"
 #include "src/net/channel.h"
@@ -142,6 +143,13 @@ struct ScenarioConfig {
   bool enable_maintenance = false;
   // Nodes killed at the given offsets after the setup slot ends.
   std::vector<std::pair<net::NodeId, util::Time>> failures;
+
+  // Unified fault injection (src/fault): churn with full stack teardown and
+  // restart, finite battery budgets, per-node clock drift. Disabled by
+  // default — the engine is then never constructed and the run executes the
+  // exact legacy event stream. Enabling faults implies maintenance (crash
+  // detection drives tree repair). Sweepable via exp::SweepSpec::axis_faults.
+  fault::FaultSpec faults;
 
   // Observability (src/obs): when trace.active_for(seed), the run gets a
   // Tracer + optional per-node samplers and drives the configured exporters

@@ -61,6 +61,23 @@ void CsmaMac::check_idle_() {
   if (idle() && idle_cb_) idle_cb_();
 }
 
+void CsmaMac::crash_reset() {
+  backoff_timer_.cancel();
+  ack_timer_.cancel();
+  tx_end_timer_.cancel();
+  nav_timer_.cancel();
+  queue_.clear();       // queued TxCallbacks are dropped unfired
+  in_flight_.reset();   // likewise the head's
+  transmitting_ = false;
+  waiting_ack_ = false;
+  in_backoff_ = false;
+  saw_busy_ = false;
+  decoded_last_busy_ = false;
+  nav_until_ = util::Time::zero();
+  // pending_acks_ intentionally untouched — see the header comment.
+  update_listening_();
+}
+
 net::AtimDestinations CsmaMac::pending_destinations() const {
   net::AtimDestinations out;
   auto add = [&out](net::NodeId d) {

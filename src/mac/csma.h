@@ -115,6 +115,17 @@ class CsmaMac : public net::ChannelListener {
 
   const MacStats& stats() const { return stats_; }
 
+  // Node crash (fault engine): drops the queue and the in-flight frame
+  // without firing their callbacks, cancels every MAC timer, and clears the
+  // contention/NAV state, as if the node lost power mid-operation. The
+  // pending-ACK counter is deliberately left alone — SIFS-deferred ACK
+  // replies are raw (uncancellable) sim events that still fire, decrement
+  // it, and no-op against the dead radio. Dup-suppression tables survive
+  // (deterministic either way; keeping them avoids re-delivering frames the
+  // upper layer consumed before the crash). Stats survive: they are
+  // cumulative over the run, not per-boot.
+  void crash_reset();
+
   // Snapshot hook: queue contents (packets by value, exact ring layout),
   // the in-flight frame, contention/NAV/ACK state, all four timers, the
   // backoff RNG, dup tables as stored, and counters. The upper-layer

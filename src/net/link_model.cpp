@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -113,6 +114,61 @@ bool PrrScaledModel::deliver(NodeId src, NodeId dst, double distance_m) {
   return base_->deliver(src, dst, distance_m) && thin_pass;
 }
 
+// ---------------------------------------------------------- PRR trace replay
+
+PrrTraceModel::PrrTraceModel(const std::vector<PrrTraceEntry>& entries,
+                             double default_prr, util::Rng&& rng)
+    : default_prr_{default_prr}, frame_rng_{std::move(rng)} {
+  prr_.reserve(entries.size());
+  for (const PrrTraceEntry& e : entries) {
+    prr_[link_key(e.src, e.dst)] = e.prr;
+  }
+}
+
+bool PrrTraceModel::deliver(NodeId src, NodeId dst, double distance_m) {
+  (void)distance_m;
+  return frame_rng_.bernoulli(lookup_(src, dst));
+}
+
+void PrrTraceModel::save_state(snap::Serializer& out) const {
+  out.begin("LMPT");
+  // The table is pure config (rebuilt from the spec on replay); only the
+  // per-frame stream advances.
+  frame_rng_.save_state(out);
+  out.end();
+}
+
+std::vector<PrrTraceEntry> parse_prr_trace(const std::string& text) {
+  std::vector<PrrTraceEntry> out;
+  std::size_t line_start = 0;
+  int line_no = 0;
+  while (line_start <= text.size()) {
+    std::size_t line_end = text.find('\n', line_start);
+    if (line_end == std::string::npos) line_end = text.size();
+    std::string line = text.substr(line_start, line_end - line_start);
+    line_start = line_end + 1;
+    ++line_no;
+    if (const std::size_t hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    // Skip blank / whitespace-only lines.
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    long src = -1;
+    long dst = -1;
+    double prr = -1.0;
+    char trailing = '\0';
+    const int got =
+        std::sscanf(line.c_str(), " %ld %ld %lf %c", &src, &dst, &prr, &trailing);
+    if (got != 3 || src < 0 || dst < 0 || prr < 0.0 || prr > 1.0) {
+      throw std::invalid_argument{"parse_prr_trace: malformed line " +
+                                  std::to_string(line_no) + ": '" + line + "'"};
+    }
+    out.push_back(PrrTraceEntry{static_cast<NodeId>(src),
+                                static_cast<NodeId>(dst), prr});
+  }
+  return out;
+}
+
 // ----------------------------------------------------------------- the spec
 
 const char* link_model_kind_name(LinkModelKind k) {
@@ -121,6 +177,7 @@ const char* link_model_kind_name(LinkModelKind k) {
     case LinkModelKind::kUnitDisc: return "unit-disc";
     case LinkModelKind::kLogNormalShadowing: return "shadowing";
     case LinkModelKind::kGilbertElliott: return "gilbert-elliott";
+    case LinkModelKind::kPrrTrace: return "prr-trace";
   }
   throw std::invalid_argument{"link_model_kind_name: unknown kind"};
 }
@@ -128,7 +185,8 @@ const char* link_model_kind_name(LinkModelKind k) {
 LinkModelKind link_model_kind_from_name(const std::string& name) {
   for (LinkModelKind k :
        {LinkModelKind::kNone, LinkModelKind::kUnitDisc,
-        LinkModelKind::kLogNormalShadowing, LinkModelKind::kGilbertElliott}) {
+        LinkModelKind::kLogNormalShadowing, LinkModelKind::kGilbertElliott,
+        LinkModelKind::kPrrTrace}) {
     if (name == link_model_kind_name(k)) return k;
   }
   throw std::invalid_argument{"link_model_kind_from_name: unknown name '" +
@@ -171,6 +229,10 @@ std::unique_ptr<LinkModel> ChannelModelSpec::build(double range_m,
                                                     rng.fork(2));
       break;
     }
+    case LinkModelKind::kPrrTrace:
+      model = std::make_unique<PrrTraceModel>(prr_trace, prr_trace_default,
+                                              rng.fork(4));
+      break;
   }
   if (prr_scale < 1.0) {
     model = std::make_unique<PrrScaledModel>(std::move(model), prr_scale,

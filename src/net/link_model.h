@@ -29,6 +29,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/net/types.h"
 #include "src/util/rng.h"
@@ -200,6 +201,49 @@ class PrrScaledModel : public LinkModel {
   util::Rng rng_;
 };
 
+// One measured directed link: frames src -> dst are delivered with
+// probability `prr`. The unit of trace-driven replay (see PrrTraceModel).
+struct PrrTraceEntry {
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;
+  double prr = 1.0;
+};
+
+// Trace-driven PRR replay: per-directed-link reception rates measured on a
+// real deployment (e.g. a motelab / Indriya connectivity dump) are replayed
+// as independent Bernoulli(PRR) draws per frame. Links absent from the
+// trace fall back to `default_prr` (1.0 = the unit disc decides alone).
+// The table is config-static — only the frame stream is snapshot state.
+class PrrTraceModel : public LinkModel {
+ public:
+  PrrTraceModel(const std::vector<PrrTraceEntry>& entries, double default_prr,
+                util::Rng&& rng);
+
+  bool deliver(NodeId src, NodeId dst, double distance_m) override;
+  const char* name() const override { return "prr-trace"; }
+  double expected_prr(NodeId src, NodeId dst, double distance_m) const override {
+    (void)distance_m;
+    return lookup_(src, dst);
+  }
+
+  void save_state(snap::Serializer& out) const override;
+
+ private:
+  double lookup_(NodeId src, NodeId dst) const {
+    const auto it = prr_.find(link_key(src, dst));
+    return it != prr_.end() ? it->second : default_prr_;
+  }
+
+  std::unordered_map<std::uint64_t, double> prr_;
+  double default_prr_;
+  util::Rng frame_rng_;  // per-frame Bernoulli draws
+};
+
+// Parses a PRR trace from text: one `src dst prr` triple per line, `#`
+// starts a comment, blank lines ignored. Throws std::invalid_argument on
+// malformed lines or out-of-range PRRs.
+std::vector<PrrTraceEntry> parse_prr_trace(const std::string& text);
+
 // ---------------------------------------------------------------------------
 // Declarative channel-model description, sweepable as a unit
 // (exp::SweepSpec::axis_channel) and carried on harness::ScenarioConfig.
@@ -214,11 +258,14 @@ enum class LinkModelKind {
   kUnitDisc,
   kLogNormalShadowing,
   kGilbertElliott,
+  // Trace-driven replay of measured per-link PRRs (PrrTraceModel); the
+  // table lives on ChannelModelSpec::prr_trace.
+  kPrrTrace,
 };
 
 // Stable lower-case names ("none", "unit-disc", "shadowing",
-// "gilbert-elliott"). Throws std::invalid_argument on an out-of-range kind
-// / unknown name.
+// "gilbert-elliott", "prr-trace"). Throws std::invalid_argument on an
+// out-of-range kind / unknown name.
 const char* link_model_kind_name(LinkModelKind k);
 LinkModelKind link_model_kind_from_name(const std::string& name);
 
@@ -236,6 +283,11 @@ struct ChannelModelSpec {
   // into (kUnitDisc or kLogNormalShadowing).
   GilbertElliottParams gilbert;
   LinkModelKind gilbert_base = LinkModelKind::kUnitDisc;
+
+  // kPrrTrace knobs: the measured per-link table (see parse_prr_trace for
+  // the text format) and the PRR of in-range links the trace omits.
+  std::vector<PrrTraceEntry> prr_trace;
+  double prr_trace_default = 1.0;
 
   // Materializes the model for one trial. `range_m` is the deployment's
   // nominal radio range (the shadowing curve's reference distance); `rng`

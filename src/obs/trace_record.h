@@ -36,6 +36,8 @@
 //   kSleepStart       | node          | -                  | wake at (ns) | sleep len (ns)
 //   kSleepSkip        | node          | -                  | -            | interval (ns)
 //   kChanListen       | node          | 0=deaf, 1=listening| -            | -
+//   kFaultDown        | node          | cause (FaultCause) | -            | planned downtime (ns, 0=permanent)
+//   kFaultUp          | node          | -                  | downtime (ns)| -
 //
 // `prov` is the per-report provenance id (net::Packet::prov): assigned when
 // a QueryAgent creates a report, carried unchanged through the MAC, the
@@ -90,6 +92,9 @@ enum class TraceType : std::uint16_t {
   // Channel-side cached listening flag flipped (net/channel, maintained by
   // the attached MAC through set_listening).
   kChanListen,
+  // Fault injection (fault/fault_engine): node goes down / comes back up.
+  kFaultDown,
+  kFaultUp,
   kCount  // sentinel — keep <= 64 so a type mask fits one word
 };
 static_assert(static_cast<int>(TraceType::kCount) <= 64,

@@ -42,6 +42,8 @@ const char* trace_type_name(TraceType t) {
     case TraceType::kSleepStart: return "sleep_start";
     case TraceType::kSleepSkip: return "sleep_skip";
     case TraceType::kChanListen: return "chan_listen";
+    case TraceType::kFaultDown: return "fault_down";
+    case TraceType::kFaultUp: return "fault_up";
     case TraceType::kCount: break;
   }
   return "?";

@@ -22,6 +22,19 @@ void QueryAgent::register_query(const Query& q) {
   ensure_epoch_(it->second, 0);
 }
 
+void QueryAgent::register_query_from(const Query& q, std::int64_t first_epoch) {
+  if (halted_ || !tree_.is_member(self_)) return;
+  auto [it, inserted] = queries_.try_emplace(q.id);
+  if (!inserted) return;
+  it->second.q = q;
+  // Epochs before the restart are water under the bridge: marking them
+  // finalized keeps ensure_epoch_ (and late straggler data) from reopening
+  // history this reborn node never participated in.
+  it->second.watermark = first_epoch - 1;
+  shaper_.register_query(q);
+  ensure_epoch_(it->second, first_epoch);
+}
+
 QueryAgent::EpochState* QueryAgent::acquire_epoch_(QueryState& qs,
                                                    std::int64_t k) {
   EpochState* es;

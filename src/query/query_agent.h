@@ -77,6 +77,11 @@ class QueryAgent {
   // Query dissemination reached this node; starts the epoch chain.
   void register_query(const Query& q);
 
+  // Restart path (fault engine): registers `q` on a freshly rebuilt agent
+  // with the epoch chain starting at `first_epoch` instead of 0 — epochs
+  // the node was dead for are treated as already finalized.
+  void register_query_from(const Query& q, std::int64_t first_epoch);
+
   // Feed kData / kPhaseRequest packets addressed to this node.
   void handle_packet(const net::Packet& p);
 

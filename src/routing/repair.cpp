@@ -57,9 +57,14 @@ net::NodeId RepairService::pick_parent_(
 bool RepairService::reparent(net::NodeId n,
                              const std::function<bool(net::NodeId)>& alive) {
   if (!tree_.is_member(n)) return false;
+  note_attempt_(n);
   // Exclude the unreachable parent and n's own subtree.
   const net::NodeId best = pick_parent_(n, tree_.parent(n), true, alive);
-  if (best == net::kNoNode) return false;
+  if (best == net::kNoNode) {
+    schedule_retry_(n, /*rejoin=*/false);
+    return false;
+  }
+  clear_retry_(n);
 
   const auto ranks_before = snapshot_ranks_();
   const net::NodeId old_parent = tree_.parent(n);
@@ -96,6 +101,7 @@ std::vector<net::NodeId> RepairService::remove_failed_node(
   std::vector<net::NodeId> stranded;
   for (net::NodeId orphan : orphans) {
     if (!alive || alive(orphan)) {
+      note_attempt_(orphan);
       // Orphans lost membership; re-add under the best member neighbor (no
       // subtree exclusion needed — the orphan's old subtree lost membership
       // with it).
@@ -115,8 +121,96 @@ std::vector<net::NodeId> RepairService::remove_failed_node(
       }
     }
     stranded.push_back(orphan);
+    // A stranded live orphan keeps trying on its own backoff clock (it lost
+    // membership, so the path back in is a rejoin, not a reparent).
+    if (!alive || alive(orphan)) schedule_retry_(orphan, /*rejoin=*/true);
   }
   return stranded;
 }
+
+// --------------------------------------------------------------- retries
+
+void RepairService::note_attempt_(net::NodeId n) {
+  const auto i = static_cast<std::size_t>(n);
+  if (i >= attempts_.size()) attempts_.resize(tree_.num_nodes(), 0);
+  if (i < attempts_.size()) ++attempts_[i];
+}
+
+void RepairService::enable_retries(sim::Simulator& sim, util::Rng&& rng,
+                                   RetryParams params,
+                                   std::function<bool(net::NodeId)> alive) {
+  retries_enabled_ = true;
+  retry_sim_ = &sim;
+  retry_rng_.emplace(std::move(rng));
+  retry_params_ = params;
+  retry_alive_ = std::move(alive);
+}
+
+void RepairService::request_rejoin(net::NodeId n) {
+  if (auto it = retries_.find(n); it != retries_.end()) {
+    it->second.attempts = 0;  // a fresh rejoin request restarts the budget
+    it->second.timer.cancel();
+  }
+  if (!try_rejoin_(n)) schedule_retry_(n, /*rejoin=*/true);
+}
+
+bool RepairService::try_rejoin_(net::NodeId n) {
+  note_attempt_(n);
+  if (tree_.is_member(n)) {
+    // Someone else's repair already pulled the node back in.
+    clear_retry_(n);
+    if (rejoin_cb_) rejoin_cb_(n);
+    return true;
+  }
+  const net::NodeId best = pick_parent_(n, net::kNoNode, false, retry_alive_);
+  if (best == net::kNoNode) return false;
+  const auto ranks_before = snapshot_ranks_();
+  tree_.add_node(n, best);
+  tree_.recompute_ranks();
+  if (hooks_.on_parent_changed) hooks_.on_parent_changed(n, best);
+  if (trace_sim_ != nullptr) {
+    ESSAT_TRACE(*trace_sim_, obs::TraceType::kParentChange, n, 0,
+                static_cast<std::uint64_t>(net::kNoNode),
+                static_cast<std::uint64_t>(best));
+  }
+  fire_rank_changes_(ranks_before);
+  clear_retry_(n);
+  if (rejoin_cb_) rejoin_cb_(n);
+  return true;
+}
+
+void RepairService::schedule_retry_(net::NodeId n, bool rejoin) {
+  if (!retries_enabled_) return;
+  auto [it, inserted] = retries_.try_emplace(n, *retry_sim_);
+  Retry& r = it->second;
+  r.rejoin = rejoin;
+  if (r.attempts >= retry_params_.max_attempts) return;  // budget exhausted
+  // Bounded exponential backoff: base * 2^attempts, capped, with
+  // deterministic jitter so post-churn retry storms de-synchronize.
+  const int exp = std::min(r.attempts, 30);
+  double delay_s = retry_params_.base.to_seconds() *
+                   static_cast<double>(std::uint64_t{1} << exp);
+  delay_s = std::min(delay_s, retry_params_.cap.to_seconds());
+  delay_s *= 1.0 + retry_params_.jitter_frac * retry_rng_->uniform(-1.0, 1.0);
+  ++r.attempts;
+  r.timer.arm_in(util::Time::from_seconds(std::max(delay_s, 1e-6)),
+                 [this, n] { run_retry_(n); });
+}
+
+void RepairService::run_retry_(net::NodeId n) {
+  const auto it = retries_.find(n);
+  if (it == retries_.end()) return;
+  const bool rejoin = it->second.rejoin;
+  // Abandon retries for a node that died (again); a restart re-requests.
+  if (retry_alive_ && !retry_alive_(n)) return;
+  if (rejoin) {
+    if (!try_rejoin_(n)) schedule_retry_(n, /*rejoin=*/true);
+  } else {
+    // reparent() re-arms itself on failure.
+    (void)reparent(n, retry_alive_);
+  }
+}
+
+void RepairService::clear_retry_(net::NodeId n) { retries_.erase(n); }
 
 }  // namespace essat::routing

@@ -71,6 +71,13 @@ void save_channel_model(Serializer& out, const net::ChannelModelSpec& m) {
   out.f64(m.gilbert.prr_good);
   out.f64(m.gilbert.prr_bad);
   out.u8(static_cast<std::uint8_t>(m.gilbert_base));
+  out.u64(m.prr_trace.size());
+  for (const net::PrrTraceEntry& e : m.prr_trace) {
+    out.i32(e.src);
+    out.i32(e.dst);
+    out.f64(e.prr);
+  }
+  out.f64(m.prr_trace_default);
 }
 
 net::ChannelModelSpec load_channel_model(Deserializer& in) {
@@ -86,6 +93,13 @@ net::ChannelModelSpec load_channel_model(Deserializer& in) {
   m.gilbert.prr_good = in.f64();
   m.gilbert.prr_bad = in.f64();
   m.gilbert_base = static_cast<net::LinkModelKind>(in.u8());
+  m.prr_trace.resize(static_cast<std::size_t>(in.u64()));
+  for (net::PrrTraceEntry& e : m.prr_trace) {
+    e.src = in.i32();
+    e.dst = in.i32();
+    e.prr = in.f64();
+  }
+  m.prr_trace_default = in.f64();
   return m;
 }
 
@@ -94,6 +108,13 @@ void save_channel_params(Serializer& out, const net::ChannelParams& p) {
   out.f64(p.capture_distance_ratio);
   out.boolean(p.batch_arrivals);
   out.u64(p.dense_link_stats_below);
+  out.boolean(p.sinr.enabled);
+  out.f64(p.sinr.tx_power_dbm);
+  out.f64(p.sinr.path_loss_exponent);
+  out.f64(p.sinr.reference_loss_db);
+  out.f64(p.sinr.noise_dbm);
+  out.f64(p.sinr.capture_threshold_db);
+  out.f64(p.sinr.min_snr_db);
 }
 
 net::ChannelParams load_channel_params(Deserializer& in) {
@@ -102,7 +123,50 @@ net::ChannelParams load_channel_params(Deserializer& in) {
   p.capture_distance_ratio = in.f64();
   p.batch_arrivals = in.boolean();
   p.dense_link_stats_below = static_cast<std::size_t>(in.u64());
+  p.sinr.enabled = in.boolean();
+  p.sinr.tx_power_dbm = in.f64();
+  p.sinr.path_loss_exponent = in.f64();
+  p.sinr.reference_loss_db = in.f64();
+  p.sinr.noise_dbm = in.f64();
+  p.sinr.capture_threshold_db = in.f64();
+  p.sinr.min_snr_db = in.f64();
   return p;
+}
+
+void save_faults(Serializer& out, const fault::FaultSpec& f) {
+  out.u64(f.churn.scheduled.size());
+  for (const fault::ChurnEvent& ev : f.churn.scheduled) {
+    out.i32(ev.node);
+    out.time(ev.at);
+    out.time(ev.down_for);
+  }
+  out.f64(f.churn.node_fraction);
+  out.f64(f.churn.mean_downtime_s);
+  out.boolean(f.churn.restart);
+  out.f64(f.battery.budget_mj);
+  out.f64(f.battery.jitter_frac);
+  out.time(f.battery.check_period);
+  out.f64(f.drift.skew_sigma_ppm);
+  out.f64(f.drift.max_offset_ms);
+}
+
+fault::FaultSpec load_faults(Deserializer& in) {
+  fault::FaultSpec f;
+  f.churn.scheduled.resize(static_cast<std::size_t>(in.u64()));
+  for (fault::ChurnEvent& ev : f.churn.scheduled) {
+    ev.node = in.i32();
+    ev.at = in.time();
+    ev.down_for = in.time();
+  }
+  f.churn.node_fraction = in.f64();
+  f.churn.mean_downtime_s = in.f64();
+  f.churn.restart = in.boolean();
+  f.battery.budget_mj = in.f64();
+  f.battery.jitter_frac = in.f64();
+  f.battery.check_period = in.time();
+  f.drift.skew_sigma_ppm = in.f64();
+  f.drift.max_offset_ms = in.f64();
+  return f;
 }
 
 void save_mobility(Serializer& out, const net::MobilitySpec& m) {
@@ -254,6 +318,7 @@ void save_scenario_config(Serializer& out, const harness::ScenarioConfig& c) {
     out.time(when);
   }
   save_trace(out, c.trace);
+  save_faults(out, c.faults);
   out.u64(c.seed);
   out.end();
 }
@@ -286,6 +351,7 @@ harness::ScenarioConfig load_scenario_config(Deserializer& in) {
     when = in.time();
   }
   c.trace = load_trace(in);
+  c.faults = load_faults(in);
   c.seed = in.u64();
   in.finish();
   return c;

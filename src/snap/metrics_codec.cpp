@@ -34,6 +34,7 @@ void save_run_metrics(Serializer& out, const harness::RunMetrics& m) {
     out.u64(d.child_timeouts);
     out.u64(d.retx_no_ack);
     out.u64(d.cca_busy_defers);
+    out.u64(d.repair_attempts);
   }
 
   out.u64(m.reports_sent);
@@ -51,6 +52,10 @@ void save_run_metrics(Serializer& out, const harness::RunMetrics& m) {
 
   out.u64(m.sim_events);
   out.u64(m.peak_pending_events);
+
+  out.u64(m.node_deaths);
+  out.f64(m.downtime_s);
+  out.f64(m.delivery_during_fault);
   out.end();
 }
 
@@ -87,6 +92,7 @@ harness::RunMetrics load_run_metrics(Deserializer& in) {
     d.child_timeouts = in.u64();
     d.retx_no_ack = in.u64();
     d.cca_busy_defers = in.u64();
+    d.repair_attempts = in.u64();
   }
 
   m.reports_sent = in.u64();
@@ -104,6 +110,10 @@ harness::RunMetrics load_run_metrics(Deserializer& in) {
 
   m.sim_events = in.u64();
   m.peak_pending_events = in.u64();
+
+  m.node_deaths = in.u64();
+  m.downtime_s = in.f64();
+  m.delivery_during_fault = in.f64();
   in.finish();
   return m;
 }

@@ -1,0 +1,132 @@
+// Snapshot semantics under fault injection: a trial captured in the middle
+// of an outage (node down, restart event pending, outage interval open)
+// must attest byte-for-byte on resume and continue bit-identically — the
+// fault engine's mutable state serializes through the same TRST section as
+// every other component, and its schedule is pure config rebuilt by replay.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/harness/scenario.h"
+#include "src/snap/config_codec.h"
+#include "src/snap/metrics_codec.h"
+#include "src/snap/snapshot.h"
+#include "src/snap/trial.h"
+
+namespace essat::snap {
+namespace {
+
+using util::Time;
+
+harness::ScenarioConfig faulty_base() {
+  harness::ScenarioConfig c;
+  c.deployment.num_nodes = 12;
+  c.deployment.area_m = 250.0;
+  c.deployment.range_m = 125.0;
+  c.deployment.max_tree_dist_m = 250.0;
+  c.workload.base_rate_hz = 1.0;
+  c.workload.query_start_window = Time::seconds(1);
+  c.setup_duration = Time::seconds(2);   // setup ends at t=2s
+  c.measure_duration = Time::seconds(4); // window [5s, 9s)
+  c.latency_grace = Time::seconds(1);
+  c.seed = 7;
+  // Node 3 is down over [3.5s, 6.5s): any barrier inside that interval is
+  // mid-outage, with the restart event still pending in the queue.
+  c.faults.churn.scheduled.push_back(
+      {net::NodeId{3}, Time::from_milliseconds(1500), Time::seconds(3)});
+  return c;
+}
+
+std::vector<std::uint8_t> fingerprint(const harness::RunMetrics& m) {
+  return run_metrics_to_bytes(m);
+}
+
+void expect_capture_and_resume_identical(const harness::ScenarioConfig& config,
+                                         Time barrier, const std::string& what) {
+  SCOPED_TRACE(what);
+  const harness::RunMetrics straight = harness::run_scenario(config);
+  const TrialCapture cap = capture_trial(config, barrier);
+  const harness::RunMetrics resumed = resume_trial(cap.snapshot);
+  EXPECT_EQ(fingerprint(straight), fingerprint(cap.metrics))
+      << what << ": capturing perturbed the run";
+  EXPECT_EQ(fingerprint(straight), fingerprint(resumed))
+      << what << ": resumed run diverged from the straight run";
+}
+
+TEST(FaultSnapshot, MidOutageCaptureResumesBitIdentically) {
+  expect_capture_and_resume_identical(faulty_base(), Time::seconds(5),
+                                      "mid-outage barrier at 5s");
+}
+
+TEST(FaultSnapshot, CaptureAfterRestartResumesBitIdentically) {
+  expect_capture_and_resume_identical(faulty_base(), Time::seconds(7),
+                                      "post-restart barrier at 7s");
+}
+
+TEST(FaultSnapshot, StochasticChurnWithBatteryAndDriftResumes) {
+  harness::ScenarioConfig c = faulty_base();
+  c.faults.churn.node_fraction = 0.3;
+  c.faults.churn.mean_downtime_s = 1.0;
+  c.faults.battery.budget_mj = 400.0;
+  c.faults.drift.skew_sigma_ppm = 20.0;
+  expect_capture_and_resume_identical(c, Time::seconds(6),
+                                      "all fault classes at 6s");
+}
+
+TEST(FaultSnapshot, MidOutageCaptureIsDeterministic) {
+  const harness::ScenarioConfig c = faulty_base();
+  const TrialCapture a = capture_trial(c, Time::seconds(5));
+  const TrialCapture b = capture_trial(c, Time::seconds(5));
+  EXPECT_EQ(a.snapshot.payload, b.snapshot.payload);
+  EXPECT_EQ(a.snapshot.to_bytes(), b.snapshot.to_bytes());
+}
+
+TEST(FaultSnapshot, AttestationCatchesTamperedFaultState) {
+  const TrialCapture cap = capture_trial(faulty_base(), Time::seconds(5));
+  TrialImage image = decode_trial(cap.snapshot);
+  ASSERT_FALSE(image.state.empty());
+  image.state[image.state.size() / 2] ^= 0x01;
+  EXPECT_THROW((void)resume_trial(image), SnapError);
+}
+
+// The config codec covers the new physical-layer and fault fields.
+TEST(FaultSnapshot, ConfigCodecRoundTripsFaultAndSinrFields) {
+  harness::ScenarioConfig c = faulty_base();
+  c.faults.churn.node_fraction = 0.15;
+  c.faults.churn.mean_downtime_s = 7.5;
+  c.faults.churn.restart = false;
+  c.faults.battery.budget_mj = 123.25;
+  c.faults.battery.jitter_frac = 0.1;
+  c.faults.battery.check_period = Time::from_milliseconds(250);
+  c.faults.drift.skew_sigma_ppm = 40.0;
+  c.faults.drift.max_offset_ms = 3.0;
+  c.channel_params.sinr.enabled = true;
+  c.channel_params.sinr.capture_threshold_db = 6.0;
+  c.channel_params.sinr.min_snr_db = 4.0;
+  c.channel_model.kind = net::LinkModelKind::kPrrTrace;
+  c.channel_model.prr_trace = {{net::NodeId{0}, net::NodeId{1}, 0.75},
+                               {net::NodeId{1}, net::NodeId{0}, 0.5}};
+  c.channel_model.prr_trace_default = 0.9;
+
+  const std::vector<std::uint8_t> bytes = scenario_config_to_bytes(c);
+  const harness::ScenarioConfig back =
+      scenario_config_from_bytes(bytes.data(), bytes.size());
+  EXPECT_EQ(scenario_config_to_bytes(back), bytes);
+  ASSERT_EQ(back.faults.churn.scheduled.size(), 1u);
+  EXPECT_EQ(back.faults.churn.scheduled[0].node, 3);
+  EXPECT_EQ(back.faults.churn.scheduled[0].down_for, Time::seconds(3));
+  EXPECT_EQ(back.faults.churn.node_fraction, 0.15);
+  EXPECT_FALSE(back.faults.churn.restart);
+  EXPECT_EQ(back.faults.battery.budget_mj, 123.25);
+  EXPECT_EQ(back.faults.battery.check_period, Time::from_milliseconds(250));
+  EXPECT_EQ(back.faults.drift.max_offset_ms, 3.0);
+  EXPECT_TRUE(back.channel_params.sinr.enabled);
+  EXPECT_EQ(back.channel_params.sinr.min_snr_db, 4.0);
+  ASSERT_EQ(back.channel_model.prr_trace.size(), 2u);
+  EXPECT_EQ(back.channel_model.prr_trace[1].prr, 0.5);
+  EXPECT_EQ(back.channel_model.prr_trace_default, 0.9);
+}
+
+}  // namespace
+}  // namespace essat::snap

@@ -1,0 +1,241 @@
+// Acceptance checks for the fault-injection axis (src/fault):
+//  * scheduled churn kills and restarts nodes, with downtime and death
+//    counts surfacing in RunMetrics;
+//  * stochastic churn, battery depletion and clock drift are deterministic
+//    (same config -> bit-identical RunMetrics) and respect the root
+//    exemption;
+//  * fault schedules are byte-identical across ESSAT_JOBS values (the
+//    engine pre-draws everything from per-node forked streams);
+//  * SINR capture with the threshold at +inf reproduces the legacy
+//    no-capture channel byte for byte;
+//  * sinks emit the fault columns as zeros when faults are disabled.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/exp/sinks.h"
+#include "src/exp/sweep.h"
+#include "src/exp/sweep_runner.h"
+#include "src/fault/fault_spec.h"
+#include "src/harness/scenario.h"
+#include "src/snap/metrics_codec.h"
+
+namespace essat {
+namespace {
+
+using util::Time;
+
+harness::ScenarioConfig small_base() {
+  harness::ScenarioConfig c;
+  c.deployment.num_nodes = 12;
+  c.deployment.area_m = 250.0;
+  c.deployment.range_m = 125.0;
+  c.deployment.max_tree_dist_m = 250.0;
+  c.workload.base_rate_hz = 1.0;
+  c.workload.query_start_window = Time::seconds(1);
+  c.setup_duration = Time::seconds(2);   // setup ends at t=2s
+  c.measure_duration = Time::seconds(4); // window [5s, 9s)
+  c.latency_grace = Time::seconds(1);
+  c.seed = 7;
+  return c;
+}
+
+std::vector<std::uint8_t> fingerprint(const harness::RunMetrics& m) {
+  return snap::run_metrics_to_bytes(m);
+}
+
+// ------------------------------------------------------------ FaultSpec
+
+TEST(FaultSpec, DefaultIsDisabledAndLabelledNone) {
+  const fault::FaultSpec spec;
+  EXPECT_FALSE(spec.enabled());
+  EXPECT_FALSE(spec.churn.enabled());
+  EXPECT_FALSE(spec.battery.enabled());
+  EXPECT_FALSE(spec.drift.enabled());
+  EXPECT_EQ(spec.label(), "none");
+}
+
+TEST(FaultSpec, LabelNamesEachEnabledAxis) {
+  fault::FaultSpec spec;
+  spec.churn.scheduled.push_back({net::NodeId{3}, Time::seconds(1), Time::seconds(2)});
+  EXPECT_EQ(spec.label(), "churn-sched1");
+  spec.churn.node_fraction = 0.1;
+  spec.battery.budget_mj = 500.0;
+  spec.drift.skew_sigma_ppm = 50.0;
+  EXPECT_EQ(spec.label(), "churn-sched1+churn0.1+batt500mJ+drift50ppm");
+}
+
+// ------------------------------------------------------------ churn
+
+TEST(FaultChurn, ScheduledOutageCountsDeathAndDowntime) {
+  harness::ScenarioConfig c = small_base();
+  // Crash node 3 at setup_end + 2.5s = 4.5s, restart at 6.5s: the outage
+  // overlaps the [5s, 9s) measurement window for exactly 1.5 node-seconds.
+  c.faults.churn.scheduled.push_back(
+      {net::NodeId{3}, Time::from_milliseconds(2500), Time::seconds(2)});
+  const harness::RunMetrics m = harness::run_scenario(c);
+  EXPECT_EQ(m.node_deaths, 1u);
+  EXPECT_DOUBLE_EQ(m.downtime_s, 1.5);
+  EXPECT_GT(m.delivery_ratio, 0.0);
+}
+
+TEST(FaultChurn, PermanentDeathAccruesDowntimeToWindowEnd) {
+  harness::ScenarioConfig c = small_base();
+  // down_for <= 0 is a permanent death before the window opens: the outage
+  // is clipped to the full 4 s measurement window.
+  c.faults.churn.scheduled.push_back(
+      {net::NodeId{3}, Time::from_milliseconds(500), Time::zero()});
+  const harness::RunMetrics m = harness::run_scenario(c);
+  EXPECT_EQ(m.node_deaths, 1u);
+  EXPECT_DOUBLE_EQ(m.downtime_s, 4.0);
+  EXPECT_GT(m.delivery_ratio, 0.0);  // survivors keep reporting
+}
+
+TEST(FaultChurn, RootEntriesAreIgnored) {
+  harness::ScenarioConfig c = small_base();
+  // Schedule a permanent death for every node: the root (the sink is
+  // mains-powered) must be exempted, so exactly 11 of 12 die.
+  for (int n = 0; n < c.deployment.num_nodes; ++n) {
+    c.faults.churn.scheduled.push_back(
+        {net::NodeId{n}, Time::from_milliseconds(500), Time::zero()});
+  }
+  const harness::RunMetrics m = harness::run_scenario(c);
+  EXPECT_EQ(m.node_deaths, 11u);
+  EXPECT_DOUBLE_EQ(m.downtime_s, 44.0);
+}
+
+TEST(FaultChurn, StochasticChurnIsDeterministicAndSparesRoot) {
+  harness::ScenarioConfig c = small_base();
+  c.faults.churn.node_fraction = 1.0;  // every non-root node crashes once
+  c.faults.churn.mean_downtime_s = 1.0;
+  const harness::RunMetrics a = harness::run_scenario(c);
+  const harness::RunMetrics b = harness::run_scenario(c);
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+  EXPECT_EQ(a.node_deaths, 11u);  // 12 nodes minus the root
+  EXPECT_GT(a.downtime_s, 0.0);
+}
+
+// ------------------------------------------------------------ battery
+
+TEST(FaultBattery, TinyBudgetKillsEveryNonRootNodePermanently) {
+  harness::ScenarioConfig c = small_base();
+  // 1 mJ dies at the very first poll (idle listen is ~24 mW): every
+  // non-root node is dead before the window opens, and battery death is
+  // permanent, so downtime is 11 nodes x the full 4 s window.
+  c.faults.battery.budget_mj = 1.0;
+  const harness::RunMetrics m = harness::run_scenario(c);
+  EXPECT_EQ(m.node_deaths, 11u);
+  EXPECT_DOUBLE_EQ(m.downtime_s, 44.0);
+  const harness::RunMetrics again = harness::run_scenario(c);
+  EXPECT_EQ(fingerprint(m), fingerprint(again));
+}
+
+// ------------------------------------------------------------ drift
+
+TEST(FaultDrift, DriftedClocksStillDeliverDeterministically) {
+  harness::ScenarioConfig c = small_base();
+  c.faults.drift.skew_sigma_ppm = 50.0;
+  c.faults.drift.max_offset_ms = 2.0;
+  const harness::RunMetrics a = harness::run_scenario(c);
+  const harness::RunMetrics b = harness::run_scenario(c);
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+  EXPECT_EQ(a.node_deaths, 0u);
+  EXPECT_DOUBLE_EQ(a.downtime_s, 0.0);
+  EXPECT_GT(a.delivery_ratio, 0.0);
+}
+
+// ------------------------------------------------------------ SINR
+
+TEST(FaultSinr, InfiniteCaptureThresholdMatchesNoCaptureByteForByte) {
+  // The documented limit: capture_threshold_db -> +inf with min_snr_db at
+  // its -inf default means every overlap collides and no frame is below
+  // the noise floor — byte-identical to capture_distance_ratio <= 0.
+  harness::ScenarioConfig legacy = small_base();
+  legacy.workload.base_rate_hz = 4.0;  // enough traffic to collide
+  legacy.channel_params.capture_distance_ratio = 0.0;
+  harness::ScenarioConfig sinr = legacy;
+  sinr.channel_params.sinr.enabled = true;
+  sinr.channel_params.sinr.capture_threshold_db = 1.0e12;
+  EXPECT_EQ(fingerprint(harness::run_scenario(legacy)),
+            fingerprint(harness::run_scenario(sinr)));
+}
+
+// ------------------------------------------------------------ sweeps
+
+std::string run_churn_sweep_csv(int jobs) {
+  fault::FaultSpec none;
+  fault::FaultSpec churn;
+  churn.churn.node_fraction = 0.3;
+  churn.churn.mean_downtime_s = 1.0;
+
+  exp::SweepSpec spec(small_base());
+  spec.runs(2)
+      .axis_protocol({harness::Protocol::kDtsSs, harness::Protocol::kNtsSs})
+      .axis_faults({none, churn});
+
+  std::ostringstream os;
+  exp::CsvSink sink(os);
+  exp::SweepRunner::Options opts;
+  opts.jobs = jobs;
+  exp::SweepRunner(opts).run(spec, {&sink});
+  return os.str();
+}
+
+TEST(FaultSweep, ChurnScheduleByteIdenticalAcrossJobs) {
+  const std::string serial = run_churn_sweep_csv(1);
+  const std::string parallel = run_churn_sweep_csv(8);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_NE(serial.find("churn0.3"), std::string::npos);
+}
+
+TEST(FaultSweep, SinkEmitsFaultColumnsAsZerosWhenDisabled) {
+  exp::SweepSpec spec(small_base());  // no fault axis, faults disabled
+  spec.runs(1);
+  std::ostringstream os;
+  exp::CsvSink sink(os);
+  exp::SweepRunner::Options opts;
+  opts.jobs = 1;
+  exp::SweepRunner(opts).run(spec, {&sink});
+
+  const std::string csv = os.str();
+  const auto split = [](const std::string& s, char sep) {
+    std::vector<std::string> out;
+    std::string cur;
+    for (char ch : s) {
+      if (ch == sep) {
+        out.push_back(cur);
+        cur.clear();
+      } else {
+        cur += ch;
+      }
+    }
+    out.push_back(cur);
+    return out;
+  };
+  const auto lines = split(csv, '\n');
+  ASSERT_GE(lines.size(), 2u);
+  const auto header = split(lines[0], ',');
+  const auto row = split(lines[1], ',');
+  ASSERT_EQ(header.size(), row.size());
+  bool saw_deaths = false, saw_downtime = false, saw_delivery = false;
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == "node_deaths") {
+      saw_deaths = true;
+      EXPECT_EQ(std::strtod(row[i].c_str(), nullptr), 0.0);
+    } else if (header[i] == "downtime_s") {
+      saw_downtime = true;
+      EXPECT_EQ(std::strtod(row[i].c_str(), nullptr), 0.0);
+    } else if (header[i] == "delivery_during_fault") {
+      saw_delivery = true;
+      EXPECT_EQ(std::strtod(row[i].c_str(), nullptr), 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_deaths);
+  EXPECT_TRUE(saw_downtime);
+  EXPECT_TRUE(saw_delivery);
+}
+
+}  // namespace
+}  // namespace essat

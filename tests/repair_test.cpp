@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "src/routing/repair.h"
+#include "src/sim/simulator.h"
+#include "src/util/rng.h"
 
 namespace essat::routing {
 namespace {
@@ -101,6 +105,94 @@ TEST(Repair, RemoveFailedNodeReportsStranded) {
       repair.remove_failed_node(3, [](net::NodeId n) { return n != 3; });
   EXPECT_EQ(stranded, (std::vector<net::NodeId>{4}));
   EXPECT_FALSE(t.is_member(4));
+}
+
+// ------------------------------------------------- bounded-backoff retries
+
+TEST(RepairRetries, RejoinRetriesUntilCandidateAppears) {
+  const auto topo = diamond();
+  Tree t = diamond_tree();
+  RepairService repair{topo, t};
+  sim::Simulator sim;
+  // Node 1 dies and node 2 is initially unusable, so orphan 3 cannot
+  // rejoin until 2 comes back at t=10s; by then the immediate attempt and
+  // at least two backoff retries have failed.
+  bool two_alive = false;
+  repair.enable_retries(sim, util::Rng{7}.fork(1), {},
+                        [&](net::NodeId n) { return n != 1 && (n != 2 || two_alive); });
+  std::vector<net::NodeId> rejoined;
+  repair.set_rejoin_callback([&](net::NodeId n) { rejoined.push_back(n); });
+
+  (void)repair.remove_failed_node(1, [](net::NodeId n) { return n != 1 && n != 2; });
+  ASSERT_FALSE(t.is_member(3));
+  repair.request_rejoin(3);
+  EXPECT_FALSE(t.is_member(3));  // the immediate attempt failed
+  // One re-attach attempt inside remove_failed_node plus the immediate
+  // rejoin attempt.
+  EXPECT_EQ(repair.repair_attempts(3), 2u);
+
+  sim.schedule_at(util::Time::seconds(10), [&] { two_alive = true; });
+  sim.run();
+
+  EXPECT_TRUE(t.is_member(3));
+  EXPECT_EQ(t.parent(3), 2);
+  // The stranded grandchild 4 keeps its own backoff clock and rejoins
+  // through 3 once 3 is a member again.
+  EXPECT_TRUE(t.is_member(4));
+  EXPECT_EQ(t.parent(4), 3);
+  EXPECT_EQ(rejoined, (std::vector<net::NodeId>{3, 4}));
+  // The backoff sums to well past 10s before the budget runs out, so some
+  // retries failed before 2 revived and one succeeded after.
+  EXPECT_GE(repair.repair_attempts(3), 3u);
+}
+
+TEST(RepairRetries, RejoinStopsAfterMaxAttempts) {
+  const auto topo = diamond();
+  Tree t = diamond_tree();
+  RepairService repair{topo, t};
+  sim::Simulator sim;
+  RepairService::RetryParams params;
+  params.max_attempts = 4;
+  repair.enable_retries(sim, util::Rng{7}.fork(1), params,
+                        [](net::NodeId n) { return n != 1 && n != 2; });
+
+  (void)repair.remove_failed_node(1, [](net::NodeId n) { return n != 1 && n != 2; });
+  repair.request_rejoin(3);
+  sim.run();  // drains: the budget bounds the retry timers
+
+  // One attempt inside remove_failed_node, one immediate rejoin attempt,
+  // then exactly max_attempts backoff retries — and silence.
+  EXPECT_EQ(repair.repair_attempts(3), 6u);
+  EXPECT_FALSE(t.is_member(3));
+}
+
+TEST(RepairRetries, BackoffDelaysAreBoundedByCap) {
+  const auto topo = diamond();
+  Tree t = diamond_tree();
+  RepairService repair{topo, t};
+  sim::Simulator sim;
+  RepairService::RetryParams params;  // base 250ms, cap 8s, jitter 0.25
+  repair.enable_retries(sim, util::Rng{7}.fork(1), params,
+                        [](net::NodeId n) { return n != 1 && n != 2; });
+  (void)repair.remove_failed_node(1, [](net::NodeId n) { return n != 1 && n != 2; });
+  repair.request_rejoin(3);
+  sim.run();
+  // Worst case: 8 retries all at the jittered cap of 8 * 1.25 = 10s.
+  EXPECT_LE(sim.now(), util::Time::seconds(80));
+}
+
+TEST(RepairRetries, RejoinOfExistingMemberFiresCallbackImmediately) {
+  const auto topo = diamond();
+  Tree t = diamond_tree();
+  RepairService repair{topo, t};
+  sim::Simulator sim;
+  repair.enable_retries(sim, util::Rng{7}.fork(1), {},
+                        [](net::NodeId) { return true; });
+  std::vector<net::NodeId> rejoined;
+  repair.set_rejoin_callback([&](net::NodeId n) { rejoined.push_back(n); });
+  repair.request_rejoin(4);  // already a member
+  EXPECT_EQ(rejoined, (std::vector<net::NodeId>{4}));
+  EXPECT_EQ(repair.repair_attempts(4), 1u);
 }
 
 TEST(Repair, SetHooksAfterConstruction) {

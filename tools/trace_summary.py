@@ -7,11 +7,18 @@ and prints:
   * channel drop breakdown by attributed reason
   * per-hop MAC latency (mac_enqueue -> mac_send_ok, matched on the packet's
     provenance id at each hop): count / mean / p50 / p95 / max
+  * fault-event breakdown: fault_down counts by attributed cause
+    (scheduled / stochastic / battery, from arg16) plus fault_up pairing
+    and total observed downtime
   * packet-conservation check: every chan_tx_begin announces its in-range
     receiver count (arg16); the matching chan_deliver/chan_drop records,
     keyed by tx_id, must add up to exactly that count. Transmissions still
     in flight at the trace tail (within --grace-ms of the last record) are
     skipped. A mismatch is a simulator bug and fails the run (exit 1).
+  * fault-attribution check: the per-cause fault_down counts must sum to
+    the total fault_down count (no unknown causes), and every fault_up
+    must pair with a prior unmatched fault_down on the same node. A
+    mismatch fails the run (exit 1).
 
 Check mode (--check) parses a Perfetto trace_event JSON export and verifies
 its structure — top-level object, traceEvents array, every event a known
@@ -27,6 +34,10 @@ import argparse
 import json
 import sys
 from collections import Counter, defaultdict
+
+
+# fault_down.arg16 carries the FaultCause enum (src/fault/fault_engine.h).
+FAULT_CAUSES = {0: "scheduled", 1: "stochastic", 2: "battery"}
 
 
 def percentile(sorted_vals, q):
@@ -83,6 +94,41 @@ def summarize(path, grace_ms):
         print(f"  mean={mean:.3f}ms p50={percentile(hop_ms, 0.50):.3f}ms "
               f"p95={percentile(hop_ms, 0.95):.3f}ms max={hop_ms[-1]:.3f}ms")
 
+    # Fault-event breakdown and attribution check: every fault_down carries
+    # a known cause in arg16, and every fault_up closes a prior fault_down
+    # on the same node (fault_up.a = observed downtime ns).
+    downs = [r for r in records if r["type"] == "fault_down"]
+    ups = [r for r in records if r["type"] == "fault_up"]
+    fault_fail = False
+    if downs or ups:
+        causes = Counter(FAULT_CAUSES.get(r.get("arg16"), "unknown")
+                         for r in downs)
+        print("\nfault events:")
+        for cause, n in causes.most_common():
+            print(f"  down/{cause:15s} {n}")
+        total_down_s = sum(r["a"] for r in ups) / 1e9
+        print(f"  up                   {len(ups)} "
+              f"(observed downtime {total_down_s:.3f}s)")
+        attributed = sum(n for c, n in causes.items() if c != "unknown")
+        if attributed != len(downs):
+            print(f"FAIL: fault cause attribution: {attributed} attributed "
+                  f"of {len(downs)} fault_down records")
+            fault_fail = True
+        open_down = Counter()
+        orphan_ups = 0
+        for r in records:
+            if r["type"] == "fault_down":
+                open_down[r["node"]] += 1
+            elif r["type"] == "fault_up":
+                if open_down[r["node"]] <= 0:
+                    orphan_ups += 1
+                else:
+                    open_down[r["node"]] -= 1
+        if orphan_ups:
+            print(f"FAIL: {orphan_ups} fault_up record(s) without a matching "
+                  f"fault_down on the same node")
+            fault_fail = True
+
     # Conservation: chan_tx_begin.arg16 in-range receivers == deliver+drop.
     t_last = records[-1]["t_ns"]
     tx = {}  # tx_id -> [t_begin, expected, seen]
@@ -108,6 +154,9 @@ def summarize(path, grace_ms):
           f"{skipped} in-flight skipped, {mismatched} mismatched")
     if mismatched:
         print("FAIL: packet conservation violated")
+        return 1
+    if fault_fail:
+        print("FAIL: fault attribution violated")
         return 1
     print("OK")
     return 0
